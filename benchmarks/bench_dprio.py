@@ -1,0 +1,88 @@
+"""E5 — the DPrio lottery: scaling, correctness, and fairness.
+
+Sweeps client and server counts for the Appendix C lottery, reporting total
+messages and the analyst's traffic, checks that the analyst always reconstructs
+exactly one submitted secret without direct client contact, and measures the
+uniformity of the winner distribution (fair as long as one server is honest).
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.protocols.dprio import lottery
+from repro.runtime.central import run_centralized
+from repro.runtime.runner import run_choreography
+
+ANALYST = "analyst"
+
+
+def run_lottery(n_clients, n_servers, seed=0):
+    clients = [f"c{i}" for i in range(1, n_clients + 1)]
+    servers = [f"s{i}" for i in range(1, n_servers + 1)]
+    secrets = {client: 100 + index for index, client in enumerate(clients)}
+    census = [ANALYST] + servers + clients
+
+    def chor(op):
+        return lottery(op, servers, clients, ANALYST, client_secrets=secrets, seed=seed)
+
+    return run_choreography(chor, census), secrets, clients, servers
+
+
+def test_lottery_scaling(benchmark, report_table):
+    rows = []
+    for n_clients, n_servers in [(2, 2), (4, 3), (8, 3), (8, 5)]:
+        result, secrets, clients, servers = run_lottery(n_clients, n_servers, seed=7)
+        outcome = result.value_at(ANALYST)
+        assert outcome.value in secrets.values()
+        assert all(result.stats.messages.get((c, ANALYST), 0) == 0 for c in clients)
+        assert all(result.stats.messages.get((s, ANALYST), 0) == 1 for s in servers)
+        rows.append(
+            [
+                n_clients,
+                n_servers,
+                result.stats.total_messages,
+                result.stats.messages_received_by(ANALYST),
+                f"{result.elapsed_seconds:.4f}",
+            ]
+        )
+
+    benchmark.pedantic(run_lottery, args=(4, 3), rounds=3, iterations=1)
+    report_table(
+        "E5 — DPrio lottery scaling",
+        ["clients", "servers", "total messages", "analyst recv", "seconds"],
+        rows,
+    )
+
+
+def test_lottery_fairness_distribution(benchmark, report_table):
+    """Over many seeds every client wins sometimes and none dominates —
+    the commit–reveal sum makes the index uniform given one honest server."""
+    clients = ["c1", "c2", "c3", "c4"]
+    servers = ["s1", "s2"]
+    secrets = {client: 10 + index for index, client in enumerate(clients)}
+    census = [ANALYST] + servers + clients
+    runs = 60
+
+    def one_round(seed):
+        return run_centralized(
+            lambda op: lottery(op, servers, clients, ANALYST,
+                               client_secrets=secrets, seed=seed),
+            census,
+        ).peek().value
+
+    tally = collections.Counter(one_round(seed) for seed in range(runs))
+    benchmark(one_round, 0)
+
+    report_table(
+        "E5 — winner distribution over 60 runs (4 clients, 2 servers)",
+        ["client", "wins", "share"],
+        [
+            [client, tally[secrets[client]], f"{tally[secrets[client]] / runs:.2f}"]
+            for client in clients
+        ],
+    )
+    assert all(tally[secrets[client]] > 0 for client in clients)
+    assert max(tally.values()) <= 0.5 * runs

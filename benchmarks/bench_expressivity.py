@@ -1,0 +1,122 @@
+"""E9 — §4.2 expressivity: the cost of simulating select-&-merge patterns.
+
+The paper argues conclaves-&-MLVs can express anything select-&-merge can,
+by splitting a conditional into a conclaved *setup*, an explicit multicast of
+the chosen flag, and a conclaved *continuation* that branches on the
+multiply-located flag.  This bench measures the message overhead of that
+transformation on a representative protocol, and shows the pay-off: once the
+flag is an MLV, any number of later conditionals re-use it for free, whereas a
+broadcast-KoC system pays the full census every time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comm_cost import communication_cost, haschor_communication_cost
+
+CENSUS = ["decider", "worker1", "worker2", "observer"]
+WORKERS = ["decider", "worker1", "worker2"]
+
+
+def conclaves_mlvs_protocol(op, n_conditionals):
+    """The decider makes one choice; the workers branch on it ``n`` times."""
+    choice = op.locally("decider", lambda _un: True)
+    flag = op.multicast("decider", WORKERS, choice)   # the select, as an MLV
+
+    outcomes = []
+    for round_index in range(n_conditionals):
+        def continuation(sub, _i=round_index):
+            if sub.naked(flag):                        # KoC re-used: no messages
+                return sub.broadcast(
+                    "worker1", sub.locally("worker1", lambda _un: _i)
+                )
+            return sub.broadcast("worker2", sub.locally("worker2", lambda _un: -_i))
+
+        outcomes.append(op.conclave(WORKERS, continuation))
+    return outcomes
+
+
+def broadcast_koc_protocol(op, n_conditionals):
+    """The same behaviour in a broadcast-KoC (HasChor-style) library: every
+    conditional broadcasts the choice to the whole census, observer included."""
+    choice = op.locally("decider", lambda _un: True)
+    outcomes = []
+    for round_index in range(n_conditionals):
+        def branches(flag, _i=round_index):
+            if flag:
+                value = op.locally("worker1", lambda _un: _i)
+                return op.comm("worker1", "decider", value)
+            value = op.locally("worker2", lambda _un: -_i)
+            return op.comm("worker2", "decider", value)
+
+        outcomes.append(op.cond(choice, branches))
+    return outcomes
+
+
+def test_sequential_conditionals_cost(benchmark, report_table):
+    rows = []
+    for n_conditionals in [1, 2, 4, 8]:
+        ours = communication_cost(conclaves_mlvs_protocol, CENSUS, n_conditionals)
+        baseline = haschor_communication_cost(broadcast_koc_protocol, CENSUS, n_conditionals)
+        rows.append(
+            [
+                n_conditionals,
+                ours.total_messages,
+                baseline.total_messages,
+                ours.messages_involving("observer"),
+                baseline.messages_involving("observer"),
+            ]
+        )
+        # the observer is never dragged in by conclaves-&-MLVs
+        assert ours.messages_involving("observer") == 0
+        assert baseline.messages_involving("observer") == n_conditionals
+        # KoC itself is paid once (2 messages) regardless of n
+        koc_messages = sum(
+            count for (src, _dst), count in ours.per_channel.items() if src == "decider"
+        )
+        assert koc_messages == 2
+
+    benchmark(lambda: communication_cost(conclaves_mlvs_protocol, CENSUS, 8))
+    report_table(
+        "E9 — n sequential conditionals sharing one choice",
+        [
+            "conditionals",
+            "conclaves-&-MLVs msgs",
+            "broadcast-KoC msgs",
+            "observer msgs (ours)",
+            "observer msgs (baseline)",
+        ],
+        rows,
+    )
+
+
+def test_select_and_merge_transformation_overhead(benchmark, report_table):
+    """The §4.2 transformation adds exactly one multicast of the selected flag
+    (|conclave| − 1 messages) compared with a protocol where the ignorant
+    parties never needed the flag at all."""
+
+    def without_flag(op):
+        value = op.locally("decider", lambda _un: 41)
+        return op.conclave(
+            WORKERS, lambda sub: sub.broadcast("decider", value)
+        )
+
+    def with_flag(op):
+        conclaves_mlvs_protocol(op, 1)
+
+    baseline_cost = communication_cost(without_flag, CENSUS)
+    transformed_cost = communication_cost(with_flag, CENSUS)
+    overhead = transformed_cost.total_messages - baseline_cost.total_messages
+
+    benchmark(lambda: communication_cost(with_flag, CENSUS))
+    report_table(
+        "E9 — overhead of the select→multicast-flag transformation",
+        ["variant", "messages"],
+        [
+            ["single conclaved broadcast (no select needed)", baseline_cost.total_messages],
+            ["setup + flag multicast + continuation", transformed_cost.total_messages],
+            ["overhead", overhead],
+        ],
+    )
+    assert 0 <= overhead <= len(WORKERS)

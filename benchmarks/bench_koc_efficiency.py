@@ -1,0 +1,116 @@
+"""E2 — Knowledge-of-Choice efficiency: broadcast KoC vs conclaves-&-MLVs.
+
+The paper's §2.2/§3.2 argument made quantitative: the same replicated-KVS
+workload is executed under both KoC strategies while sweeping the number of
+servers, counting (a) total messages, (b) messages that involve the client —
+who has nothing to do in any of the servers' conditionals — and (c) the
+primary→replica messages needed for the *second* conditional of each Put,
+which conclaves-&-MLVs answers by re-using the multiply-located request.
+
+Expected shape (and the paper's claim): conclaves-&-MLVs wins everywhere, the
+client's traffic is flat at two messages per request, and the second
+conditional costs zero additional request broadcasts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comm_cost import communication_cost, haschor_communication_cost
+from repro.baselines.kvs_haschor import kvs_serve_haschor
+from repro.protocols.kvs import Request, kvs_serve
+
+SERVER_COUNTS = [1, 2, 4, 8, 16]
+WORKLOAD = [
+    Request.put("k1", "v1"),
+    Request.get("k1"),
+    Request.put("k2", "v2"),
+    Request.get("missing"),
+    Request.stop(),
+]
+
+
+def _cluster(n_servers):
+    servers = [f"s{i}" for i in range(1, n_servers + 1)]
+    return servers, ["client"] + servers
+
+
+def _costs(n_servers):
+    servers, census = _cluster(n_servers)
+    ours = communication_cost(
+        lambda op: kvs_serve(op, "client", servers[0], servers, WORKLOAD), census
+    )
+    baseline = haschor_communication_cost(
+        lambda op: kvs_serve_haschor(op, "client", servers[0], servers, WORKLOAD), census
+    )
+    return ours, baseline
+
+
+def test_koc_message_counts_by_cluster_size(benchmark, report_table):
+    rows = []
+    for n_servers in SERVER_COUNTS:
+        ours, baseline = _costs(n_servers)
+        rows.append(
+            [
+                n_servers,
+                ours.total_messages,
+                baseline.total_messages,
+                f"{baseline.total_messages / ours.total_messages:.2f}x",
+                ours.messages_involving("client"),
+                baseline.messages_involving("client"),
+            ]
+        )
+        # The efficiency claim: strictly fewer messages, and the client's
+        # traffic does not grow with the number of servers.
+        assert ours.total_messages < baseline.total_messages
+        assert ours.messages_involving("client") == 2 * len(WORKLOAD)
+        assert baseline.messages_involving("client") > ours.messages_involving("client")
+
+    benchmark(_costs, SERVER_COUNTS[-1])
+
+    report_table(
+        "E2 — KoC strategy message counts (KVS workload, 5 requests)",
+        [
+            "servers",
+            "conclaves-&-MLVs msgs",
+            "broadcast-KoC msgs",
+            "ratio",
+            "client msgs (ours)",
+            "client msgs (baseline)",
+        ],
+        rows,
+    )
+
+
+def test_koc_reuse_costs_no_extra_request_broadcast(benchmark, report_table):
+    """Fig. 2 branches on the request in two sequential conclaves.  Count the
+    primary→replica traffic per request kind: the second conditional adds no
+    request re-broadcast (only the genuinely new needsReSynch flag for Puts)."""
+    rows = []
+    for n_servers in [2, 4, 8]:
+        servers, census = _cluster(n_servers)
+        others = n_servers - 1
+
+        def forwards(requests):
+            cost = communication_cost(
+                lambda op: kvs_serve(op, "client", servers[0], servers, requests), census
+            )
+            return sum(
+                count
+                for (src, dst), count in cost.per_channel.items()
+                if src == servers[0] and dst in servers
+            )
+
+        get_forwards = forwards([Request.get("k")])
+        put_forwards = forwards([Request.put("k", "v")])
+        rows.append([n_servers, get_forwards, put_forwards, others, 2 * others])
+        assert get_forwards == others          # one multicast, two conditionals
+        assert put_forwards == 2 * others      # + needsReSynch broadcast only
+
+    benchmark(lambda: _costs(4))
+
+    report_table(
+        "E2 — KoC re-use: primary→replica messages per request",
+        ["servers", "Get forwards", "Put forwards", "expected Get", "expected Put"],
+        rows,
+    )

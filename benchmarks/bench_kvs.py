@@ -1,0 +1,92 @@
+"""E3 — the Fig. 2 replicated KVS: behaviour, latency, and message scaling.
+
+Runs the full projected (threaded) execution of the Fig. 2 choreography for
+several cluster sizes, with and without fault injection, reporting per-request
+message counts and wall-clock latency.  The shape to reproduce: message counts
+grow linearly in the number of servers, Get requests are cheaper than Puts,
+fault injection triggers the resynch path without the client noticing, and the
+client's own traffic stays constant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.kvs import Request, RequestKind, ResponseKind, kvs_serve
+from repro.runtime.runner import run_choreography
+
+WORKLOAD = [
+    Request.put("a", "1"),
+    Request.get("a"),
+    Request.put("b", "2"),
+    Request.get("b"),
+    Request.stop(),
+]
+
+
+def run_cluster(n_servers, fault_rate=0.0, seed=0):
+    servers = [f"s{i}" for i in range(1, n_servers + 1)]
+    census = ["client"] + servers
+
+    def session(op):
+        return kvs_serve(op, "client", servers[0], servers, WORKLOAD,
+                         fault_rate=fault_rate, seed=seed)
+
+    return run_choreography(session, census)
+
+
+@pytest.mark.parametrize("n_servers", [1, 2, 4, 8])
+def test_kvs_cluster_scaling(benchmark, report_table, n_servers):
+    result = benchmark.pedantic(run_cluster, args=(n_servers,), rounds=3, iterations=1)
+
+    responses = result.returns["client"]
+    assert responses[1].value == "1" and responses[3].value == "2"
+    assert responses[-1].kind is ResponseKind.STOPPED
+
+    puts = sum(1 for r in WORKLOAD if r.kind is RequestKind.PUT)
+    report_table(
+        f"E3 — KVS with {n_servers} server(s): message profile",
+        ["metric", "value"],
+        [
+            ["requests served", len(WORKLOAD)],
+            ["total messages", result.stats.total_messages],
+            ["client messages", result.stats.messages_involving("client")],
+            ["primary sent", result.stats.messages_sent_by("s1")],
+            ["elapsed seconds", f"{result.elapsed_seconds:.4f}"],
+        ],
+    )
+    # client traffic is exactly two messages per request, independent of n
+    assert result.stats.messages_involving("client") == 2 * len(WORKLOAD)
+    # every replica hears every request exactly once (n-1 forwards per request)
+    if n_servers > 1:
+        forwarded = sum(
+            count for (src, dst), count in result.stats.snapshot().items()
+            if src == "s1" and dst.startswith("s") and dst != "s1"
+        )
+        assert forwarded >= (n_servers - 1) * len(WORKLOAD)
+
+
+def test_kvs_fault_injection_triggers_resynch(benchmark, report_table):
+    healthy = run_cluster(4, fault_rate=0.0, seed=5)
+    faulty = benchmark.pedantic(run_cluster, args=(4, 0.8, 5), rounds=1, iterations=1)
+
+    # The client's view is identical in shape: it never sees the repair traffic.
+    assert [r.kind for r in faulty.returns["client"]] == [
+        r.kind for r in healthy.returns["client"]
+    ]
+    assert faulty.stats.messages_involving("client") == healthy.stats.messages_involving(
+        "client"
+    )
+    # Repairing divergent replicas costs extra server-to-server messages.
+    assert faulty.stats.total_messages > healthy.stats.total_messages
+
+    report_table(
+        "E3 — fault injection (4 servers, fault rate 0.8)",
+        ["configuration", "total messages", "client messages"],
+        [
+            ["healthy", healthy.stats.total_messages,
+             healthy.stats.messages_involving("client")],
+            ["faulty + resynch", faulty.stats.total_messages,
+             faulty.stats.messages_involving("client")],
+        ],
+    )

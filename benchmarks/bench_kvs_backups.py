@@ -1,0 +1,81 @@
+"""E4 — the Appendix B census-polymorphic KVS (server + parametric backups).
+
+Sweeps the number of backup servers for Put and Get workloads, reporting total
+messages and the backups' involvement.  Shape to reproduce: Gets never touch
+the backups beyond the conclave's KoC broadcast; Puts cost two messages per
+backup (replication + gathered acknowledgement); the choreography itself is
+unchanged across the sweep (census polymorphism).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.kvs import Request, Response, kvs_with_backups, make_replica_states
+from repro.runtime.runner import run_choreography
+
+BACKUP_COUNTS = [1, 2, 4, 8]
+
+
+def run_backups(n_backups, request):
+    backups = [f"b{i}" for i in range(1, n_backups + 1)]
+    census = ["client", "server"] + backups
+
+    def chor(op):
+        states = make_replica_states(op, ["server"] + backups)
+        located = op.locally("client", lambda _un: request)
+        return kvs_with_backups(op, "client", "server", backups, states, located)
+
+    return run_choreography(chor, census), backups
+
+
+def test_backup_scaling_for_puts(benchmark, report_table):
+    rows = []
+    for n_backups in BACKUP_COUNTS:
+        result, backups = run_backups(n_backups, Request.put("k", "v"))
+        backup_msgs = sum(result.stats.messages_involving(b) for b in backups)
+        rows.append([n_backups, result.stats.total_messages, backup_msgs])
+        # each backup: one KoC broadcast received + one ack sent
+        assert backup_msgs == 2 * n_backups
+
+    benchmark.pedantic(run_backups, args=(4, Request.put("k", "v")), rounds=3, iterations=1)
+    report_table(
+        "E4 — backup KVS, Put request",
+        ["backups", "total messages", "backup messages"],
+        rows,
+    )
+
+
+def test_backup_scaling_for_gets(benchmark, report_table):
+    rows = []
+    for n_backups in BACKUP_COUNTS:
+        result, backups = run_backups(n_backups, Request.get("k"))
+        backup_msgs = sum(result.stats.messages_involving(b) for b in backups)
+        rows.append([n_backups, result.stats.total_messages, backup_msgs])
+        # Gets only reach the backups through the conclave's single broadcast
+        assert backup_msgs == n_backups
+
+    benchmark.pedantic(run_backups, args=(4, Request.get("k")), rounds=3, iterations=1)
+    report_table(
+        "E4 — backup KVS, Get request",
+        ["backups", "total messages", "backup messages"],
+        rows,
+    )
+
+
+def test_put_then_get_round_trips_through_replicas(benchmark):
+    def scenario():
+        backups = ["b1", "b2", "b3"]
+        census = ["client", "server"] + backups
+
+        def chor(op):
+            states = make_replica_states(op, ["server"] + backups)
+            put = op.locally("client", lambda _un: Request.put("x", "42"))
+            kvs_with_backups(op, "client", "server", backups, states, put)
+            get = op.locally("client", lambda _un: Request.get("x"))
+            return kvs_with_backups(op, "client", "server", backups, states, get)
+
+        return run_choreography(chor, census)
+
+    result = benchmark.pedantic(scenario, rounds=3, iterations=1)
+    assert result.value_at("client") == Response.found("42")

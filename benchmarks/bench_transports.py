@@ -1,0 +1,50 @@
+"""Ablation — transport substrates: threads+queues vs loopback TCP sockets.
+
+Every library in the paper projects the same choreography onto multiple
+transports.  This ablation runs an identical workload over both of this
+repository's transports and over the centralized (message-free) semantics,
+verifying that results and message counts are invariant and comparing latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comm_cost import communication_cost
+from repro.protocols.kvs import Request, kvs_serve
+from repro.runtime.runner import run_choreography
+
+SERVERS = ["s1", "s2", "s3"]
+CENSUS = ["client"] + SERVERS
+WORKLOAD = [Request.put("k", "v"), Request.get("k"), Request.stop()]
+
+
+def session(op):
+    return kvs_serve(op, "client", "s1", SERVERS, WORKLOAD)
+
+
+@pytest.mark.parametrize("transport", ["local", "tcp"])
+def test_transport_latency(benchmark, report_table, transport):
+    result = benchmark.pedantic(
+        run_choreography, args=(session, CENSUS), kwargs={"transport": transport},
+        rounds=3, iterations=1,
+    )
+    central = communication_cost(session, CENSUS)
+    assert result.stats.snapshot() == central.per_channel
+    report_table(
+        f"Ablation — KVS workload over the {transport!r} transport",
+        ["metric", "value"],
+        [
+            ["messages", result.stats.total_messages],
+            ["payload bytes", result.stats.total_bytes],
+            ["elapsed seconds", f"{result.elapsed_seconds:.4f}"],
+        ],
+    )
+
+
+def test_transports_agree_on_results(benchmark):
+    local = run_choreography(session, CENSUS, transport="local")
+    tcp = run_choreography(session, CENSUS, transport="tcp")
+    assert local.returns["client"] == tcp.returns["client"]
+    assert local.stats.snapshot() == tcp.stats.snapshot()
+    benchmark(lambda: communication_cost(session, CENSUS))

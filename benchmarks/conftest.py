@@ -1,0 +1,49 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one of the paper's tables or figures
+(see DESIGN.md's per-experiment index).  Benchmarks time the interesting
+operation with pytest-benchmark *and* collect the rows/series the paper
+reports; the collected tables are printed in the terminal summary so they are
+visible even under pytest's output capture (and land in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import pytest
+
+_TABLES: List[str] = []
+
+
+def _render(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    cells = [[str(cell) for cell in row] for row in rows]
+    table = [list(headers)] + cells
+    widths = [max(len(line[col]) for line in table) for col in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    for index, line in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[col]) for col, cell in enumerate(line)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[col] for col in range(len(headers))))
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def report_table():
+    """A callable ``report_table(title, headers, rows)`` collecting result tables."""
+
+    def _report(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+        _TABLES.append(_render(title, headers, rows))
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D401
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figure series")
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

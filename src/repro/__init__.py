@@ -1,0 +1,77 @@
+"""repro — census-polymorphic choreographic programming for Python.
+
+A reproduction of "Efficient, Portable, Census-Polymorphic Choreographic
+Programming" (Bates et al., PLDI 2025).  The package provides:
+
+* :mod:`repro.core` — locations, censuses, multiply-located values, faceted
+  values, quires, and the ``ChoreoOp`` operator record (EPP-as-DI).
+* :mod:`repro.runtime` — transports, the concurrent runner, and the
+  centralized reference semantics.
+* :mod:`repro.baselines` — a HasChor-style broadcast-KoC baseline.
+* :mod:`repro.formal` — the λC / λL / λN formal model and property checkers.
+* :mod:`repro.protocols` — the case studies: replicated KVS, DPrio lottery,
+  and the GMW secure-computation protocol.
+* :mod:`repro.analysis` — the pre-run checker, communication-cost model, and
+  the Table-1 feature matrix.
+"""
+
+from .core import (
+    ABSENT,
+    Census,
+    CensusError,
+    ChoreoOp,
+    Choreography,
+    ChoreographyError,
+    ChoreographyRuntimeError,
+    Faceted,
+    Located,
+    Location,
+    OwnershipError,
+    PlaceholderError,
+    ProjectedOp,
+    Quire,
+    TransportError,
+    as_census,
+    project,
+    single,
+)
+from .runtime import (
+    CentralOp,
+    ChannelStats,
+    ChoreographyResult,
+    LocalTransport,
+    TCPTransport,
+    run_centralized,
+    run_choreography,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABSENT",
+    "Census",
+    "CensusError",
+    "CentralOp",
+    "ChannelStats",
+    "ChoreoOp",
+    "Choreography",
+    "ChoreographyError",
+    "ChoreographyResult",
+    "ChoreographyRuntimeError",
+    "Faceted",
+    "LocalTransport",
+    "Located",
+    "Location",
+    "OwnershipError",
+    "PlaceholderError",
+    "ProjectedOp",
+    "Quire",
+    "TCPTransport",
+    "TransportError",
+    "as_census",
+    "project",
+    "run_centralized",
+    "run_choreography",
+    "single",
+    "__version__",
+]

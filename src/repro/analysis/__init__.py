@@ -1,0 +1,22 @@
+"""Analyses over choreographies: pre-run checking, communication cost, features."""
+
+from .checker import CheckReport, check_choreography
+from .comm_cost import (
+    CommunicationCost,
+    communication_cost,
+    compare_costs,
+    haschor_communication_cost,
+)
+from .features import FeatureRow, feature_matrix, feature_table_text
+
+__all__ = [
+    "CheckReport",
+    "CommunicationCost",
+    "FeatureRow",
+    "check_choreography",
+    "communication_cost",
+    "compare_costs",
+    "feature_matrix",
+    "feature_table_text",
+    "haschor_communication_cost",
+]

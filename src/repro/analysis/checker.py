@@ -1,0 +1,171 @@
+"""Pre-execution checking of choreographies.
+
+The paper's host languages (Haskell, Rust, TypeScript) reject census and
+ownership violations at compile time; Python cannot.  This module provides the
+closest runtime-free substitute: :func:`check_choreography` executes the
+choreography once under the centralized reference semantics — which enforces
+*every* census/ownership constraint globally and records every would-be
+message — and additionally replays the per-endpoint projections against the
+recorded message trace to confirm that each endpoint's sends and receives line
+up pairwise (the property EPP guarantees by construction in the paper).
+
+The check is sound for choreographies whose control flow does not depend on
+values that differ between the check run and the real run (e.g. randomness or
+wall-clock time); for those, the runtime checks in
+:class:`~repro.core.epp.ProjectedOp` remain the backstop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.epp import project
+from ..core.errors import ChoreographyError
+from ..core.locations import Census, Location, LocationsLike, as_census
+from ..core.ops import Choreography
+from ..runtime.central import CentralOp
+from ..runtime.stats import ChannelStats
+from ..runtime.transport import serialize
+
+
+@dataclass
+class CheckReport:
+    """The outcome of checking a choreography before running it."""
+
+    ok: bool
+    census: Census
+    messages: int = 0
+    channel_counts: Mapping[Tuple[Location, Location], int] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class _RecordingEndpoint:
+    """A transport endpoint that replays the centralized run's channel counts.
+
+    Each endpoint draws received payloads from the queues the *checking* run
+    recorded, and records its own sends, so after projecting every endpoint we
+    can confirm that per-channel send and receive counts match exactly.
+    """
+
+    def __init__(self, location: Location, inboxes: Dict[Tuple[Location, Location], List[Any]]):
+        self.location = location
+        self._inboxes = inboxes
+        self.sent: Dict[Tuple[Location, Location], int] = {}
+
+    def send(self, receiver: Location, payload: Any) -> None:
+        channel = (self.location, receiver)
+        self.sent[channel] = self.sent.get(channel, 0) + 1
+
+    def recv(self, sender: Location) -> Any:
+        channel = (sender, self.location)
+        pending = self._inboxes.get(channel)
+        if not pending:
+            raise ChoreographyError(
+                f"projection of {self.location!r} tried to receive from {sender!r} but the "
+                "centralized run recorded no (further) message on that channel"
+            )
+        return pending.pop(0)
+
+
+class _TracingCentralOp(CentralOp):
+    """A CentralOp that also remembers every payload, per channel, in order."""
+
+    def __init__(self, census: LocationsLike):
+        super().__init__(census, ChannelStats())
+        self.payloads: Dict[Tuple[Location, Location], List[Any]] = {}
+
+    def multicast(self, sender, recipients, value):
+        located = super().multicast(sender, recipients, value)
+        payload = located.peek()
+        for receiver in as_census(recipients):
+            if receiver != sender:
+                self.payloads.setdefault((sender, receiver), []).append(payload)
+        return located
+
+    def conclave(self, sub_census, choreography, *args, **kwargs):
+        sub = self._require_subset(sub_census)
+        child = _TracingCentralOp(sub)
+        child.stats = self.stats
+        child.payloads = self.payloads
+        result = choreography(child, *args, **kwargs)
+        from ..core.located import Located
+
+        return Located(sub, result)
+
+
+def check_choreography(
+    choreography: Choreography,
+    census: LocationsLike,
+    args: Sequence[Any] = (),
+    kwargs: Optional[Mapping[str, Any]] = None,
+    *,
+    location_args: Optional[Mapping[Location, Sequence[Any]]] = None,
+    replay_projections: bool = True,
+) -> CheckReport:
+    """Check a choreography without running any threads or sockets.
+
+    Returns a :class:`CheckReport`; ``report.ok`` is False when either the
+    centralized run raised a choreography error (census/ownership violation)
+    or, with ``replay_projections``, some endpoint's projection disagrees with
+    the centralized run about which messages cross which channels.
+    """
+    full_census = as_census(census).require_nonempty()
+    kwargs = dict(kwargs or {})
+    location_args = dict(location_args or {})
+    errors: List[str] = []
+
+    tracer = _TracingCentralOp(full_census)
+    try:
+        choreography(tracer, *args, **kwargs)
+    except ChoreographyError as exc:
+        errors.append(f"centralized check failed: {type(exc).__name__}: {exc}")
+        return CheckReport(False, full_census, errors=errors)
+
+    channel_counts = tracer.stats.snapshot()
+
+    if replay_projections:
+        expected_receives: Dict[Tuple[Location, Location], int] = dict(channel_counts)
+        observed_sends: Dict[Tuple[Location, Location], int] = {}
+        for location in full_census:
+            inboxes = {
+                channel: list(payloads)
+                for channel, payloads in tracer.payloads.items()
+                if channel[1] == location
+            }
+            endpoint = _RecordingEndpoint(location, inboxes)
+            program = project(choreography, full_census, location, endpoint)
+            extra = tuple(location_args.get(location, ()))
+            try:
+                program(*tuple(args) + extra, **kwargs)
+            except ChoreographyError as exc:
+                errors.append(
+                    f"projection to {location!r} failed: {type(exc).__name__}: {exc}"
+                )
+                continue
+            for channel, count in endpoint.sent.items():
+                observed_sends[channel] = observed_sends.get(channel, 0) + count
+            leftover = {
+                channel: len(payloads) for channel, payloads in inboxes.items() if payloads
+            }
+            for channel, count in leftover.items():
+                errors.append(
+                    f"projection to {location!r} received {count} fewer message(s) on "
+                    f"{channel} than the centralized run sent"
+                )
+        if not errors and observed_sends != expected_receives:
+            errors.append(
+                "projected endpoints and the centralized run disagree about channel "
+                f"usage: projected={observed_sends} centralized={expected_receives}"
+            )
+
+    return CheckReport(
+        ok=not errors,
+        census=full_census,
+        messages=tracer.stats.total_messages,
+        channel_counts=channel_counts,
+        errors=errors,
+    )

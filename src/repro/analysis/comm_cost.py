@@ -1,0 +1,96 @@
+"""Communication-cost model for choreographies.
+
+The paper's efficiency argument (§2.2, §3.2) is about *which messages a KoC
+strategy sends*: HasChor-style broadcast KoC ships every scrutinee to every
+party, while conclaves-&-MLVs ships values only to the parties that need them
+and can re-use an MLV for later conditionals at zero cost.  This module turns
+that argument into numbers by executing a choreography under the centralized
+reference semantics (which records every message the distributed execution
+would send) and summarising the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..baselines.haschor import HasChorCentralOp, HasChorChoreography
+from ..core.locations import Census, Location, LocationsLike, as_census
+from ..core.ops import Choreography
+from ..runtime.central import CentralOp
+from ..runtime.stats import ChannelStats
+
+
+@dataclass(frozen=True)
+class CommunicationCost:
+    """A summary of the messages one execution of a choreography sends."""
+
+    total_messages: int
+    total_bytes: int
+    per_channel: Mapping[Tuple[Location, Location], int]
+    per_location_sent: Mapping[Location, int]
+    per_location_received: Mapping[Location, int]
+
+    def messages_involving(self, location: Location) -> int:
+        """Messages sent or received by ``location``."""
+        return self.per_location_sent.get(location, 0) + self.per_location_received.get(
+            location, 0
+        )
+
+
+def _summarise(census: Census, stats: ChannelStats) -> CommunicationCost:
+    per_channel = stats.snapshot()
+    sent: Dict[Location, int] = {location: 0 for location in census}
+    received: Dict[Location, int] = {location: 0 for location in census}
+    for (source, destination), count in per_channel.items():
+        sent[source] = sent.get(source, 0) + count
+        received[destination] = received.get(destination, 0) + count
+    return CommunicationCost(
+        total_messages=stats.total_messages,
+        total_bytes=stats.total_bytes,
+        per_channel=per_channel,
+        per_location_sent=sent,
+        per_location_received=received,
+    )
+
+
+def communication_cost(
+    choreography: Choreography,
+    census: LocationsLike,
+    *args: Any,
+    **kwargs: Any,
+) -> CommunicationCost:
+    """The messages a conclaves-&-MLVs choreography sends, without running threads."""
+    full_census = as_census(census)
+    stats = ChannelStats()
+    op = CentralOp(full_census, stats)
+    choreography(op, *args, **kwargs)
+    return _summarise(full_census, stats)
+
+
+def haschor_communication_cost(
+    choreography: HasChorChoreography,
+    census: LocationsLike,
+    *args: Any,
+    **kwargs: Any,
+) -> CommunicationCost:
+    """The messages a HasChor-style (broadcast KoC) choreography sends."""
+    full_census = as_census(census)
+    op = HasChorCentralOp(full_census)
+    choreography(op, *args, **kwargs)
+    return _summarise(full_census, op.stats)
+
+
+def compare_costs(
+    conclave_choreography: Choreography,
+    haschor_choreography: HasChorChoreography,
+    census: LocationsLike,
+    conclave_args: Sequence[Any] = (),
+    haschor_args: Optional[Sequence[Any]] = None,
+) -> Dict[str, CommunicationCost]:
+    """Run both KoC strategies on the same census and return their costs side by side."""
+    haschor_args = conclave_args if haschor_args is None else haschor_args
+    return {
+        "conclaves_mlvs": communication_cost(conclave_choreography, census, *conclave_args),
+        "broadcast_koc": haschor_communication_cost(haschor_choreography, census, *haschor_args),
+    }

@@ -1,0 +1,5 @@
+"""Baseline choreography libraries used for comparison experiments."""
+
+from .haschor import HasChorOp, HasChorProjectedOp, run_haschor
+
+__all__ = ["HasChorOp", "HasChorProjectedOp", "run_haschor"]

@@ -1,0 +1,129 @@
+"""The replicated KVS written against the HasChor-style baseline.
+
+This is the comparison protocol for experiment E2: functionally the same
+client / primary / replica interaction as :func:`repro.protocols.kvs.kvs_request`,
+but written with the baseline's broadcast-based Knowledge of Choice.  Every
+conditional (`cond`) ships the scrutinee to the *entire* census — including the
+client, who has nothing to do in either branch — and the second conditional
+(the hash check) must broadcast again because the baseline has no
+multiply-located values to re-use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.locations import Location, LocationsLike, as_census
+from ..protocols.kvs import (
+    Request,
+    RequestKind,
+    Response,
+    hash_state,
+    lookup_state,
+    update_state,
+)
+from .haschor import At, HasChorOp
+
+
+def kvs_request_haschor(
+    op: HasChorOp,
+    client: Location,
+    primary: Location,
+    servers: LocationsLike,
+    states: Dict[Location, Dict[str, str]],
+    request: At,
+) -> At:
+    """Serve one request using broadcast KoC (the HasChor strategy of §2.2).
+
+    ``states`` maps each server to its local store; at a projected endpoint
+    only that endpoint's entry is ever touched.
+    """
+    server_census = as_census(servers)
+    request_at_primary = op.comm(client, primary, request)
+
+    # First conditional: what kind of request is this?  The baseline broadcasts
+    # the scrutinee to every party in the census — client included.
+    def handle(incoming: Request) -> At:
+        if incoming.kind is RequestKind.PUT:
+            replies = []
+            for server in server_census:
+                applied = op.locally(
+                    server,
+                    lambda _un, _s=server: update_state(
+                        states[_s], incoming.key, incoming.value
+                    ),
+                )
+                replies.append(op.comm(server, primary, applied))
+            # The primary acknowledges only after hearing from every replica;
+            # its reply to the client is its own update result.
+            return op.locally(
+                primary,
+                lambda un: [
+                    un(reply) for reply, server in zip(replies, server_census)
+                ][list(server_census).index(primary)],
+            )
+        if incoming.kind is RequestKind.GET:
+            return op.locally(
+                primary, lambda _un: lookup_state(states[primary], incoming.key)
+            )
+        return op.locally(primary, lambda _un: Response.stopped())
+
+    response_at_primary = op.cond(request_at_primary, handle)
+    response = op.comm(primary, client, response_at_primary)
+
+    # Second conditional: should the replicas compare hashes?  The baseline has
+    # no MLVs, so the request must be broadcast *again* to recover Knowledge of
+    # Choice — and again it reaches the client.
+    def verify(incoming: Request) -> bool:
+        if incoming.kind is not RequestKind.PUT:
+            return False
+        digests = []
+        for server in server_census:
+            digest = op.locally(
+                server, lambda _un, _s=server: hash_state(states[_s])
+            )
+            digests.append(op.comm(server, primary, digest))
+        diverged = op.locally(
+            primary, lambda un: len({un(digest) for digest in digests}) > 1
+        )
+
+        def maybe_resynch(needs: bool) -> bool:
+            if needs:
+                authoritative = op.locally(primary, lambda _un: dict(states[primary]))
+                for server in server_census:
+                    if server != primary:
+                        copied = op.comm(primary, server, authoritative)
+                        op.locally(
+                            server,
+                            lambda un, _s=server: (
+                                states[_s].clear(),
+                                states[_s].update(un(copied)),
+                            ),
+                        )
+            return needs
+
+        return op.cond(diverged, maybe_resynch)
+
+    op.cond(request_at_primary, verify)
+    return response
+
+
+def kvs_serve_haschor(
+    op: HasChorOp,
+    client: Location,
+    primary: Location,
+    servers: LocationsLike,
+    requests: Sequence[Request],
+) -> List[Response]:
+    """Serve a session of requests with the baseline library."""
+    server_census = as_census(servers)
+    states: Dict[Location, Dict[str, str]] = {server: {} for server in server_census}
+    responses: List[Response] = []
+    for request in requests:
+        located = op.locally(client, lambda _un, _r=request: _r)
+        answer = kvs_request_haschor(op, client, primary, server_census, states, located)
+        if isinstance(answer, At) and answer.is_present():
+            responses.append(answer.peek())
+        if request.kind is RequestKind.STOP:
+            break
+    return responses

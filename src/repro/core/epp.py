@@ -1,0 +1,196 @@
+"""Endpoint projection as dependency injection (EPP-as-DI).
+
+A choreography is an ordinary Python callable whose first argument is a
+:class:`~repro.core.ops.ChoreoOp`.  Projecting the choreography to an endpoint
+means calling it with a :class:`ProjectedOp` — an operator implementation that
+performs only the projection target's share of the work: its own local
+computations, its own sends, its own receives, and placeholders for everything
+else.  This is the pattern the paper introduces for host languages without
+free monads (§5.2); Python's first-class functions make it direct.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Protocol, TypeVar, runtime_checkable
+
+from .errors import CensusError, OwnershipError, PlaceholderError
+from .located import ABSENT, Faceted, Located, Quire
+from .locations import Census, Location, LocationsLike, as_census
+from .ops import ChoreoOp, Choreography, Unwrapper
+
+T = TypeVar("T")
+
+
+@runtime_checkable
+class Endpoint(Protocol):
+    """The transport interface one endpoint needs: point-to-point send/recv.
+
+    Implementations live in :mod:`repro.runtime`; anything with compatible
+    ``send``/``recv`` methods (e.g. a test double) also works.
+    """
+
+    location: Location
+
+    def send(self, receiver: Location, payload: Any) -> None:
+        """Deliver ``payload`` to ``receiver`` (eventually, in FIFO order per pair)."""
+
+    def recv(self, sender: Location) -> Any:
+        """Block until the next payload from ``sender`` arrives and return it."""
+
+
+def _make_unwrapper(viewer: Location, required_owners: Optional[Census] = None) -> Unwrapper:
+    """Build the ``un`` function handed to local/replicated computations.
+
+    ``required_owners`` is set for ``congruently``: every replica location must
+    own any located value the computation reads, otherwise the replicas could
+    not all perform the same computation.
+    """
+
+    def unwrap(value: Any, owner: Optional[Location] = None) -> Any:
+        if isinstance(value, Located):
+            if required_owners is not None and value.owners is not None:
+                missing = [loc for loc in required_owners if loc not in value.owners]
+                if missing:
+                    raise OwnershipError(
+                        "congruent computation reads a value not owned by every "
+                        f"replica; missing owners: {missing!r}"
+                    )
+            return value.unwrap_for(viewer)
+        if isinstance(value, Faceted):
+            return value.facet_for(viewer, owner)
+        raise TypeError(
+            f"unwrapper expects a Located or Faceted value, got {type(value).__name__}"
+        )
+
+    return unwrap
+
+
+class ProjectedOp(ChoreoOp):
+    """The choreographic operators as seen by a single endpoint.
+
+    Parameters
+    ----------
+    census:
+        The census of the (sub-)choreography being projected.
+    target:
+        The endpoint this projection is for.  It need not be a member of the
+        census (a conclave projects to non-members as a skip), but operators
+        will then only ever produce placeholders.
+    endpoint:
+        The transport endpoint used for this target's sends and receives.
+    """
+
+    def __init__(self, census: LocationsLike, target: Location, endpoint: Endpoint):
+        super().__init__(census)
+        self._target = target
+        self._endpoint = endpoint
+
+    # ------------------------------------------------------------------ basics --
+
+    @property
+    def location(self) -> Location:
+        """The endpoint this operator is projected to."""
+        return self._target
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """The transport endpoint backing this projection."""
+        return self._endpoint
+
+    def _is_target(self, location: Location) -> bool:
+        return location == self._target
+
+    # -------------------------------------------------------------- primitives --
+
+    def locally(
+        self, location: Location, computation: Callable[[Unwrapper], T]
+    ) -> Located[T]:
+        self._require_member(location)
+        if not self._is_target(location):
+            return Located.absent([location])
+        value = computation(_make_unwrapper(location))
+        return Located([location], value)
+
+    def multicast(
+        self, sender: Location, recipients: LocationsLike, value: Located[T]
+    ) -> Located[T]:
+        self._require_member(sender)
+        receivers = self._require_subset(recipients)
+        if not isinstance(value, Located):
+            raise OwnershipError(
+                f"multicast payload must be a Located value, got {type(value).__name__}; "
+                "wrap constants with op.locally or op.congruently first"
+            )
+        if self._is_target(sender):
+            payload = value.unwrap_for(sender)
+            for receiver in receivers:
+                if receiver != sender:
+                    self._endpoint.send(receiver, payload)
+            if sender in receivers:
+                return Located(receivers, payload)
+            return Located.absent(receivers)
+        if self._target in receivers:
+            payload = self._endpoint.recv(sender)
+            return Located(receivers, payload)
+        return Located.absent(receivers)
+
+    def naked(self, value: Located[T]) -> T:
+        if not isinstance(value, Located):
+            raise OwnershipError(
+                f"naked expects a Located value, got {type(value).__name__}"
+            )
+        if value.owners is not None:
+            missing = [loc for loc in self._census if loc not in value.owners]
+            if missing:
+                raise OwnershipError(
+                    "naked requires the whole census to own the value; "
+                    f"census members {missing!r} are not owners of {value!r}"
+                )
+        if self._target not in self._census:
+            raise CensusError(
+                f"endpoint {self._target!r} is outside the census "
+                f"{list(self._census)!r} and cannot unwrap census-wide values"
+            )
+        return value.unwrap_for(self._target)
+
+    def congruently(
+        self, locations: LocationsLike, computation: Callable[[Unwrapper], T]
+    ) -> Located[T]:
+        replicas = self._require_subset(locations)
+        if self._target not in replicas:
+            return Located.absent(replicas)
+        value = computation(_make_unwrapper(self._target, required_owners=replicas))
+        return Located(replicas, value)
+
+    def conclave(
+        self, sub_census: LocationsLike, choreography: Choreography, *args: Any, **kwargs: Any
+    ) -> Located[Any]:
+        sub = self._require_subset(sub_census)
+        if self._target not in sub:
+            # EPP of a conclave to a non-member is a skip.
+            return Located.absent(sub)
+        child = ProjectedOp(sub, self._target, self._endpoint)
+        result = choreography(child, *args, **kwargs)
+        return Located(sub, result)
+
+
+def project(
+    choreography: Choreography,
+    census: LocationsLike,
+    target: Location,
+    endpoint: Endpoint,
+) -> Callable[..., Any]:
+    """Return the endpoint program for ``target``: a plain callable.
+
+    Calling the returned function with the choreography's arguments executes
+    ``target``'s role.  This is the run-time analogue of the paper's EPP
+    ``⟦·⟧_p``.
+    """
+    full_census = as_census(census)
+
+    def endpoint_program(*args: Any, **kwargs: Any) -> Any:
+        op = ProjectedOp(full_census, target, endpoint)
+        return choreography(op, *args, **kwargs)
+
+    endpoint_program.__name__ = f"{getattr(choreography, '__name__', 'choreography')}@{target}"
+    return endpoint_program

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the choreography library.
+
+Every error raised by :mod:`repro.core` derives from :class:`ChoreographyError`
+so applications can catch choreography-level failures separately from
+transport- or host-level failures.  The subclasses mirror the classes of
+mistakes the paper's host-language type systems rule out statically:
+census violations, ownership violations, and malformed projections.
+"""
+
+from __future__ import annotations
+
+
+class ChoreographyError(Exception):
+    """Base class for all errors raised by the choreography library."""
+
+
+class CensusError(ChoreographyError):
+    """An operator referred to a location outside the current census.
+
+    The census is the set of parties eligible to participate in the current
+    (sub-)choreography.  Instructions naming parties outside the census are
+    erroneous (paper, definition of *census*).
+    """
+
+
+class OwnershipError(ChoreographyError):
+    """A located value was used by a party that does not own it.
+
+    Raised when unwrapping a :class:`~repro.core.located.Located` or
+    :class:`~repro.core.located.Faceted` value at a non-owner, or when a
+    communication operator names a sender that does not own its payload.
+    """
+
+
+class EmptyCensusError(CensusError):
+    """A census or ownership set that must be non-empty was empty."""
+
+
+class ProjectionError(ChoreographyError):
+    """Endpoint projection produced an inconsistent or impossible state."""
+
+
+class PlaceholderError(OwnershipError):
+    """A placeholder (the projection of a value to a non-owner) was used as data.
+
+    Corresponds to evaluating ``Empty`` / ``⊥`` in the paper's formalism.
+    """
+
+
+class MultiplyLocatedInvariantError(ChoreographyError):
+    """The copies of a multiply-located value diverged across its owners.
+
+    The conclaves-&-MLVs paradigm relies on the invariant that every owner of
+    an MLV holds the same value (paper §4, "Relation to the implementations").
+    The centralized runtime checks this invariant where it can.
+    """
+
+
+class TransportError(ChoreographyError):
+    """A message could not be sent or received by the transport layer."""
+
+
+class ChoreographyRuntimeError(ChoreographyError):
+    """A projected endpoint raised an exception while executing its role.
+
+    Wraps the original exception and records which location failed so the
+    runner can report a single coherent failure for the whole execution.
+    """
+
+    def __init__(self, location: str, original: BaseException):
+        self.location = location
+        self.original = original
+        super().__init__(
+            f"endpoint {location!r} failed: {type(original).__name__}: {original}"
+        )

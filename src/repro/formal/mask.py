@@ -1,0 +1,109 @@
+"""The mask operator ``▷`` (paper Appendix D.2, Figure 15).
+
+``mask_type(T, Θ)`` and ``mask_value(V, Θ)`` compute "Θ's view of" a type or a
+value.  Masking is a *partial* function: it returns ``None`` where the paper's
+``▷`` is undefined (e.g. masking a data type to a census disjoint from its
+owners, or masking a function literal to a census that does not contain all of
+its participants).  Callers treat ``None`` as "masking failed", which the
+typing rules turn into type errors and the semantics never encounters for
+well-typed programs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .syntax import (
+    Com,
+    Fst,
+    Inl,
+    Inr,
+    Lam,
+    Lookup,
+    Pair,
+    PartySet,
+    Snd,
+    TData,
+    TFun,
+    TVec,
+    Type,
+    Unit,
+    Value,
+    Var,
+    Vec,
+)
+
+
+def mask_type(annotated: Type, census: PartySet) -> Optional[Type]:
+    """``T ▷ Θ``: restrict a type's ownership annotations to ``census``."""
+    if isinstance(annotated, TData):
+        remaining = annotated.owners & census
+        if not remaining:
+            return None  # MTData requires a non-empty intersection.
+        return TData(annotated.data, remaining)
+    if isinstance(annotated, TFun):
+        if not annotated.owners <= census:
+            return None  # MTFunction requires every participant to be present.
+        return annotated
+    if isinstance(annotated, TVec):
+        masked_items = []
+        for item in annotated.items:
+            masked = mask_type(item, census)
+            if masked is None:
+                return None
+            masked_items.append(masked)
+        return TVec(tuple(masked_items))
+    raise TypeError(f"unknown type node {annotated!r}")
+
+
+def mask_value(value: Value, census: PartySet) -> Optional[Value]:
+    """``V ▷ Θ``: restrict a value's ownership annotations to ``census``."""
+    if isinstance(value, Var):
+        return value  # MVVar: masking does not touch variables.
+    if isinstance(value, Lam):
+        if not value.owners <= census:
+            return None  # MVLambda
+        return value
+    if isinstance(value, Unit):
+        remaining = value.owners & census
+        if not remaining:
+            return None  # MVUnit
+        return Unit(remaining)
+    if isinstance(value, Inl):
+        inner = mask_value(value.value, census)
+        if inner is None:
+            return None
+        return Inl(inner, value.other)
+    if isinstance(value, Inr):
+        inner = mask_value(value.value, census)
+        if inner is None:
+            return None
+        return Inr(inner, value.other)
+    if isinstance(value, Pair):
+        first = mask_value(value.first, census)
+        second = mask_value(value.second, census)
+        if first is None or second is None:
+            return None
+        return Pair(first, second)
+    if isinstance(value, Vec):
+        masked_items = []
+        for item in value.items:
+            masked = mask_value(item, census)
+            if masked is None:
+                return None
+            masked_items.append(masked)
+        return Vec(tuple(masked_items))
+    if isinstance(value, (Fst, Snd, Lookup)):
+        if not value.owners <= census:
+            return None  # MVProj*
+        return value
+    if isinstance(value, Com):
+        if value.sender not in census or not value.receivers <= census:
+            return None  # MVCom
+        return value
+    raise TypeError(f"masking is only defined on values, got {value!r}")
+
+
+def mask_is_noop(annotated: Type, census: PartySet) -> bool:
+    """``noop▷Θ(T)``: true when masking ``T`` to ``census`` leaves it unchanged."""
+    return mask_type(annotated, census) == annotated

@@ -1,0 +1,153 @@
+"""The network semantics λN (paper Appendix D.8, Figure 23).
+
+A network ``N`` maps parties to λL expressions.  Only ``∅``-annotated steps are
+"real": either a single party makes a purely local step (NPro with an empty
+send set), or a sender's ``send`` fires together with a matching ``recv`` at
+*every* recipient in the same composite step (NPro + enough NCom applications
+to cancel all the message annotations).  ``run_network`` drives a network to
+quiescence and reports whether it terminated with every role holding a value —
+the executable counterpart of Corollary 1 (deadlock freedom).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .local_lang import (
+    BOTTOM,
+    LExpr,
+    Party,
+    Redex,
+    find_redex,
+    floor,
+    is_local_value,
+)
+
+Network = Dict[Party, LExpr]
+
+
+@dataclass
+class NetworkStep:
+    """One ∅-annotated λN step: who moved and whether it involved communication."""
+
+    kind: str  # "local" or "comm"
+    actor: Party
+    receivers: Tuple[Party, ...] = ()
+
+
+@dataclass
+class NetworkRun:
+    """The result of driving a network to quiescence."""
+
+    network: Network
+    status: str  # "done", "deadlock", or "max-steps"
+    steps: List[NetworkStep] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        """True when every role terminated with a value (no deadlock, no budget blow-up)."""
+        return self.status == "done"
+
+    @property
+    def message_count(self) -> int:
+        """Total point-to-point messages exchanged (multicasts count one per recipient)."""
+        return sum(len(step.receivers) for step in self.steps if step.kind == "comm")
+
+
+def _redexes(network: Network) -> Dict[Party, Optional[Redex]]:
+    return {party: find_redex(expr) for party, expr in network.items()}
+
+
+def enabled_steps(network: Network) -> List[NetworkStep]:
+    """All ∅-annotated steps the network can take right now."""
+    redexes = _redexes(network)
+    steps: List[NetworkStep] = []
+    for party, redex in redexes.items():
+        if redex is None:
+            continue
+        if redex.kind == "local":
+            steps.append(NetworkStep("local", party))
+        elif redex.kind == "send":
+            receivers = tuple(sorted(redex.recipients or ()))
+            ready = all(
+                redexes.get(receiver) is not None
+                and redexes[receiver].kind == "recv"
+                and redexes[receiver].sender == party
+                for receiver in receivers
+            )
+            if ready:
+                steps.append(NetworkStep("comm", party, receivers))
+    return steps
+
+
+def apply_step(network: Network, step: NetworkStep) -> Network:
+    """Apply one enabled step, returning the successor network."""
+    updated = dict(network)
+    redexes = _redexes(network)
+    actor_redex = redexes[step.actor]
+    if actor_redex is None:
+        raise ValueError(f"party {step.actor!r} has no redex")
+
+    if step.kind == "local":
+        if actor_redex.kind != "local" or actor_redex.reduce_local is None:
+            raise ValueError(f"party {step.actor!r} is not at a local redex")
+        updated[step.actor] = floor(actor_redex.plug(actor_redex.reduce_local()))
+        return updated
+
+    if step.kind == "comm":
+        if actor_redex.kind != "send":
+            raise ValueError(f"party {step.actor!r} is not at a send redex")
+        payload = actor_redex.payload
+        assert payload is not None
+        # LSend1/LSendSelf: the sender continues with ⊥ (send) or the value (send*).
+        sender_result = payload if actor_redex.keep_self else BOTTOM
+        updated[step.actor] = floor(actor_redex.plug(sender_result))
+        # LRecv at each recipient: the recv evaluates to the delivered value.
+        for receiver in step.receivers:
+            receiver_redex = redexes[receiver]
+            if (
+                receiver_redex is None
+                or receiver_redex.kind != "recv"
+                or receiver_redex.sender != step.actor
+            ):
+                raise ValueError(
+                    f"party {receiver!r} is not waiting to receive from {step.actor!r}"
+                )
+            updated[receiver] = floor(receiver_redex.plug(payload))
+        return updated
+
+    raise ValueError(f"unknown step kind {step.kind!r}")
+
+
+def run_network(
+    network: Network,
+    max_steps: int = 100_000,
+    rng: Optional[random.Random] = None,
+    prefer_communication: bool = False,
+) -> NetworkRun:
+    """Drive ``network`` until every role holds a value, it deadlocks, or the budget runs out.
+
+    ``rng`` randomises the choice among enabled steps, which is how the
+    property-based tests exercise many interleavings (the soundness theorem
+    says all of them lead to projections of λC states).  With
+    ``prefer_communication`` the scheduler favours communication steps, probing
+    a different corner of the interleaving space.
+    """
+    current = {party: floor(expr) for party, expr in network.items()}
+    taken: List[NetworkStep] = []
+    for _ in range(max_steps):
+        if all(is_local_value(expr) for expr in current.values()):
+            return NetworkRun(current, "done", taken)
+        options = enabled_steps(current)
+        if not options:
+            return NetworkRun(current, "deadlock", taken)
+        if prefer_communication:
+            comms = [option for option in options if option.kind == "comm"]
+            if comms:
+                options = comms
+        choice = options[0] if rng is None else rng.choice(options)
+        current = apply_step(current, choice)
+        taken.append(choice)
+    return NetworkRun(current, "max-steps", taken)

@@ -1,0 +1,113 @@
+"""Endpoint projection from λC to λL (paper Appendix D.7, Figure 22).
+
+``project(M, p)`` erases location annotations, replaces everything ``p`` does
+not participate in with ``⊥``, and turns each ``com`` into the appropriate
+``send`` / ``send*`` / ``recv`` operator.  ``project_network(M)`` builds the
+λN network of every role's projection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .local_lang import (
+    BOTTOM,
+    LApp,
+    LCase,
+    LExpr,
+    LFst,
+    LInl,
+    LInr,
+    LLam,
+    LLookup,
+    LPair,
+    LRecv,
+    LSend,
+    LSnd,
+    LUnit,
+    LVar,
+    LVec,
+    floor,
+)
+from .syntax import (
+    App,
+    Case,
+    Com,
+    Expr,
+    Fst,
+    Inl,
+    Inr,
+    Lam,
+    Lookup,
+    Pair,
+    Party,
+    Snd,
+    Unit,
+    Var,
+    Vec,
+    roles,
+)
+
+
+def project(expr: Expr, party: Party) -> LExpr:
+    """``⟦M⟧_p``: the λL program party ``p`` runs for the choreography ``M``."""
+    if isinstance(expr, App):
+        return floor(LApp(project(expr.function, party), project(expr.argument, party)))
+
+    if isinstance(expr, Case):
+        scrutinee = project(expr.scrutinee, party)
+        if party in expr.owners:
+            left = project(expr.left_body, party)
+            right = project(expr.right_body, party)
+        else:
+            left = BOTTOM
+            right = BOTTOM
+        return floor(LCase(scrutinee, expr.left_var, left, expr.right_var, right))
+
+    if isinstance(expr, Var):
+        return LVar(expr.name)
+
+    if isinstance(expr, Lam):
+        if party in expr.owners:
+            return LLam(expr.param, project(expr.body, party))
+        return BOTTOM
+
+    if isinstance(expr, Unit):
+        return LUnit() if party in expr.owners else BOTTOM
+
+    if isinstance(expr, Inl):
+        return floor(LInl(project(expr.value, party)))
+
+    if isinstance(expr, Inr):
+        return floor(LInr(project(expr.value, party)))
+
+    if isinstance(expr, Pair):
+        return floor(LPair(project(expr.first, party), project(expr.second, party)))
+
+    if isinstance(expr, Vec):
+        return floor(LVec(tuple(project(item, party) for item in expr.items)))
+
+    if isinstance(expr, Fst):
+        return LFst() if party in expr.owners else BOTTOM
+
+    if isinstance(expr, Snd):
+        return LSnd() if party in expr.owners else BOTTOM
+
+    if isinstance(expr, Lookup):
+        return LLookup(expr.index) if party in expr.owners else BOTTOM
+
+    if isinstance(expr, Com):
+        if party == expr.sender and party in expr.receivers:
+            return LSend(expr.receivers - {party}, keep_self=True)
+        if party == expr.sender:
+            return LSend(expr.receivers, keep_self=False)
+        if party in expr.receivers:
+            return LRecv(expr.sender)
+        return BOTTOM
+
+    raise TypeError(f"cannot project unknown expression {expr!r}")
+
+
+def project_network(expr: Expr) -> Dict[Party, LExpr]:
+    """``⟦M⟧``: the parallel composition of every role's projection."""
+    return {party: project(expr, party) for party in sorted(roles(expr))}

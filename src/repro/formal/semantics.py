@@ -1,0 +1,230 @@
+"""Centralized call-by-value semantics of λC (paper Appendix D.4–D.5, Figs. 17–18).
+
+``step(M)`` performs one reduction, returning ``None`` when ``M`` is a value
+(or stuck, which cannot happen for well-typed programs by the progress
+theorem).  ``evaluate(M)`` iterates to a value.  The two λC-specific
+ingredients are masked substitution (Figure 17), which re-masks the substituted
+value at every conclave boundary, and the ``Com*`` rules, which re-annotate
+data with its new owners rather than moving anything (the centralized semantics
+has no real network).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .mask import mask_value
+from .syntax import (
+    App,
+    Case,
+    Com,
+    Expr,
+    Fst,
+    Inl,
+    Inr,
+    Lam,
+    Lookup,
+    Pair,
+    Snd,
+    Unit,
+    Value,
+    Var,
+    Vec,
+    is_value,
+)
+
+
+class StuckError(RuntimeError):
+    """A λC expression that is neither a value nor able to step.
+
+    The progress theorem guarantees this never happens for well-typed closed
+    programs; the property-based tests assert exactly that.
+    """
+
+
+def substitute(expr: Expr, name: str, value: Value) -> Expr:
+    """Masked substitution ``M[x := V]`` (Figure 17).
+
+    At every conclave boundary (lambda bodies and case branches) the value is
+    re-masked to the conclave's census; if masking is undefined the substitution
+    simply does not descend there (the variable cannot be used there anyway, by
+    typing).
+    """
+    if isinstance(expr, Var):
+        return value if expr.name == name else expr
+
+    if isinstance(expr, App):
+        return App(substitute(expr.function, name, value), substitute(expr.argument, name, value))
+
+    if isinstance(expr, Lam):
+        if expr.param == name:
+            return expr  # shadowed
+        masked = mask_value(value, expr.owners)
+        if masked is None:
+            return expr
+        return Lam(expr.param, expr.param_type, substitute(expr.body, name, masked), expr.owners)
+
+    if isinstance(expr, Case):
+        scrutinee = substitute(expr.scrutinee, name, value)
+        masked = mask_value(value, expr.owners)
+        left_body = expr.left_body
+        right_body = expr.right_body
+        if masked is not None:
+            if expr.left_var != name:
+                left_body = substitute(left_body, name, masked)
+            if expr.right_var != name:
+                right_body = substitute(right_body, name, masked)
+        return Case(expr.owners, scrutinee, expr.left_var, left_body, expr.right_var, right_body)
+
+    if isinstance(expr, Inl):
+        return Inl(substitute(expr.value, name, value), expr.other)
+    if isinstance(expr, Inr):
+        return Inr(substitute(expr.value, name, value), expr.other)
+    if isinstance(expr, Pair):
+        return Pair(substitute(expr.first, name, value), substitute(expr.second, name, value))
+    if isinstance(expr, Vec):
+        return Vec(tuple(substitute(item, name, value) for item in expr.items))
+
+    # Unit, Fst, Snd, Lookup, Com contain no variables.
+    return expr
+
+
+def _apply_com(operator: Com, payload: Value) -> Optional[Value]:
+    """The Com1 / ComPair / ComInl / ComInr rules: re-annotate data at the receivers."""
+    if isinstance(payload, Unit):
+        if operator.sender not in payload.owners:
+            return None  # Com1's precondition: the payload masks to the sender.
+        return Unit(operator.receivers)
+    if isinstance(payload, Pair):
+        first = _apply_com(operator, payload.first)
+        second = _apply_com(operator, payload.second)
+        if first is None or second is None:
+            return None
+        return Pair(first, second)
+    if isinstance(payload, Inl):
+        inner = _apply_com(operator, payload.value)
+        if inner is None:
+            return None
+        return Inl(inner, payload.other)
+    if isinstance(payload, Inr):
+        inner = _apply_com(operator, payload.value)
+        if inner is None:
+            return None
+        return Inr(inner, payload.other)
+    return None  # functions, variables, tuples, operators cannot be communicated
+
+
+def step(expr: Expr) -> Optional[Expr]:
+    """One step of the centralized semantics, or ``None`` if ``expr`` is a value."""
+    if is_value(expr):
+        return None
+
+    if isinstance(expr, App):
+        # App2: reduce the function position first.
+        if not is_value(expr.function):
+            reduced = step(expr.function)
+            if reduced is None:
+                raise StuckError(f"function position cannot step: {expr.function}")
+            return App(reduced, expr.argument)
+        # App1: then reduce the argument.
+        if not is_value(expr.argument):
+            reduced = step(expr.argument)
+            if reduced is None:
+                raise StuckError(f"argument position cannot step: {expr.argument}")
+            return App(expr.function, reduced)
+        return _apply(expr.function, expr.argument)
+
+    if isinstance(expr, Case):
+        if not is_value(expr.scrutinee):
+            reduced = step(expr.scrutinee)
+            if reduced is None:
+                raise StuckError(f"scrutinee cannot step: {expr.scrutinee}")
+            return Case(
+                expr.owners, reduced, expr.left_var, expr.left_body, expr.right_var, expr.right_body
+            )
+        scrutinee = expr.scrutinee
+        if isinstance(scrutinee, Inl):
+            masked = mask_value(scrutinee.value, expr.owners)
+            if masked is None:
+                raise StuckError(f"CaseL: cannot mask {scrutinee.value} to {sorted(expr.owners)}")
+            return substitute(expr.left_body, expr.left_var, masked)
+        if isinstance(scrutinee, Inr):
+            masked = mask_value(scrutinee.value, expr.owners)
+            if masked is None:
+                raise StuckError(f"CaseR: cannot mask {scrutinee.value} to {sorted(expr.owners)}")
+            return substitute(expr.right_body, expr.right_var, masked)
+        raise StuckError(f"case scrutinee is not an injection: {scrutinee}")
+
+    raise StuckError(f"expression cannot step: {expr}")
+
+
+def _apply(function: Value, argument: Value) -> Expr:
+    """Apply a value to a value (AppAbs, Proj1/2/N, Com*)."""
+    if isinstance(function, Lam):
+        masked = mask_value(argument, function.owners)
+        if masked is None:
+            raise StuckError(
+                f"AppAbs: cannot mask {argument} to {sorted(function.owners)}"
+            )
+        return substitute(function.body, function.param, masked)
+
+    if isinstance(function, Fst):
+        if not isinstance(argument, Pair):
+            raise StuckError(f"fst applied to a non-pair: {argument}")
+        masked = mask_value(argument.first, function.owners)
+        if masked is None:
+            raise StuckError(f"Proj1: cannot mask {argument.first} to {sorted(function.owners)}")
+        return masked
+
+    if isinstance(function, Snd):
+        if not isinstance(argument, Pair):
+            raise StuckError(f"snd applied to a non-pair: {argument}")
+        masked = mask_value(argument.second, function.owners)
+        if masked is None:
+            raise StuckError(f"Proj2: cannot mask {argument.second} to {sorted(function.owners)}")
+        return masked
+
+    if isinstance(function, Lookup):
+        if not isinstance(argument, Vec):
+            raise StuckError(f"lookup applied to a non-tuple: {argument}")
+        if not 0 <= function.index < len(argument.items):
+            raise StuckError(f"lookup index {function.index} out of range")
+        masked = mask_value(argument.items[function.index], function.owners)
+        if masked is None:
+            raise StuckError(
+                f"ProjN: cannot mask {argument.items[function.index]} to {sorted(function.owners)}"
+            )
+        return masked
+
+    if isinstance(function, Com):
+        delivered = _apply_com(function, argument)
+        if delivered is None:
+            raise StuckError(f"com applied to a non-communicable value: {argument}")
+        return delivered
+
+    raise StuckError(f"cannot apply {function} (a non-operator value)")
+
+
+def evaluate(expr: Expr, max_steps: int = 10_000) -> Value:
+    """Reduce ``expr`` to a value under the centralized semantics."""
+    current = expr
+    for _ in range(max_steps):
+        reduced = step(current)
+        if reduced is None:
+            assert is_value(current)
+            return current
+        current = reduced
+    raise StuckError(f"no value after {max_steps} steps; last expression: {current}")
+
+
+def trace(expr: Expr, max_steps: int = 10_000):
+    """The full reduction sequence ``[M, M', …, V]`` (used by the bisimulation tests)."""
+    states = [expr]
+    current = expr
+    for _ in range(max_steps):
+        reduced = step(current)
+        if reduced is None:
+            return states
+        states.append(reduced)
+        current = reduced
+    raise StuckError(f"no value after {max_steps} steps")

@@ -1,0 +1,347 @@
+"""Abstract syntax of the λC choreographic calculus (paper §4.1, Appendix D.1).
+
+λC is a finite, monomorphic, higher-order choreographic lambda calculus whose
+distinguishing features are the ones that unite the paper's implementations:
+explicit census tracking, conclaves (every lambda and case body is a conclave
+to its owner set), multiply-located *data*, and multicast communication.
+
+Expressions (``Expr``) and values are represented as frozen dataclasses; party
+sets are :class:`frozenset` of party names (the paper's ``p+``, always
+non-empty).  "Data" types (things that can be communicated) are distinguished
+from general types exactly as in the paper's grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple, Union
+
+Party = str
+PartySet = FrozenSet[Party]
+
+
+def parties(*names: str) -> PartySet:
+    """Convenience constructor for a party set."""
+    return frozenset(names)
+
+
+class FormalSyntaxError(ValueError):
+    """An ill-formed λC term (e.g. an empty owner annotation)."""
+
+
+def _require_owners(owners: PartySet) -> PartySet:
+    owners = frozenset(owners)
+    if not owners:
+        raise FormalSyntaxError("owner annotations must be non-empty party sets")
+    return owners
+
+
+# ====================================================================== data types --
+
+
+class Data:
+    """Base class for the "data" type algebra ``d`` (communicable types)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class UnitData(Data):
+    """The unit data type ``()``."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class SumData(Data):
+    """The disjoint sum ``d + d``."""
+
+    left: Data
+    right: Data
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class ProdData(Data):
+    """The product ``d × d``."""
+
+    left: Data
+    right: Data
+
+    def __str__(self) -> str:
+        return f"({self.left} × {self.right})"
+
+
+# ====================================================================== full types --
+
+
+class Type:
+    """Base class for λC types ``T``."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TData(Type):
+    """A located data type ``d @ p+``."""
+
+    data: Data
+    owners: PartySet
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "owners", _require_owners(self.owners))
+
+    def __str__(self) -> str:
+        return f"{self.data}@{{{','.join(sorted(self.owners))}}}"
+
+
+@dataclass(frozen=True)
+class TFun(Type):
+    """A located function type ``(T → T) @ p+``."""
+
+    argument: Type
+    result: Type
+    owners: PartySet
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "owners", _require_owners(self.owners))
+
+    def __str__(self) -> str:
+        return f"({self.argument} → {self.result})@{{{','.join(sorted(self.owners))}}}"
+
+
+@dataclass(frozen=True)
+class TVec(Type):
+    """A fixed-length heterogeneous tuple type ``(T, …, T)``."""
+
+    items: Tuple[Type, ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(item) for item in self.items) + ")"
+
+
+# ==================================================================== expressions --
+
+
+class Expr:
+    """Base class for λC expressions ``M``."""
+
+    __slots__ = ()
+
+
+class Value(Expr):
+    """Base class for λC values ``V`` (a syntactic subclass of expressions)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Var(Value):
+    """A variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lam(Value):
+    """A function literal ``(λx : T. M) @ p+`` owned by its participants."""
+
+    param: str
+    param_type: Type
+    body: Expr
+    owners: PartySet
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "owners", _require_owners(self.owners))
+
+    def __str__(self) -> str:
+        return f"(λ{self.param}:{self.param_type}. {self.body})@{{{','.join(sorted(self.owners))}}}"
+
+
+@dataclass(frozen=True)
+class Unit(Value):
+    """The multiply-located unit value ``() @ p+``."""
+
+    owners: PartySet
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "owners", _require_owners(self.owners))
+
+    def __str__(self) -> str:
+        return f"()@{{{','.join(sorted(self.owners))}}}"
+
+
+@dataclass(frozen=True)
+class Inl(Value):
+    """Left injection into a sum.  ``other`` annotates the missing branch's data
+    type so the checker stays algorithmic (the paper leaves it flexible)."""
+
+    value: Value
+    other: Data = field(default_factory=UnitData)
+
+    def __str__(self) -> str:
+        return f"Inl {self.value}"
+
+
+@dataclass(frozen=True)
+class Inr(Value):
+    """Right injection into a sum."""
+
+    value: Value
+    other: Data = field(default_factory=UnitData)
+
+    def __str__(self) -> str:
+        return f"Inr {self.value}"
+
+
+@dataclass(frozen=True)
+class Pair(Value):
+    """A data pair ``Pair V V`` (communicable, unlike tuples)."""
+
+    first: Value
+    second: Value
+
+    def __str__(self) -> str:
+        return f"Pair {self.first} {self.second}"
+
+
+@dataclass(frozen=True)
+class Vec(Value):
+    """A heterogeneous tuple ``(V, …, V)`` (not communicable)."""
+
+    items: Tuple[Value, ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(item) for item in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class Fst(Value):
+    """First projection of a data pair, owned by ``p+``."""
+
+    owners: PartySet
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "owners", _require_owners(self.owners))
+
+    def __str__(self) -> str:
+        return f"fst@{{{','.join(sorted(self.owners))}}}"
+
+
+@dataclass(frozen=True)
+class Snd(Value):
+    """Second projection of a data pair, owned by ``p+``."""
+
+    owners: PartySet
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "owners", _require_owners(self.owners))
+
+    def __str__(self) -> str:
+        return f"snd@{{{','.join(sorted(self.owners))}}}"
+
+
+@dataclass(frozen=True)
+class Lookup(Value):
+    """Tuple projection ``lookup^n`` at ``p+`` (0-indexed here)."""
+
+    index: int
+    owners: PartySet
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "owners", _require_owners(self.owners))
+
+    def __str__(self) -> str:
+        return f"lookup^{self.index}@{{{','.join(sorted(self.owners))}}}"
+
+
+@dataclass(frozen=True)
+class Com(Value):
+    """The multicast operator ``com_{s; r+}``: send from ``sender`` to ``receivers``."""
+
+    sender: Party
+    receivers: PartySet
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "receivers", _require_owners(self.receivers))
+
+    def __str__(self) -> str:
+        return f"com[{self.sender}→{{{','.join(sorted(self.receivers))}}}]"
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """Function application ``M N``."""
+
+    function: Expr
+    argument: Expr
+
+    def __str__(self) -> str:
+        return f"({self.function} {self.argument})"
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """``case_{p+} N of Inl x ⇒ M_l ; Inr x ⇒ M_r`` — branching conclaved to ``p+``."""
+
+    owners: PartySet
+    scrutinee: Expr
+    left_var: str
+    left_body: Expr
+    right_var: str
+    right_body: Expr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "owners", _require_owners(self.owners))
+
+    def __str__(self) -> str:
+        return (
+            f"case@{{{','.join(sorted(self.owners))}}} {self.scrutinee} of "
+            f"Inl {self.left_var} ⇒ {self.left_body}; Inr {self.right_var} ⇒ {self.right_body}"
+        )
+
+
+def is_value(expr: Expr) -> bool:
+    """True when ``expr`` is a λC value."""
+    return isinstance(expr, Value)
+
+
+def roles(expr: Expr) -> PartySet:
+    """Every party mentioned in the expression (the paper's ``roles(M)``)."""
+    found: set = set()
+
+    def visit(node: Expr) -> None:
+        if isinstance(node, (Lam,)):
+            found.update(node.owners)
+            visit(node.body)
+        elif isinstance(node, (Unit, Fst, Snd, Lookup)):
+            found.update(node.owners)
+        elif isinstance(node, Com):
+            found.add(node.sender)
+            found.update(node.receivers)
+        elif isinstance(node, (Inl, Inr)):
+            visit(node.value)
+        elif isinstance(node, Pair):
+            visit(node.first)
+            visit(node.second)
+        elif isinstance(node, Vec):
+            for item in node.items:
+                visit(item)
+        elif isinstance(node, App):
+            visit(node.function)
+            visit(node.argument)
+        elif isinstance(node, Case):
+            found.update(node.owners)
+            visit(node.scrutinee)
+            visit(node.left_body)
+            visit(node.right_body)
+        # Var mentions no parties.
+
+    visit(expr)
+    return frozenset(found)

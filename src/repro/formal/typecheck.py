@@ -1,0 +1,250 @@
+"""The λC type system (paper Appendix D.3, Figure 16).
+
+``type_of(census, env, expr)`` implements the thirteen typing rules
+algorithmically.  A judgement ``Θ; Γ ⊢ M : T`` becomes
+``type_of(theta, gamma, M) == T``; failures raise :class:`FormalTypeError`
+with a message naming the violated rule.
+
+Two places where the paper's rules are intentionally flexible are made
+algorithmic here:
+
+* ``Inl``/``Inr`` carry an annotation for the missing branch's data type
+  (``Inl(v, other=d)``), fixing rule TInl/TInr's ``d'``.
+* The operator values ``fst``, ``snd``, ``lookup`` and ``com`` are given their
+  precise types at application sites by inspecting the argument's type; typing
+  them in isolation (where the paper's rules are schematic) is rejected as
+  ambiguous unless the argument type can be deduced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .mask import mask_is_noop, mask_type
+from .syntax import (
+    App,
+    Case,
+    Com,
+    Data,
+    Expr,
+    Fst,
+    Inl,
+    Inr,
+    Lam,
+    Lookup,
+    Pair,
+    PartySet,
+    ProdData,
+    Snd,
+    SumData,
+    TData,
+    TFun,
+    TVec,
+    Type,
+    Unit,
+    UnitData,
+    Var,
+    Vec,
+)
+
+TypeEnv = Dict[str, Type]
+
+
+class FormalTypeError(TypeError):
+    """A λC expression violated one of the typing rules."""
+
+
+def _require(condition: bool, rule: str, message: str) -> None:
+    if not condition:
+        raise FormalTypeError(f"[{rule}] {message}")
+
+
+def type_of(census: PartySet, env: Optional[TypeEnv], expr: Expr) -> Type:
+    """Compute the type of ``expr`` in census ``census`` and environment ``env``."""
+    census = frozenset(census)
+    _require(bool(census), "census", "the census may not be empty")
+    env = dict(env or {})
+
+    # ----------------------------------------------------------------- values --
+    if isinstance(expr, Var):
+        _require(expr.name in env, "TVar", f"unbound variable {expr.name!r}")
+        masked = mask_type(env[expr.name], census)
+        _require(
+            masked is not None,
+            "TVar",
+            f"variable {expr.name!r} has no view in census {sorted(census)}",
+        )
+        return masked
+
+    if isinstance(expr, Lam):
+        _require(expr.owners <= census, "TLambda", "lambda owners must be in the census")
+        _require(
+            mask_is_noop(expr.param_type, expr.owners),
+            "TLambda",
+            "the parameter type must already be masked to the lambda's owners",
+        )
+        body_env = dict(env)
+        body_env[expr.param] = expr.param_type
+        result = type_of(expr.owners, body_env, expr.body)
+        return TFun(expr.param_type, result, expr.owners)
+
+    if isinstance(expr, Unit):
+        _require(expr.owners <= census, "TUnit", "unit owners must be in the census")
+        return TData(UnitData(), expr.owners)
+
+    if isinstance(expr, Inl):
+        inner = type_of(census, env, expr.value)
+        _require(
+            isinstance(inner, TData),
+            "TInl",
+            f"Inl expects data, got {inner}",
+        )
+        return TData(SumData(inner.data, expr.other), inner.owners)
+
+    if isinstance(expr, Inr):
+        inner = type_of(census, env, expr.value)
+        _require(
+            isinstance(inner, TData),
+            "TInr",
+            f"Inr expects data, got {inner}",
+        )
+        return TData(SumData(expr.other, inner.data), inner.owners)
+
+    if isinstance(expr, Pair):
+        first = type_of(census, env, expr.first)
+        second = type_of(census, env, expr.second)
+        _require(
+            isinstance(first, TData) and isinstance(second, TData),
+            "TPair",
+            "both components of a pair must be data",
+        )
+        owners = first.owners & second.owners
+        _require(bool(owners), "TPair", "pair components must share at least one owner")
+        return TData(ProdData(first.data, second.data), owners)
+
+    if isinstance(expr, Vec):
+        return TVec(tuple(type_of(census, env, item) for item in expr.items))
+
+    if isinstance(expr, (Fst, Snd, Lookup, Com)):
+        raise FormalTypeError(
+            f"[{type(expr).__name__}] operator values have schematic types; they are "
+            "typed at their application site in this implementation"
+        )
+
+    # ------------------------------------------------------------ applications --
+    if isinstance(expr, App):
+        return _type_of_application(census, env, expr)
+
+    if isinstance(expr, Case):
+        scrutinee_type = type_of(census, env, expr.scrutinee)
+        masked = mask_type(scrutinee_type, expr.owners)
+        _require(
+            isinstance(masked, TData) and isinstance(masked.data, SumData)
+            and masked.owners == expr.owners,
+            "TCase",
+            f"the scrutinee must mask to a sum data type owned by exactly the case's "
+            f"owners; got {masked}",
+        )
+        _require(expr.owners <= census, "TCase", "case owners must be in the census")
+        assert isinstance(masked, TData) and isinstance(masked.data, SumData)
+        left_env = dict(env)
+        left_env[expr.left_var] = TData(masked.data.left, expr.owners)
+        right_env = dict(env)
+        right_env[expr.right_var] = TData(masked.data.right, expr.owners)
+        left_type = type_of(expr.owners, left_env, expr.left_body)
+        right_type = type_of(expr.owners, right_env, expr.right_body)
+        _require(
+            left_type == right_type,
+            "TCase",
+            f"the two branches must have the same type; got {left_type} and {right_type}",
+        )
+        return left_type
+
+    raise FormalTypeError(f"unknown expression node {expr!r}")
+
+
+def _type_of_application(census: PartySet, env: TypeEnv, expr: App) -> Type:
+    """TApp, specialised for the schematic operator values (fst/snd/lookup/com)."""
+    fn = expr.function
+
+    if isinstance(fn, (Fst, Snd)):
+        _require(fn.owners <= census, "TProj", "projection owners must be in the census")
+        argument = type_of(census, env, expr.argument)
+        masked = mask_type(argument, fn.owners)
+        _require(
+            isinstance(masked, TData) and isinstance(masked.data, ProdData)
+            and masked.owners == fn.owners,
+            "TProj",
+            f"fst/snd expects a pair owned by its annotation; got {masked}",
+        )
+        assert isinstance(masked, TData) and isinstance(masked.data, ProdData)
+        chosen = masked.data.left if isinstance(fn, Fst) else masked.data.right
+        return TData(chosen, fn.owners)
+
+    if isinstance(fn, Lookup):
+        _require(fn.owners <= census, "TProjN", "lookup owners must be in the census")
+        argument = type_of(census, env, expr.argument)
+        masked = mask_type(argument, fn.owners)
+        _require(
+            isinstance(masked, TVec),
+            "TProjN",
+            f"lookup expects a tuple; got {masked}",
+        )
+        assert isinstance(masked, TVec)
+        _require(
+            mask_is_noop(masked, fn.owners),
+            "TProjN",
+            "the tuple type must already be masked to the lookup's owners",
+        )
+        _require(
+            0 <= fn.index < len(masked.items),
+            "TProjN",
+            f"index {fn.index} out of range for tuple of length {len(masked.items)}",
+        )
+        return masked.items[fn.index]
+
+    if isinstance(fn, Com):
+        participants = frozenset({fn.sender}) | fn.receivers
+        _require(
+            participants <= census,
+            "TCom",
+            f"communication participants {sorted(participants)} must be in the census "
+            f"{sorted(census)}",
+        )
+        argument = type_of(census, env, expr.argument)
+        _require(
+            isinstance(argument, TData),
+            "TCom",
+            f"only data can be communicated; got {argument}",
+        )
+        assert isinstance(argument, TData)
+        _require(
+            fn.sender in argument.owners,
+            "TCom",
+            f"the sender {fn.sender!r} must own the communicated value "
+            f"(owners: {sorted(argument.owners)})",
+        )
+        return TData(argument.data, fn.receivers)
+
+    # General application: the function position is an arbitrary expression.
+    function_type = type_of(census, env, fn)
+    _require(
+        isinstance(function_type, TFun),
+        "TApp",
+        f"the function position has non-function type {function_type}",
+    )
+    assert isinstance(function_type, TFun)
+    argument_type = type_of(census, env, expr.argument)
+    masked = mask_type(argument_type, function_type.owners)
+    _require(
+        masked == function_type.argument,
+        "TApp",
+        f"argument type {argument_type} masked to the function's owners is {masked}, "
+        f"but the function expects {function_type.argument}",
+    )
+    return function_type.result
+
+
+def typecheck(census: PartySet, expr: Expr, env: Optional[TypeEnv] = None) -> Type:
+    """Public entry point: type ``expr`` in ``census`` (empty environment by default)."""
+    return type_of(frozenset(census), env, expr)

@@ -1,0 +1,63 @@
+"""Case-study protocols: replicated key-value store, DPrio lottery, and GMW MPC."""
+
+from . import circuits, crypto, dprio, gmw, kvs, ot, patterns, secretshare
+from .circuits import (
+    AndGate,
+    Circuit,
+    InputWire,
+    LitWire,
+    XorGate,
+    and_tree,
+    count_gates,
+    evaluate_plain,
+    majority3,
+    xor_tree,
+)
+from .dprio import LotteryOutcome, lottery
+from .gmw import gmw, reveal, secret_share, shared_and
+from .kvs import (
+    Request,
+    RequestKind,
+    Response,
+    ResponseKind,
+    kvs_request,
+    kvs_serve,
+    kvs_with_backups,
+    make_replica_states,
+)
+from .ot import ot2
+
+__all__ = [
+    "AndGate",
+    "Circuit",
+    "InputWire",
+    "LitWire",
+    "LotteryOutcome",
+    "Request",
+    "RequestKind",
+    "Response",
+    "ResponseKind",
+    "XorGate",
+    "and_tree",
+    "circuits",
+    "count_gates",
+    "crypto",
+    "dprio",
+    "evaluate_plain",
+    "gmw",
+    "kvs",
+    "kvs_request",
+    "kvs_serve",
+    "kvs_with_backups",
+    "lottery",
+    "majority3",
+    "make_replica_states",
+    "ot",
+    "ot2",
+    "patterns",
+    "reveal",
+    "secret_share",
+    "secretshare",
+    "shared_and",
+    "xor_tree",
+]

@@ -1,0 +1,234 @@
+"""Boolean circuits for the GMW protocol.
+
+The paper's GMW case study (Appendix A) represents the function to be computed
+as a binary circuit with four node kinds: a secret input contributed by one
+party, a public literal, an AND gate, and an XOR gate.  This module provides
+that datatype, convenience constructors for derived gates (NOT, OR, equality,
+adders), a plaintext evaluator used as the correctness oracle, and a handful of
+circuit generators used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
+
+from ..core.locations import Location
+
+
+class Circuit:
+    """Base class for circuit nodes.  Circuits are immutable trees."""
+
+    __slots__ = ()
+
+    # -- combinators ---------------------------------------------------------------
+
+    def __and__(self, other: "Circuit") -> "AndGate":
+        return AndGate(self, other)
+
+    def __xor__(self, other: "Circuit") -> "XorGate":
+        return XorGate(self, other)
+
+    def __or__(self, other: "Circuit") -> "Circuit":
+        return or_gate(self, other)
+
+    def __invert__(self) -> "Circuit":
+        return not_gate(self)
+
+
+@dataclass(frozen=True)
+class InputWire(Circuit):
+    """A secret input bit contributed by ``party`` under the name ``name``."""
+
+    party: Location
+    name: str
+
+
+@dataclass(frozen=True)
+class LitWire(Circuit):
+    """A publicly known constant bit."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class AndGate(Circuit):
+    """Logical AND of two sub-circuits (requires oblivious transfer in GMW)."""
+
+    left: Circuit
+    right: Circuit
+
+
+@dataclass(frozen=True)
+class XorGate(Circuit):
+    """Logical XOR of two sub-circuits (free in GMW: shares XOR locally)."""
+
+    left: Circuit
+    right: Circuit
+
+
+# -- derived gates -----------------------------------------------------------------
+
+
+def not_gate(wire: Circuit) -> Circuit:
+    """NOT x  ≡  x XOR 1."""
+    return XorGate(wire, LitWire(True))
+
+
+def or_gate(left: Circuit, right: Circuit) -> Circuit:
+    """x OR y  ≡  (x XOR y) XOR (x AND y)."""
+    return XorGate(XorGate(left, right), AndGate(left, right))
+
+
+def eq_gate(left: Circuit, right: Circuit) -> Circuit:
+    """x == y  ≡  NOT (x XOR y)."""
+    return not_gate(XorGate(left, right))
+
+
+def majority3(a: Circuit, b: Circuit, c: Circuit) -> Circuit:
+    """Majority of three bits: (a AND b) XOR (a AND c) XOR (b AND c)."""
+    return XorGate(XorGate(AndGate(a, b), AndGate(a, c)), AndGate(b, c))
+
+
+def half_adder(a: Circuit, b: Circuit) -> Tuple[Circuit, Circuit]:
+    """Return (sum, carry) of two bits."""
+    return XorGate(a, b), AndGate(a, b)
+
+
+def full_adder(a: Circuit, b: Circuit, carry_in: Circuit) -> Tuple[Circuit, Circuit]:
+    """Return (sum, carry_out) of two bits and a carry."""
+    partial_sum, carry1 = half_adder(a, b)
+    total, carry2 = half_adder(partial_sum, carry_in)
+    return total, or_gate(carry1, carry2)
+
+
+def ripple_adder(
+    a_bits: Sequence[Circuit], b_bits: Sequence[Circuit]
+) -> List[Circuit]:
+    """Add two little-endian bit vectors, returning sum bits plus final carry."""
+    if len(a_bits) != len(b_bits):
+        raise ValueError("operands must have the same width")
+    carry: Circuit = LitWire(False)
+    out: List[Circuit] = []
+    for a, b in zip(a_bits, b_bits):
+        total, carry = full_adder(a, b, carry)
+        out.append(total)
+    out.append(carry)
+    return out
+
+
+# -- circuit generators (used by benchmarks) ----------------------------------------
+
+
+def xor_tree(parties: Sequence[Location], name: str = "x") -> Circuit:
+    """XOR of one input bit per party: the n-party parity function."""
+    wires: List[Circuit] = [InputWire(party, name) for party in parties]
+    return _balanced(wires, XorGate)
+
+
+def and_tree(parties: Sequence[Location], name: str = "x") -> Circuit:
+    """AND of one input bit per party: the n-party unanimity function."""
+    wires: List[Circuit] = [InputWire(party, name) for party in parties]
+    return _balanced(wires, AndGate)
+
+
+def alternating_tree(parties: Sequence[Location], depth: int, name: str = "x") -> Circuit:
+    """A circuit of the given depth alternating AND and XOR layers.
+
+    Inputs cycle through the parties, so every party contributes at least one
+    secret when ``depth`` is large enough.
+    """
+    leaves = max(2, 2 ** depth)
+    wires: List[Circuit] = [
+        InputWire(parties[i % len(parties)], f"{name}{i}") for i in range(leaves)
+    ]
+    layer = 0
+    while len(wires) > 1:
+        gate = AndGate if layer % 2 == 0 else XorGate
+        wires = [
+            gate(wires[i], wires[i + 1]) if i + 1 < len(wires) else wires[i]
+            for i in range(0, len(wires), 2)
+        ]
+        layer += 1
+    return wires[0]
+
+
+def _balanced(wires: List[Circuit], gate) -> Circuit:
+    if not wires:
+        raise ValueError("a circuit needs at least one wire")
+    while len(wires) > 1:
+        wires = [
+            gate(wires[i], wires[i + 1]) if i + 1 < len(wires) else wires[i]
+            for i in range(0, len(wires), 2)
+        ]
+    return wires[0]
+
+
+# -- analysis and reference evaluation ----------------------------------------------
+
+
+def iter_nodes(circuit: Circuit) -> Iterator[Circuit]:
+    """Yield every node of the circuit tree, leaves included."""
+    stack = [circuit]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (AndGate, XorGate)):
+            stack.append(node.left)
+            stack.append(node.right)
+
+
+def count_gates(circuit: Circuit) -> Dict[str, int]:
+    """Count the node kinds in a circuit."""
+    counts = {"input": 0, "literal": 0, "and": 0, "xor": 0}
+    for node in iter_nodes(circuit):
+        if isinstance(node, InputWire):
+            counts["input"] += 1
+        elif isinstance(node, LitWire):
+            counts["literal"] += 1
+        elif isinstance(node, AndGate):
+            counts["and"] += 1
+        elif isinstance(node, XorGate):
+            counts["xor"] += 1
+    return counts
+
+
+def circuit_depth(circuit: Circuit) -> int:
+    """The longest path from the root to a leaf (leaves have depth 0)."""
+    if isinstance(circuit, (InputWire, LitWire)):
+        return 0
+    assert isinstance(circuit, (AndGate, XorGate))
+    return 1 + max(circuit_depth(circuit.left), circuit_depth(circuit.right))
+
+
+def input_names(circuit: Circuit) -> Dict[Location, List[str]]:
+    """The secret-input names each party contributes, in first-appearance order."""
+    names: Dict[Location, List[str]] = {}
+    for node in iter_nodes(circuit):
+        if isinstance(node, InputWire):
+            per_party = names.setdefault(node.party, [])
+            if node.name not in per_party:
+                per_party.append(node.name)
+    return names
+
+
+#: Plaintext inputs: for each party, the bit supplied for each named input wire.
+PlainInputs = Dict[Location, Dict[str, bool]]
+
+
+def evaluate_plain(circuit: Circuit, inputs: PlainInputs) -> bool:
+    """Evaluate the circuit on plaintext inputs (the correctness oracle for GMW)."""
+    if isinstance(circuit, LitWire):
+        return circuit.value
+    if isinstance(circuit, InputWire):
+        try:
+            return bool(inputs[circuit.party][circuit.name])
+        except KeyError:
+            raise KeyError(
+                f"missing plaintext input {circuit.name!r} for party {circuit.party!r}"
+            ) from None
+    if isinstance(circuit, AndGate):
+        return evaluate_plain(circuit.left, inputs) and evaluate_plain(circuit.right, inputs)
+    if isinstance(circuit, XorGate):
+        return evaluate_plain(circuit.left, inputs) != evaluate_plain(circuit.right, inputs)
+    raise TypeError(f"unknown circuit node {circuit!r}")

@@ -1,0 +1,159 @@
+"""Small number-theoretic crypto substrate for the case studies.
+
+The paper's GMW implementation uses RSA public-key encryption (via the Haskell
+``cryptonite`` package) inside its oblivious-transfer sub-choreography, and the
+DPrio lottery uses salted hashes as commitments.  Neither case study depends on
+the cryptographic strength of those primitives — only on their *shape* — so
+this module provides self-contained, dependency-free implementations:
+
+* Miller–Rabin primality testing and prime generation,
+* textbook RSA key generation / encryption / decryption, and
+* SHA-256 commitments.
+
+Randomness is always drawn from an explicit :class:`random.Random` so that
+protocol runs are reproducible; :func:`party_rng` derives a per-party,
+per-context generator from a session seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Default RSA modulus size (bits).  Small by cryptographic standards, but the
+#: case studies only need the communication pattern, and tests must stay fast.
+DEFAULT_RSA_BITS = 256
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+
+
+def party_rng(seed: int, location: str, context: str = "") -> random.Random:
+    """A deterministic per-party random generator.
+
+    Each (seed, location, context) triple yields an independent stream, which
+    is how projected endpoints obtain "local randomness" reproducibly.
+    """
+    digest = hashlib.sha256(f"{seed}|{location}|{context}".encode()).digest()
+    return random.Random(int.from_bytes(digest, "big"))
+
+
+def is_probable_prime(candidate: int, rounds: int = 16, rng: random.Random = None) -> bool:
+    """Miller–Rabin primality test."""
+    if candidate < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if candidate == prime:
+            return True
+        if candidate % prime == 0:
+            return False
+    rng = rng or random.Random(candidate)
+    # write candidate - 1 as d * 2^r with d odd
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, candidate - 1)
+        x = pow(a, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a probable prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("prime size must be at least 8 bits")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """An RSA public key ``(n, e)``."""
+
+    modulus: int
+    exponent: int
+
+    def encrypt(self, message: int) -> int:
+        """Textbook RSA encryption of an integer smaller than the modulus."""
+        if not 0 <= message < self.modulus:
+            raise ValueError("message out of range for this key")
+        return pow(message, self.exponent, self.modulus)
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """An RSA key pair; the private exponent stays on the generating party."""
+
+    public: RSAPublicKey
+    private_exponent: int
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Decrypt a ciphertext produced with :meth:`RSAPublicKey.encrypt`."""
+        if not 0 <= ciphertext < self.public.modulus:
+            raise ValueError("ciphertext out of range for this key")
+        return pow(ciphertext, self.private_exponent, self.public.modulus)
+
+
+def generate_rsa_keypair(rng: random.Random, bits: int = DEFAULT_RSA_BITS) -> RSAKeyPair:
+    """Generate a textbook RSA key pair with a ``bits``-bit modulus."""
+    half = bits // 2
+    exponent = 65537
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % exponent == 0:
+            continue
+        d = pow(exponent, -1, phi)
+        return RSAKeyPair(RSAPublicKey(n, exponent), d)
+
+
+def random_public_key(rng: random.Random, bits: int = DEFAULT_RSA_BITS) -> RSAPublicKey:
+    """A public key whose private exponent nobody knows.
+
+    Used by the oblivious-transfer receiver for the slot it must *not* be able
+    to decrypt: a fresh key pair is generated and its private half discarded.
+    """
+    return generate_rsa_keypair(rng, bits).public
+
+
+def encrypt_bit(key: RSAPublicKey, bit: bool, rng: random.Random) -> int:
+    """Encrypt a single bit with random padding so ciphertexts don't repeat.
+
+    The bit is stored in the least-significant position; the padding is small
+    enough that the padded message always fits below the modulus.
+    """
+    padding_bits = max(8, key.modulus.bit_length() - 2 - 1)
+    padded = (rng.getrandbits(padding_bits) << 1) | int(bool(bit))
+    return key.encrypt(padded)
+
+
+def decrypt_bit(keypair: RSAKeyPair, ciphertext: int) -> bool:
+    """Recover the bit from :func:`encrypt_bit`."""
+    return bool(keypair.decrypt(ciphertext) & 1)
+
+
+def commitment(value: int, salt: int) -> str:
+    """A SHA-256 commitment to ``value`` under ``salt`` (DPrio's α = H(ρ, ψ))."""
+    return hashlib.sha256(f"{value}|{salt}".encode()).hexdigest()
+
+
+def verify_commitment(digest: str, value: int, salt: int) -> bool:
+    """Check a commitment opened as ``(value, salt)``."""
+    return commitment(value, salt) == digest

@@ -1,0 +1,200 @@
+"""The DPrio lottery as a census-polymorphic choreography.
+
+Reproduces the paper's ChoreoTS case study (§6 and Appendix C): the novel part
+of DPrio (Keeler et al. 2023), in which every client submits a secret value as
+additive shares to a set of servers, the servers run a commit–reveal lottery to
+choose *one* client index fairly (fair as long as at least one server is
+honest), and the analyst reconstructs only the chosen client's secret — without
+learning whose it was.
+
+The choreography is polymorphic over both the number of clients and the number
+of servers, exercising ``parallel``, ``fanout``, ``fanin``, ``scatter``-style
+share distribution, and congruent (replicated) computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..core.errors import ChoreographyError
+from ..core.located import Faceted, Located, Quire
+from ..core.locations import Census, Location, LocationsLike, as_census
+from ..core.ops import ChoreoOp
+from . import crypto
+from .secretshare import make_modular_shares
+
+#: The finite field DPrio's shares live in (the paper's example uses 999983).
+DEFAULT_FIELD = 999_983
+
+#: Servers draw their lottery randomness from ``[0, tau)`` where ``tau`` is a
+#: multiple of the number of clients; the multiplier is fixed here.
+TAU_MULTIPLIER = 4
+
+
+class CommitmentError(ChoreographyError):
+    """A server's opened randomness did not match its earlier commitment."""
+
+
+@dataclass(frozen=True)
+class LotteryOutcome:
+    """What the analyst learns: the reconstructed secret and nothing else."""
+
+    value: int
+    field: int
+
+
+def lottery(
+    op: ChoreoOp,
+    servers: LocationsLike,
+    clients: LocationsLike,
+    analyst: Location,
+    *,
+    client_secrets: Optional[Mapping[Location, int]] = None,
+    my_secret: Optional[int] = None,
+    field: int = DEFAULT_FIELD,
+    seed: int = 0,
+    cheating_server: Optional[Location] = None,
+) -> Located[LotteryOutcome]:
+    """Run the DPrio lottery.
+
+    Parameters
+    ----------
+    servers, clients, analyst:
+        The three groups of participants; all must be in ``op.census``.
+    client_secrets / my_secret:
+        Each client's secret value.  ``my_secret`` is the per-endpoint form
+        (passed via ``location_args``); ``client_secrets`` maps every client to
+        its secret and is used by the centralized semantics or by examples that
+        don't mind sharing inputs.  If neither is given, clients draw a random
+        field element.
+    cheating_server:
+        If set, that server opens a different ρ than it committed to; every
+        honest server must detect this and raise :class:`CommitmentError`.
+
+    Returns
+    -------
+    The :class:`LotteryOutcome` located at the analyst.
+    """
+    server_census = as_census(servers).require_nonempty()
+    client_census = as_census(clients).require_nonempty()
+    op.census.require_member(analyst)
+    op.census.require_subset(server_census)
+    op.census.require_subset(client_census)
+
+    tau = TAU_MULTIPLIER * len(client_census)
+
+    # ------------------------------------------------------------------ step 0 --
+    # Each client fixes its secret and splits it into one share per server.
+    def choose_secret(client: Location, _un) -> int:
+        if my_secret is not None:
+            return int(my_secret) % field
+        if client_secrets is not None and client in client_secrets:
+            return int(client_secrets[client]) % field
+        return crypto.party_rng(seed, client, "secret").randrange(field)
+
+    secrets = op.parallel(client_census, choose_secret)
+
+    def split_shares(client: Location, un) -> Dict[Location, int]:
+        rng = crypto.party_rng(seed, client, "shares")
+        return make_modular_shares(un(secrets), list(server_census), field, rng)
+
+    client_shares = op.parallel(client_census, split_shares)
+
+    # Every server receives its share from every client: a fan-out over servers
+    # of a fan-in over clients (Appendix C lines 26–32).
+    def collect_for(server: Location) -> Located[Quire[int]]:
+        return op.fanin(
+            client_census,
+            [server],
+            lambda client: op.comm(
+                client,
+                server,
+                op.locally(client, lambda un, _s=server: un(client_shares)[_s]),
+            ),
+        )
+
+    server_shares = op.fanout(server_census, collect_for)
+
+    # ------------------------------------------------------------------ step 1 --
+    # Each server picks lottery randomness ρ and a salt ψ.
+    def pick_rho(server: Location, _un) -> int:
+        return crypto.party_rng(seed, server, "rho").randrange(tau)
+
+    rho = op.parallel(server_census, pick_rho)
+
+    def pick_salt(server: Location, _un) -> int:
+        return crypto.party_rng(seed, server, "psi").getrandbits(64)
+
+    psi = op.parallel(server_census, pick_salt)
+
+    # ------------------------------------------------------------------ step 2 --
+    # Commit: every server publishes α = H(ρ, ψ) to every other server.
+    alpha = op.parallel(
+        server_census, lambda _server, un: crypto.commitment(un(rho), un(psi))
+    )
+    alpha_all = op.fanin(
+        server_census,
+        server_census,
+        lambda server: op.multicast(server, server_census, alpha.localize(server)),
+    )
+
+    # ------------------------------------------------------------------ step 3 --
+    # Open: only after every commitment is in do the servers reveal ψ and ρ.
+    psi_all = op.fanin(
+        server_census,
+        server_census,
+        lambda server: op.multicast(server, server_census, psi.localize(server)),
+    )
+
+    def opened_rho(server: Location) -> Located[int]:
+        def reveal_value(un) -> int:
+            value = un(rho)
+            if cheating_server is not None and server == cheating_server:
+                return (value + 1) % tau
+            return value
+
+        return op.multicast(server, server_census, op.locally(server, reveal_value))
+
+    rho_all = op.fanin(server_census, server_census, opened_rho)
+
+    # ------------------------------------------------------------------ step 4 --
+    # Every server checks every commitment.
+    def check_commitments(_server: Location, un) -> bool:
+        commitments = un(alpha_all)
+        salts = un(psi_all)
+        values = un(rho_all)
+        for peer in server_census:
+            if not crypto.verify_commitment(commitments[peer], values[peer], salts[peer]):
+                raise CommitmentError(f"server {peer!r} opened a value it did not commit to")
+        return True
+
+    op.parallel(server_census, check_commitments)
+
+    # ------------------------------------------------------------------ step 5 --
+    # The chosen client index is the sum of every server's randomness, so a
+    # single honest server suffices for uniformity.  All servers hold the same
+    # opened values, so this is a congruent (replicated, message-free) step.
+    omega = op.congruently(
+        server_census,
+        lambda un: sum(un(rho_all).values()) % len(client_census),
+    )
+
+    def pick_share(_server: Location, un) -> int:
+        chosen_client = list(client_census)[un(omega)]
+        return un(server_shares)[chosen_client]
+
+    chosen_shares = op.parallel(server_census, pick_share)
+
+    # ------------------------------------------------------------------ step 6 --
+    # Each server forwards its share of the chosen secret to the analyst.
+    analyst_shares = op.fanin(
+        server_census,
+        [analyst],
+        lambda server: op.comm(server, analyst, chosen_shares.localize(server)),
+    )
+
+    return op.locally(
+        analyst,
+        lambda un: LotteryOutcome(sum(un(analyst_shares).values()) % field, field),
+    )

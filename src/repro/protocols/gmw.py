@@ -1,0 +1,250 @@
+"""The GMW secure multiparty computation protocol as a census-polymorphic choreography.
+
+Reproduces the paper's flagship census-polymorphism case study (§6 and
+Appendix A): an arbitrary number of parties jointly evaluate a boolean circuit
+over their secret inputs without revealing the inputs or any intermediate
+value.  The structure follows the MultiChor implementation closely:
+
+* secret inputs are dealt as boolean additive shares (``Faceted`` values with
+  no common owners),
+* XOR gates are evaluated locally by every party on its own shares
+  (``parallel``), using the additive homomorphism of XOR sharing,
+* AND gates run one 1-out-of-2 oblivious transfer per ordered pair of distinct
+  parties, each embedded as a two-party conclave inside the full census
+  (``fanout`` / ``fanin`` / ``conclave_to``), and
+* the final output is revealed by gathering every party's share everywhere.
+
+The protocol is parametric over the participating parties: nothing in this
+module fixes their number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Union
+
+from ..core.located import Faceted, Located, Quire
+from ..core.locations import Census, Location, LocationsLike, as_census
+from ..core.ops import ChoreoOp
+from . import crypto
+from .circuits import AndGate, Circuit, InputWire, LitWire, XorGate
+from .ot import ot2
+from .secretshare import make_boolean_shares, xor_all
+
+#: Per-endpoint secret inputs.  Either a flat mapping ``{wire_name: bit}``
+#: (the usual case: each endpoint receives only its own inputs via
+#: ``location_args``) or a nested mapping ``{party: {wire_name: bit}}`` (used
+#: by the centralized reference semantics, which plays every role).
+SecretInputs = Union[Mapping[str, bool], Mapping[Location, Mapping[str, bool]]]
+
+
+def _lookup_input(inputs: Optional[SecretInputs], party: Location, name: str) -> bool:
+    """Find ``party``'s secret bit for input wire ``name`` in either layout."""
+    if inputs is None:
+        raise KeyError(
+            f"no secret inputs were provided, but the circuit needs {name!r} from {party!r}"
+        )
+    if party in inputs and isinstance(inputs[party], Mapping):
+        nested = inputs[party]
+        if name in nested:
+            return bool(nested[name])
+        raise KeyError(f"party {party!r} has no secret input named {name!r}")
+    if name in inputs:
+        return bool(inputs[name])  # type: ignore[index]
+    raise KeyError(f"no secret input named {name!r} for party {party!r}")
+
+
+def secret_share(
+    op: ChoreoOp,
+    parties: LocationsLike,
+    owner: Location,
+    value: Located[bool],
+    *,
+    seed: int = 0,
+    context: str = "",
+) -> Faceted[bool]:
+    """Deal boolean additive shares of ``value`` (owned by ``owner``) to every party.
+
+    Mirrors the paper's ``secretShare``: the owner generates one share per
+    party whose XOR is the secret, scatters them, and then *forgets* the shares
+    it dealt so the resulting faceted value has no common owners.
+    """
+    members = as_census(parties)
+
+    def deal(un) -> Quire[bool]:
+        rng = crypto.party_rng(seed, owner, f"share|{context}")
+        shares = make_boolean_shares(bool(un(value)), list(members), rng)
+        return Quire(members, shares)
+
+    dealt = op.locally(owner, deal)
+    scattered = op.scatter(owner, members, dealt)
+    return op.forget_common(scattered)
+
+
+def reveal(op: ChoreoOp, parties: LocationsLike, shares: Faceted[bool]) -> bool:
+    """Open a shared bit: everyone sends everyone their share and XORs them all."""
+    members = as_census(parties)
+    gathered = op.gather(members, members, shares)
+    opened = op.naked(gathered)
+    return xor_all(opened.values())
+
+
+def shared_and(
+    op: ChoreoOp,
+    parties: LocationsLike,
+    u_shares: Faceted[bool],
+    v_shares: Faceted[bool],
+    *,
+    seed: int = 0,
+    context: str = "",
+    rsa_bits: int = crypto.DEFAULT_RSA_BITS,
+) -> Faceted[bool]:
+    """Compute shares of ``u AND v`` from shares of ``u`` and ``v`` (the ``fAnd`` of App. A).
+
+    Every ordered pair of distinct parties runs one oblivious transfer: the
+    sender ``i`` offers ``(a_ij, a_ij XOR u_i)`` and the receiver ``j`` selects
+    with its share ``v_j``, learning ``a_ij XOR (u_i AND v_j)``.  Each party's
+    output share is ``(u_i AND v_i) XOR (XOR of received OT results) XOR
+    (XOR of the masks it generated)``.
+    """
+    members = as_census(parties)
+
+    # 1. Every party i draws one random mask bit a_ij per peer j.
+    def draw_masks(party: Location, _un) -> Dict[Location, bool]:
+        rng = crypto.party_rng(seed, party, f"and-masks|{context}")
+        return {peer: bool(rng.getrandbits(1)) for peer in members if peer != party}
+
+    masks = op.parallel(members, draw_masks)
+
+    # 2. Pairwise oblivious transfers, receiver-major (the fanOut of App. A).
+    def receive_from_all(receiver: Location) -> Located[bool]:
+        def one_sender(sender: Location) -> Located[bool]:
+            if sender == receiver:
+                return op.locally(receiver, lambda _un: False)
+
+            def offered_pair(un):
+                mask = un(masks)[receiver]
+                u_share = bool(un(u_shares))
+                return (mask, mask != u_share)
+
+            pair = op.locally(sender, offered_pair)
+            select = v_shares.localize(receiver)
+            return op.conclave_to(
+                [sender, receiver],
+                [receiver],
+                lambda sub: ot2(
+                    sub,
+                    sender,
+                    receiver,
+                    pair,
+                    select,
+                    seed=seed,
+                    context=f"{context}|{sender}->{receiver}",
+                    rsa_bits=rsa_bits,
+                ),
+            )
+
+        received = op.fanin(members, [receiver], one_sender)
+        return op.locally(receiver, lambda un: xor_all(un(received).values()))
+
+    ot_results = op.fanout(members, receive_from_all)
+
+    # 3. Combine: own product, received OT results, and generated masks.
+    def combine(party: Location, un) -> bool:
+        own_product = bool(un(u_shares)) and bool(un(v_shares))
+        received = bool(un(ot_results))
+        generated = xor_all(un(masks).values())
+        return xor_all([own_product, received, generated])
+
+    return op.parallel(members, combine)
+
+
+def share_circuit(
+    op: ChoreoOp,
+    parties: LocationsLike,
+    circuit: Circuit,
+    my_inputs: Optional[SecretInputs] = None,
+    *,
+    seed: int = 0,
+    rsa_bits: int = crypto.DEFAULT_RSA_BITS,
+    _counter: Optional[List[int]] = None,
+) -> Faceted[bool]:
+    """Evaluate ``circuit`` under GMW, returning shares of the output bit.
+
+    The recursion mirrors the paper's ``gmw`` function: input wires are secret
+    shared by their owner, literals become canonical public shares, XOR gates
+    are local, AND gates call :func:`shared_and`.
+    """
+    members = as_census(parties)
+    counter = _counter if _counter is not None else [0]
+
+    if isinstance(circuit, InputWire):
+        counter[0] += 1
+        value = op.locally(
+            circuit.party,
+            lambda _un, _p=circuit.party, _n=circuit.name: _lookup_input(my_inputs, _p, _n),
+        )
+        return secret_share(
+            op, members, circuit.party, value, seed=seed, context=f"input-{counter[0]}"
+        )
+
+    if isinstance(circuit, LitWire):
+        # The first party's share is the literal; everyone else holds False.
+        first = members[0]
+        return op.fanout(
+            members,
+            lambda party: op.congruently(
+                [party], lambda _un, _p=party: circuit.value if _p == first else False
+            ),
+        )
+
+    if isinstance(circuit, XorGate):
+        left = share_circuit(
+            op, members, circuit.left, my_inputs, seed=seed, rsa_bits=rsa_bits, _counter=counter
+        )
+        right = share_circuit(
+            op, members, circuit.right, my_inputs, seed=seed, rsa_bits=rsa_bits, _counter=counter
+        )
+        return op.parallel(
+            members, lambda _party, un: bool(un(left)) != bool(un(right))
+        )
+
+    if isinstance(circuit, AndGate):
+        left = share_circuit(
+            op, members, circuit.left, my_inputs, seed=seed, rsa_bits=rsa_bits, _counter=counter
+        )
+        right = share_circuit(
+            op, members, circuit.right, my_inputs, seed=seed, rsa_bits=rsa_bits, _counter=counter
+        )
+        counter[0] += 1
+        return shared_and(
+            op,
+            members,
+            left,
+            right,
+            seed=seed,
+            context=f"and-{counter[0]}",
+            rsa_bits=rsa_bits,
+        )
+
+    raise TypeError(f"unknown circuit node {circuit!r}")
+
+
+def gmw(
+    op: ChoreoOp,
+    parties: LocationsLike,
+    circuit: Circuit,
+    my_inputs: Optional[SecretInputs] = None,
+    *,
+    seed: int = 0,
+    rsa_bits: int = crypto.DEFAULT_RSA_BITS,
+) -> bool:
+    """The complete MPC choreography: share, evaluate, and reveal the circuit output.
+
+    Returns the plaintext output bit, known to every participating party
+    (the ``mpc`` entry point of App. A).
+    """
+    members = as_census(parties)
+    output_shares = share_circuit(
+        op, members, circuit, my_inputs, seed=seed, rsa_bits=rsa_bits
+    )
+    return reveal(op, members, output_shares)

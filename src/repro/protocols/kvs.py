@@ -1,0 +1,315 @@
+"""Replicated key-value store choreographies.
+
+Two variants are provided, matching the paper's two presentations of the case
+study:
+
+* :func:`kvs_request` / :func:`kvs_serve` — the MultiChor version of Fig. 2:
+  a client talks to a *primary* server, the primary multicasts the request to
+  all the servers, the servers handle it inside a conclave (so the client is
+  not bothered with their Knowledge-of-Choice traffic), writes can silently
+  corrupt a replica, and a second conclave — re-using the *same* multiply-
+  located request for KoC, with no additional messages — compares state hashes
+  and resynchronises if needed.
+
+* :func:`kvs_with_backups` — the ChoRus version of Appendix B: a single server
+  with a parametric list of backups; Puts are replicated to the backups, whose
+  acknowledgements are gathered before the server answers the client.
+
+Both choreographies are census polymorphic: the number of servers/backups is
+whatever the caller passes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.located import Faceted, Located
+from ..core.locations import Census, Location, LocationsLike, as_census
+from ..core.ops import ChoreoOp
+from . import crypto
+
+
+class RequestKind(enum.Enum):
+    """The three request forms of the paper's KVS (Fig. 2, line 1)."""
+
+    PUT = "put"
+    GET = "get"
+    STOP = "stop"
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client request against the replicated store."""
+
+    kind: RequestKind
+    key: Optional[str] = None
+    value: Optional[str] = None
+
+    @staticmethod
+    def put(key: str, value: str) -> "Request":
+        return Request(RequestKind.PUT, key, value)
+
+    @staticmethod
+    def get(key: str) -> "Request":
+        return Request(RequestKind.GET, key)
+
+    @staticmethod
+    def stop() -> "Request":
+        return Request(RequestKind.STOP)
+
+
+class ResponseKind(enum.Enum):
+    """The response forms: a found value, a miss, or the shutdown acknowledgement."""
+
+    FOUND = "found"
+    NOT_FOUND = "not_found"
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class Response:
+    """The server's answer to a request."""
+
+    kind: ResponseKind
+    value: Optional[str] = None
+
+    @staticmethod
+    def found(value: str) -> "Response":
+        return Response(ResponseKind.FOUND, value)
+
+    @staticmethod
+    def not_found() -> "Response":
+        return Response(ResponseKind.NOT_FOUND)
+
+    @staticmethod
+    def stopped() -> "Response":
+        return Response(ResponseKind.STOPPED)
+
+
+# -- local (non-choreographic) state handling ----------------------------------------
+
+State = Dict[str, str]
+
+
+def update_state(
+    state: State, key: str, value: str, *, fault_rate: float = 0.0, rng=None
+) -> Response:
+    """Store ``value`` under ``key`` and return the previous binding.
+
+    With probability ``fault_rate`` the wrong value is silently written — the
+    paper's deliberately unreliable ``updateState`` that makes the hash-check /
+    resynch phase meaningful.
+    """
+    previous = state.get(key)
+    written = value
+    if fault_rate > 0.0 and rng is not None and rng.random() < fault_rate:
+        written = value + "#corrupted"
+    state[key] = written
+    if previous is None:
+        return Response.not_found()
+    return Response.found(previous)
+
+
+def lookup_state(state: State, key: str) -> Response:
+    """Read ``key`` from the store."""
+    value = state.get(key)
+    if value is None:
+        return Response.not_found()
+    return Response.found(value)
+
+
+def hash_state(state: State) -> int:
+    """A deterministic digest of a replica's contents, used to detect divergence."""
+    return hash(tuple(sorted(state.items())))
+
+
+def make_replica_states(op: ChoreoOp, servers: LocationsLike) -> Faceted[State]:
+    """Create one empty, private store per server (the ``Faceted`` stateRefs of Fig. 2)."""
+    return op.parallel(as_census(servers), lambda _server, _un: {})
+
+
+# -- the Fig. 2 choreography ---------------------------------------------------------
+
+
+def kvs_request(
+    op: ChoreoOp,
+    client: Location,
+    primary: Location,
+    servers: LocationsLike,
+    state_refs: Faceted[State],
+    request: Located[Request],
+    *,
+    fault_rate: float = 0.0,
+    seed: int = 0,
+) -> Located[Response]:
+    """Serve one request against the replicated store (the ``kvs`` choreography of Fig. 2).
+
+    The census of ``op`` must contain the client, the primary, and every
+    server; the primary must be one of the servers.  Returns the response
+    located at the client.
+    """
+    server_census = as_census(servers)
+    op.census.require_member(client)
+    op.census.require_subset(server_census)
+    server_census.require_member(primary)
+
+    # Client sends the request to the primary, which forwards it to all servers.
+    request_at_primary = op.comm(client, primary, request)
+    request_shared = op.multicast(primary, server_census, request_at_primary)
+
+    # Phase 1 (conclave of the servers): handle the request.  The client is not
+    # in this conclave, so the servers' branching costs it no messages.
+    def handle(sub: ChoreoOp) -> Located[Response]:
+        incoming = sub.naked(request_shared)
+        if incoming.kind is RequestKind.PUT:
+
+            def apply_put(server: Location, un) -> Response:
+                rng = crypto.party_rng(seed, server, f"put|{incoming.key}")
+                return update_state(
+                    un(state_refs), incoming.key, incoming.value,
+                    fault_rate=fault_rate, rng=rng,
+                )
+
+            responses = sub.parallel(server_census, apply_put)
+            # The primary waits for an acknowledgement from every server before
+            # answering the client (Fig. 2 line 28).
+            sub.fanin(
+                server_census,
+                [primary],
+                lambda server: sub.comm(
+                    server, primary, sub.locally(server, lambda _un: True)
+                ),
+            )
+            return responses.localize(primary)
+        if incoming.kind is RequestKind.GET:
+            return sub.locally(primary, lambda un: lookup_state(un(state_refs), incoming.key))
+        return sub.locally(primary, lambda _un: Response.stopped())
+
+    response_at_primary = op.conclave_to(server_census, [primary], handle)
+    response = op.comm(primary, client, response_at_primary)
+
+    # Phase 2 (second conclave): after the client already has its answer, the
+    # servers check replica hashes and resynchronise if necessary.  Branching
+    # re-uses the multiply-located request — no new KoC communication.
+    def verify(sub: ChoreoOp) -> bool:
+        incoming = sub.naked(request_shared)
+        if incoming.kind is not RequestKind.PUT:
+            return False
+        digests_faceted = sub.parallel(
+            server_census, lambda _server, un: hash_state(un(state_refs))
+        )
+        digests = sub.gather(server_census, [primary], digests_faceted)
+        needs_resynch = sub.locally(
+            primary, lambda un: len(set(un(digests).values())) > 1
+        )
+        if sub.broadcast(primary, needs_resynch):
+            resynch(sub, primary, server_census, state_refs)
+            return True
+        return False
+
+    op.conclave(server_census, verify)
+    return response
+
+
+def resynch(
+    op: ChoreoOp,
+    primary: Location,
+    servers: LocationsLike,
+    state_refs: Faceted[State],
+) -> None:
+    """Restore replica agreement by copying the primary's store to every server."""
+    server_census = as_census(servers)
+    authoritative = op.locally(primary, lambda un: dict(un(state_refs)))
+    shared = op.multicast(primary, server_census, authoritative)
+
+    def overwrite(_server: Location, un) -> None:
+        replica = un(state_refs)
+        replica.clear()
+        replica.update(un(shared))
+
+    op.parallel(server_census, overwrite)
+
+
+def kvs_serve(
+    op: ChoreoOp,
+    client: Location,
+    primary: Location,
+    servers: LocationsLike,
+    requests: Sequence[Request],
+    *,
+    fault_rate: float = 0.0,
+    seed: int = 0,
+) -> List[Response]:
+    """Serve a whole session of requests, returning the client's responses.
+
+    The request list is client data; the choreography stops early when it
+    serves a ``Stop`` request.  The responses are returned as plain values at
+    the client (and placeholders elsewhere).
+    """
+    server_census = as_census(servers)
+    state_refs = make_replica_states(op, server_census)
+    responses: List[Response] = []
+    for index, request in enumerate(requests):
+        located_request = op.locally(client, lambda _un, _r=request: _r)
+        answer = kvs_request(
+            op, client, primary, server_census, state_refs, located_request,
+            fault_rate=fault_rate, seed=seed + index,
+        )
+        if answer.is_present():
+            responses.append(answer.peek())
+        if request.kind is RequestKind.STOP:
+            break
+    return responses
+
+
+# -- the Appendix B (ChoRus) variant --------------------------------------------------
+
+
+def kvs_with_backups(
+    op: ChoreoOp,
+    client: Location,
+    server: Location,
+    backups: LocationsLike,
+    state_refs: Faceted[State],
+    request: Located[Request],
+) -> Located[Response]:
+    """A client request against a server with a parametric list of backups.
+
+    Mirrors Appendix B: the request travels client → server, the server and
+    its backups handle it in a conclave, Put requests are replicated to every
+    backup and their acknowledgements gathered before the server applies the
+    write itself, and the response travels back server → client.
+    """
+    backup_census = as_census(backups)
+    op.census.require_member(client)
+    op.census.require_member(server)
+    op.census.require_subset(backup_census)
+    cluster = as_census([server]).union(backup_census)
+
+    request_at_server = op.comm(client, server, request)
+
+    def handle(sub: ChoreoOp) -> Located[Response]:
+        incoming = sub.broadcast(server, request_at_server)
+        if incoming.kind is RequestKind.PUT:
+            outcomes = sub.parallel(
+                backup_census,
+                lambda _backup, un: update_state(un(state_refs), incoming.key, incoming.value),
+            )
+            gathered = sub.gather(backup_census, [server], outcomes)
+
+            def finish(un) -> Response:
+                acks = un(gathered)
+                if all(reply.kind in (ResponseKind.FOUND, ResponseKind.NOT_FOUND)
+                       for reply in acks.values()):
+                    return update_state(un(state_refs), incoming.key, incoming.value)
+                return Response.not_found()
+
+            return sub.locally(server, finish)
+        if incoming.kind is RequestKind.GET:
+            return sub.locally(server, lambda un: lookup_state(un(state_refs), incoming.key))
+        return sub.locally(server, lambda _un: Response.stopped())
+
+    response_at_server = op.conclave_to(cluster, [server], handle)
+    return op.comm(server, client, response_at_server)

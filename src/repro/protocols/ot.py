@@ -1,0 +1,95 @@
+"""1-out-of-2 oblivious transfer as a two-party choreography.
+
+The sender holds two secret bits ``(b0, b1)``; the receiver holds a select bit
+``s`` and learns ``b_s`` — nothing more, and the sender does not learn ``s``.
+The paper implements this with RSA public-key encryption (Appendix A, ``ot2``):
+the receiver generates one real key pair and one key whose private half it
+discards, placing the real key in the slot selected by ``s``; the sender
+encrypts each bit under the corresponding key; the receiver can decrypt only
+the selected ciphertext.
+
+Crucially, the choreography's census is exactly ``[sender, receiver]``: inside
+GMW it is embedded in an arbitrarily large census via ``conclave_to``, which is
+the paper's demonstration that pairwise sub-protocols compose with census
+polymorphism.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.located import Located
+from ..core.locations import Location
+from ..core.ops import ChoreoOp
+from . import crypto
+
+
+def ot2(
+    op: ChoreoOp,
+    sender: Location,
+    receiver: Location,
+    pair: Located[Tuple[bool, bool]],
+    select: Located[bool],
+    *,
+    seed: int = 0,
+    context: str = "",
+    rsa_bits: int = crypto.DEFAULT_RSA_BITS,
+) -> Located[bool]:
+    """Obliviously transfer one of the sender's two bits to the receiver.
+
+    Parameters
+    ----------
+    op:
+        An operator whose census is (at least) ``[sender, receiver]``.  The
+        caller is expected to conclave down to exactly those two parties.
+    pair:
+        ``(b0, b1)`` located at the sender.
+    select:
+        The select bit located at the receiver.
+    seed, context:
+        Determine the local randomness used for key generation and padding, so
+        repeated transfers inside one protocol use independent streams.
+    """
+    op.census.require_member(sender)
+    op.census.require_member(receiver)
+
+    # 1. The receiver builds two public keys; only the slot matching its select
+    #    bit has a usable private key.
+    def make_keys(un):
+        select_bit = bool(un(select))
+        rng = crypto.party_rng(seed, receiver, f"ot-keys|{context}")
+        real = crypto.generate_rsa_keypair(rng, rsa_bits)
+        fake_public = crypto.random_public_key(rng, rsa_bits)
+        if select_bit:
+            publics = (fake_public, real.public)
+        else:
+            publics = (real.public, fake_public)
+        return {"publics": publics, "keypair": real, "select": select_bit}
+
+    keys = op.locally(receiver, make_keys)
+
+    # 2. The receiver publishes the two public keys to the sender.
+    public_keys = op.comm(
+        receiver, sender, op.locally(receiver, lambda un: un(keys)["publics"])
+    )
+
+    # 3. The sender encrypts each bit under the corresponding public key.
+    def encrypt_pair(un):
+        b0, b1 = un(pair)
+        pk0, pk1 = un(public_keys)
+        rng = crypto.party_rng(seed, sender, f"ot-pad|{context}")
+        return (
+            crypto.encrypt_bit(pk0, bool(b0), rng),
+            crypto.encrypt_bit(pk1, bool(b1), rng),
+        )
+
+    ciphertexts = op.comm(sender, receiver, op.locally(sender, encrypt_pair))
+
+    # 4. The receiver decrypts the ciphertext in its selected slot.
+    def decrypt_selected(un):
+        material = un(keys)
+        c0, c1 = un(ciphertexts)
+        chosen = c1 if material["select"] else c0
+        return crypto.decrypt_bit(material["keypair"], chosen)
+
+    return op.locally(receiver, decrypt_selected)

@@ -1,0 +1,212 @@
+"""Additional reusable choreographic patterns.
+
+The paper's libraries ship with a collection of smaller example protocols
+besides the three headline case studies (booksellers, auctions, replication
+patterns, …).  This module provides a comparable set of census-polymorphic
+building blocks, each written against the public ``ChoreoOp`` API only:
+
+* :func:`two_buyer_bookseller` — the classic two-buyer protocol from the CP
+  literature: a second buyer contributes to the purchase decision.
+* :func:`majority_vote` — an arbitrary number of voters send ballots to a
+  coordinator, who announces the outcome to everyone.
+* :func:`ring_max` — leader election by circulating a token around a ring of
+  any size (each hop is a point-to-point communication).
+* :func:`tree_aggregate` — divide-and-conquer aggregation over the census via
+  recursive conclaves, demonstrating conclave nesting.
+* :func:`heartbeat_round` — a coordinator probes every worker and learns which
+  responded, a building block for failure detectors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.located import Located, Quire
+from ..core.locations import Location, LocationsLike, as_census
+from ..core.ops import ChoreoOp
+
+
+def two_buyer_bookseller(
+    op: ChoreoOp,
+    buyer: Location,
+    helper: Location,
+    seller: Location,
+    title: str,
+    *,
+    catalogue: Optional[Dict[str, int]] = None,
+    buyer_budget: int = 100,
+    helper_contribution: int = 50,
+) -> Located[Optional[int]]:
+    """The two-buyer protocol: the helper contributes to the buyer's budget.
+
+    The whole exchange runs inside a conclave of the three participants, so
+    other census members are untouched.  The buyer asks the seller for a
+    quote; the seller answers the two buyers (an MLV); the buyers decide
+    together inside a further, seller-free conclave whether their combined
+    budget covers it; the decision goes back to the seller, who confirms the
+    final price (or the protocol ends with ``None``).  Returns the agreed
+    price as a value located at the three participants.
+    """
+    books = catalogue if catalogue is not None else {"HoTT": 120, "TAPL": 80, "SICP": 40}
+    participants = [buyer, helper, seller]
+    op.census.require_subset(participants)
+
+    def body(sub: ChoreoOp) -> Optional[int]:
+        wanted = sub.locally(buyer, lambda _un: title)
+        quote_request = sub.comm(buyer, seller, wanted)
+        quote = sub.locally(seller, lambda un: books.get(un(quote_request), 10**9))
+        # The quote goes to both buyers (an MLV), not to the seller-free conclave below.
+        quote_for_buyers = sub.multicast(seller, [buyer, helper], quote)
+
+        def negotiate(buyers: ChoreoOp) -> bool:
+            price = buyers.naked(quote_for_buyers)
+            return price <= buyer_budget + helper_contribution
+
+        decision = sub.conclave([buyer, helper], negotiate)
+        decision_at_seller = sub.comm(
+            buyer, seller, sub.locally(buyer, lambda un: un(decision))
+        )
+        accepted = sub.broadcast(seller, decision_at_seller)
+        if not accepted:
+            return None
+        return sub.broadcast(seller, quote)
+
+    return op.conclave(participants, body)
+
+
+def majority_vote(
+    op: ChoreoOp,
+    voters: LocationsLike,
+    coordinator: Location,
+    ballots: Optional[Dict[Location, bool]] = None,
+    *,
+    my_ballot: Optional[bool] = None,
+) -> bool:
+    """Collect one boolean ballot per voter and announce the majority outcome.
+
+    Census polymorphic in the number of voters.  Ballots can be supplied per
+    endpoint (``my_ballot``, via ``location_args``) or as a full mapping (for
+    the centralized semantics and examples).
+    """
+    members = as_census(voters).require_nonempty()
+    op.census.require_member(coordinator)
+
+    def cast(voter: Location, _un) -> bool:
+        if my_ballot is not None:
+            return bool(my_ballot)
+        if ballots is not None and voter in ballots:
+            return bool(ballots[voter])
+        return False
+
+    cast_ballots = op.parallel(members, cast)
+    collected = op.gather(members, [coordinator], cast_ballots)
+    verdict = op.locally(
+        coordinator,
+        lambda un: sum(1 for vote in un(collected).values() if vote) * 2 > len(members),
+    )
+    return op.broadcast(coordinator, verdict)
+
+
+def ring_max(
+    op: ChoreoOp,
+    ring: LocationsLike,
+    values: Optional[Dict[Location, int]] = None,
+    *,
+    my_value: Optional[int] = None,
+) -> int:
+    """Leader election on a ring: circulate the running maximum once around.
+
+    Each member compares the incoming token with its own value and forwards
+    the larger; after one full round the last member broadcasts the winner.
+    Works for a ring of any size ≥ 1.
+    """
+    members = as_census(ring).require_nonempty()
+
+    def own_value(member: Location, un=None) -> int:
+        if my_value is not None:
+            return int(my_value)
+        if values is not None and member in values:
+            return int(values[member])
+        return 0
+
+    first = members[0]
+    token = op.locally(first, lambda _un: own_value(first))
+    for previous, current in zip(list(members), list(members)[1:]):
+        arrived = op.comm(previous, current, token)
+        token = op.locally(
+            current,
+            lambda un, _c=current, _a=arrived: max(un(_a), own_value(_c)),
+        )
+    return op.broadcast(members[-1], token)
+
+
+def tree_aggregate(
+    op: ChoreoOp,
+    members: LocationsLike,
+    combine: Callable[[Any, Any], Any],
+    leaf: Callable[[Location], Any],
+) -> Any:
+    """Divide-and-conquer aggregation via nested conclaves.
+
+    The census is split in half; each half aggregates recursively inside its
+    own conclave (so the two halves exchange no messages with each other until
+    the final combine), and the halves' representatives exchange results.
+    Returns the aggregate, known to the whole group.
+    """
+    group = as_census(members).require_nonempty()
+    if len(group) == 1:
+        only = group[0]
+        value = op.locally(only, lambda _un, _m=only: leaf(_m))
+        return op.broadcast(only, value)
+
+    midpoint = len(group) // 2
+    left_half = list(group)[:midpoint]
+    right_half = list(group)[midpoint:]
+
+    left_result = op.conclave(
+        left_half, lambda sub: tree_aggregate(sub, left_half, combine, leaf)
+    )
+    right_result = op.conclave(
+        right_half, lambda sub: tree_aggregate(sub, right_half, combine, leaf)
+    )
+
+    left_rep, right_rep = left_half[0], right_half[0]
+    right_at_left = op.comm(
+        right_rep, left_rep, op.locally(right_rep, lambda un: un(right_result))
+    )
+    total = op.locally(
+        left_rep, lambda un: combine(un(left_result), un(right_at_left))
+    )
+    return op.broadcast(left_rep, total)
+
+
+def heartbeat_round(
+    op: ChoreoOp,
+    coordinator: Location,
+    workers: LocationsLike,
+    healthy: Optional[Callable[[Location], bool]] = None,
+) -> Tuple[Location, ...]:
+    """One round of a heartbeat failure detector.
+
+    The coordinator probes every worker; each worker answers whether it is
+    healthy (``healthy`` simulates crashed workers for tests and benches); the
+    coordinator announces the list of responsive workers to everyone.
+    """
+    members = as_census(workers).require_nonempty()
+    op.census.require_member(coordinator)
+    probe = op.locally(coordinator, lambda _un: "ping")
+
+    def one_worker(worker: Location) -> Located[bool]:
+        received = op.comm(coordinator, worker, probe)
+        answer = op.locally(
+            worker,
+            lambda un, _w=worker: (un(received) == "ping") and (healthy is None or healthy(_w)),
+        )
+        return op.comm(worker, coordinator, answer)
+
+    answers = op.fanin(members, [coordinator], one_worker)
+    alive = op.locally(
+        coordinator,
+        lambda un: tuple(worker for worker, ok in un(answers) if ok),
+    )
+    return op.broadcast(coordinator, alive)

@@ -1,0 +1,82 @@
+"""Additive secret sharing.
+
+Two flavours are used by the case studies:
+
+* **Boolean (GF(2)) sharing** for the GMW protocol: a secret bit is split into
+  one random bit per party whose XOR equals the secret.  XOR of shares is a
+  share of the XOR (additive homomorphism), which is why GMW evaluates XOR
+  gates without communication.
+* **Modular sharing over Z_q** for the DPrio lottery: a secret field element is
+  split into addends modulo a public modulus.
+
+Both are plain local algorithms; the *choreographic* part (who deals shares to
+whom) lives in :mod:`repro.protocols.gmw` and :mod:`repro.protocols.dprio`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Sequence
+
+from ..core.locations import Location
+
+
+def xor_all(bits: Iterable[bool]) -> bool:
+    """XOR-fold a collection of booleans (the paper's ``xor`` helper)."""
+    result = False
+    for bit in bits:
+        result = result != bool(bit)
+    return result
+
+
+def make_boolean_shares(
+    secret: bool, parties: Sequence[Location], rng: random.Random
+) -> Dict[Location, bool]:
+    """Split ``secret`` into one boolean share per party.
+
+    The first ``n - 1`` shares are uniformly random; the final share makes the
+    XOR of all shares equal the secret.
+    """
+    if not parties:
+        raise ValueError("cannot share a secret among zero parties")
+    shares: Dict[Location, bool] = {}
+    running = False
+    for party in parties[:-1]:
+        bit = bool(rng.getrandbits(1))
+        shares[party] = bit
+        running = running != bit
+    shares[parties[-1]] = running != bool(secret)
+    return shares
+
+
+def reconstruct_boolean(shares: Dict[Location, bool]) -> bool:
+    """Recover the secret from a complete set of boolean shares."""
+    if not shares:
+        raise ValueError("cannot reconstruct from zero shares")
+    return xor_all(shares.values())
+
+
+def make_modular_shares(
+    secret: int, parties: Sequence[Location], modulus: int, rng: random.Random
+) -> Dict[Location, int]:
+    """Split ``secret`` into additive shares modulo ``modulus``."""
+    if not parties:
+        raise ValueError("cannot share a secret among zero parties")
+    if modulus < 2:
+        raise ValueError("modulus must be at least 2")
+    secret %= modulus
+    shares: Dict[Location, int] = {}
+    running = 0
+    for party in parties[:-1]:
+        value = rng.randrange(modulus)
+        shares[party] = value
+        running = (running + value) % modulus
+    shares[parties[-1]] = (secret - running) % modulus
+    return shares
+
+
+def reconstruct_modular(shares: Dict[Location, int], modulus: int) -> int:
+    """Recover the secret from a complete set of modular shares."""
+    if not shares:
+        raise ValueError("cannot reconstruct from zero shares")
+    return sum(shares.values()) % modulus

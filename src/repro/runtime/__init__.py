@@ -1,0 +1,26 @@
+"""Execution substrates: transports, the concurrent runner, and the
+centralized reference semantics."""
+
+from .central import CentralOp, run_centralized
+from .local import LocalTransport
+from .runner import ChoreographyResult, run_choreography
+from .simulated import SimulatedNetworkTransport
+from .stats import ChannelStats
+from .tcp import TCPTransport
+from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint, deserialize, serialize
+
+__all__ = [
+    "CentralOp",
+    "ChannelStats",
+    "ChoreographyResult",
+    "DEFAULT_TIMEOUT",
+    "LocalTransport",
+    "SimulatedNetworkTransport",
+    "TCPTransport",
+    "Transport",
+    "TransportEndpoint",
+    "deserialize",
+    "run_centralized",
+    "run_choreography",
+    "serialize",
+]

@@ -1,0 +1,156 @@
+"""Centralized (single-threaded) reference semantics.
+
+The paper gives λC a centralized semantics and proves it sound and complete
+with respect to the distributed network semantics.  :class:`CentralOp` plays
+the same role for the Python library: it executes a choreography in one
+thread, holding every located value's real contents, while
+
+* enforcing *every* census and ownership constraint globally (not just the
+  ones a single endpoint would notice), and
+* recording the messages the distributed execution *would* send, on the same
+  :class:`~repro.runtime.stats.ChannelStats` scale as the real transports.
+
+It therefore doubles as the library's pre-run checker and as the
+communication-cost model used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TypeVar
+
+from ..core.errors import OwnershipError
+from ..core.located import Faceted, Located
+from ..core.locations import Census, Location, LocationsLike
+from ..core.ops import ChoreoOp, Choreography, Unwrapper
+from .stats import ChannelStats
+from .transport import serialize
+
+T = TypeVar("T")
+
+
+def _central_unwrapper(required_owners: Optional[Census] = None) -> Unwrapper:
+    """An unwrapper that sees every value but still checks ownership shape."""
+
+    def unwrap(value: Any, owner: Optional[Location] = None) -> Any:
+        if isinstance(value, Located):
+            if required_owners is not None and value.owners is not None:
+                missing = [loc for loc in required_owners if loc not in value.owners]
+                if missing:
+                    raise OwnershipError(
+                        "congruent computation reads a value not owned by every "
+                        f"replica; missing owners: {missing!r}"
+                    )
+            return value.peek()
+        if isinstance(value, Faceted):
+            if owner is None:
+                raise OwnershipError(
+                    "centralized unwrapping of a Faceted value must name the owner"
+                )
+            return value.facet_for(owner, owner)
+        raise TypeError(
+            f"unwrapper expects a Located or Faceted value, got {type(value).__name__}"
+        )
+
+    return unwrap
+
+
+class CentralOp(ChoreoOp):
+    """Single-threaded execution of a choreography with global checking."""
+
+    def __init__(self, census: LocationsLike, stats: Optional[ChannelStats] = None):
+        super().__init__(census)
+        self.stats = stats if stats is not None else ChannelStats()
+
+    # -------------------------------------------------------------- primitives --
+
+    def locally(
+        self, location: Location, computation: Callable[[Unwrapper], T]
+    ) -> Located[T]:
+        self._require_member(location)
+
+        def unwrap(value: Any, owner: Optional[Location] = None) -> Any:
+            if isinstance(value, Located):
+                return value.unwrap_for(location)
+            if isinstance(value, Faceted):
+                return value.facet_for(location, owner)
+            raise TypeError(
+                f"unwrapper expects a Located or Faceted value, got {type(value).__name__}"
+            )
+
+        return Located([location], computation(unwrap))
+
+    def multicast(
+        self, sender: Location, recipients: LocationsLike, value: Located[T]
+    ) -> Located[T]:
+        self._require_member(sender)
+        receivers = self._require_subset(recipients)
+        if not isinstance(value, Located):
+            raise OwnershipError(
+                f"multicast payload must be a Located value, got {type(value).__name__}"
+            )
+        payload = value.unwrap_for(sender)
+        nbytes = len(serialize(payload))
+        for receiver in receivers:
+            if receiver != sender:
+                self.stats.record(sender, receiver, nbytes)
+        return Located(receivers, payload)
+
+    def naked(self, value: Located[T]) -> T:
+        if not isinstance(value, Located):
+            raise OwnershipError(
+                f"naked expects a Located value, got {type(value).__name__}"
+            )
+        if value.owners is None:
+            raise OwnershipError("naked requires a value with a known ownership set")
+        missing = [loc for loc in self._census if loc not in value.owners]
+        if missing:
+            raise OwnershipError(
+                "naked requires the whole census to own the value; census members "
+                f"{missing!r} are not owners of {value!r}"
+            )
+        return value.peek()
+
+    def congruently(
+        self, locations: LocationsLike, computation: Callable[[Unwrapper], T]
+    ) -> Located[T]:
+        replicas = self._require_subset(locations)
+        return Located(replicas, computation(_central_unwrapper(required_owners=replicas)))
+
+    def conclave(
+        self, sub_census: LocationsLike, choreography: Choreography, *args: Any, **kwargs: Any
+    ) -> Located[Any]:
+        sub = self._require_subset(sub_census)
+        child = CentralOp(sub, self.stats)
+        result = choreography(child, *args, **kwargs)
+        return Located(sub, result)
+
+    # ----------------------------------------------------------------- parallel --
+
+    def parallel(
+        self,
+        locations: LocationsLike,
+        computation: Callable[[Location, Unwrapper], T],
+    ) -> Faceted[T]:
+        """Centralized ``parallel``: run every replica's computation in turn."""
+        members = self._require_subset(locations)
+        facets = {}
+        for member in members:
+            located = self.locally(member, lambda un, _m=member: computation(_m, un))
+            facets[member] = located.peek()
+        return Faceted(members, facets)
+
+
+def run_centralized(
+    choreography: Choreography,
+    census: LocationsLike,
+    *args: Any,
+    stats: Optional[ChannelStats] = None,
+    **kwargs: Any,
+) -> Any:
+    """Execute ``choreography`` under the centralized reference semantics.
+
+    Returns the choreography's return value; pass ``stats`` to collect the
+    messages the distributed execution would send.
+    """
+    op = CentralOp(census, stats)
+    return choreography(op, *args, **kwargs)

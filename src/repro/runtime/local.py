@@ -1,0 +1,73 @@
+"""In-process transport: one FIFO queue per directed channel.
+
+This is the "threads on a single machine communicating through channels"
+execution mode every library in the paper supports.  Payloads are serialised
+on send and deserialised on receive, so endpoints cannot accidentally share
+mutable state and message sizes are accounted accurately.
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import Any, Dict, Tuple
+
+from ..core.errors import TransportError
+from ..core.locations import Location, LocationsLike
+from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint, deserialize, serialize
+
+
+class _QueueEndpoint(TransportEndpoint):
+    """Endpoint backed by shared per-channel queues."""
+
+    def __init__(
+        self,
+        location: Location,
+        channels: Dict[Tuple[Location, Location], "queue.SimpleQueue[bytes]"],
+        stats,
+        timeout: float,
+    ):
+        super().__init__(location, stats, timeout)
+        self._channels = channels
+
+    def send(self, receiver: Location, payload: Any) -> None:
+        channel = (self.location, receiver)
+        if channel not in self._channels:
+            raise TransportError(
+                f"no channel from {self.location!r} to {receiver!r}; is the receiver "
+                "part of this transport's census?"
+            )
+        data = serialize(payload)
+        self._record(receiver, len(data))
+        self._channels[channel].put(data)
+
+    def recv(self, sender: Location) -> Any:
+        channel = (sender, self.location)
+        if channel not in self._channels:
+            raise TransportError(
+                f"no channel from {sender!r} to {self.location!r}; is the sender "
+                "part of this transport's census?"
+            )
+        try:
+            data = self._channels[channel].get(timeout=self._timeout)
+        except queue.Empty:
+            raise TransportError(
+                f"{self.location!r} timed out after {self._timeout}s waiting for a "
+                f"message from {sender!r}"
+            ) from None
+        return deserialize(data)
+
+
+class LocalTransport(Transport):
+    """Thread-friendly transport where every directed pair has its own FIFO queue."""
+
+    def __init__(self, census: LocationsLike, timeout: float = DEFAULT_TIMEOUT):
+        super().__init__(census, timeout)
+        self._channels: Dict[Tuple[Location, Location], "queue.SimpleQueue[bytes]"] = {
+            (sender, receiver): queue.SimpleQueue()
+            for sender in self.census
+            for receiver in self.census
+            if sender != receiver
+        }
+
+    def _make_endpoint(self, location: Location) -> TransportEndpoint:
+        return _QueueEndpoint(location, self._channels, self.stats, self.timeout)

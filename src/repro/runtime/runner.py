@@ -1,0 +1,180 @@
+"""Concurrent execution of a projected choreography.
+
+``run_choreography`` is the "main method" every case study in the paper ships:
+it performs endpoint projection for every location in the census, runs all the
+endpoint programs concurrently over a transport, and gathers their return
+values.  Exceptions raised by any endpoint are re-raised in the caller as a
+single :class:`~repro.core.errors.ChoreographyRuntimeError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
+
+from ..core.epp import project
+from ..core.errors import ChoreographyRuntimeError, TransportError
+from ..core.located import Faceted, Located
+from ..core.locations import Census, Location, LocationsLike, as_census
+from ..core.ops import Choreography
+from .local import LocalTransport
+from .stats import ChannelStats
+from .tcp import TCPTransport
+from .transport import DEFAULT_TIMEOUT, Transport
+
+#: Names accepted by the ``transport`` argument of :func:`run_choreography`.
+TRANSPORT_FACTORIES: Dict[str, Callable[..., Transport]] = {
+    "local": LocalTransport,
+    "tcp": TCPTransport,
+}
+
+
+@dataclass
+class ChoreographyResult:
+    """The outcome of one distributed execution of a choreography."""
+
+    census: Census
+    returns: Dict[Location, Any]
+    stats: ChannelStats
+    elapsed_seconds: float = 0.0
+    per_location_args: Dict[Location, Any] = field(default_factory=dict)
+
+    def value_at(self, location: Location) -> Any:
+        """The endpoint return value at ``location``, unwrapping located values."""
+        value = self.returns[location]
+        if isinstance(value, Located):
+            if value.is_present():
+                return value.peek()
+            return None
+        if isinstance(value, Faceted):
+            facets = value.visible_facets()
+            return facets.get(location)
+        return value
+
+    def present_values(self) -> Dict[Location, Any]:
+        """Every endpoint's unwrapped return value, skipping placeholders."""
+        unwrapped = {}
+        for location in self.census:
+            value = self.value_at(location)
+            if value is not None:
+                unwrapped[location] = value
+        return unwrapped
+
+
+def _resolve_transport(
+    transport: Union[str, Transport, None], census: Census, timeout: float
+) -> Transport:
+    if transport is None:
+        return LocalTransport(census, timeout=timeout)
+    if isinstance(transport, str):
+        try:
+            factory = TRANSPORT_FACTORIES[transport]
+        except KeyError:
+            raise ValueError(
+                f"unknown transport {transport!r}; choose from {sorted(TRANSPORT_FACTORIES)}"
+            ) from None
+        return factory(census, timeout=timeout)
+    return transport
+
+
+def run_choreography(
+    choreography: Choreography,
+    census: LocationsLike,
+    args: Sequence[Any] = (),
+    kwargs: Optional[Mapping[str, Any]] = None,
+    *,
+    location_args: Optional[Mapping[Location, Sequence[Any]]] = None,
+    transport: Union[str, Transport, None] = "local",
+    timeout: float = DEFAULT_TIMEOUT,
+) -> ChoreographyResult:
+    """Project ``choreography`` to every census member and run them concurrently.
+
+    Parameters
+    ----------
+    choreography:
+        A callable ``chor(op, *args, **kwargs)``.
+    census:
+        The locations participating in the top-level choreography.
+    args, kwargs:
+        Arguments passed identically to every endpoint (the usual case: the
+        choreography's own operators decide who does what with them).
+    location_args:
+        Optional per-location extra positional arguments, appended after
+        ``args``; used when endpoints genuinely start from different local
+        inputs (e.g. each party's secret in an MPC protocol).
+    transport:
+        ``"local"`` (threads + queues), ``"tcp"`` (loopback sockets), or a
+        pre-built :class:`~repro.runtime.transport.Transport`.
+    timeout:
+        Seconds an endpoint waits on a receive before declaring failure.
+
+    Returns
+    -------
+    ChoreographyResult
+        Per-location return values plus message statistics.
+    """
+    full_census = as_census(census).require_nonempty()
+    kwargs = dict(kwargs or {})
+    location_args = dict(location_args or {})
+    hub = _resolve_transport(transport, full_census, timeout)
+    owns_transport = not isinstance(transport, Transport)
+
+    # Materialize every endpoint up front so transports that need a rendezvous
+    # (e.g. TCP port discovery) are ready before any thread starts sending.
+    endpoints = {location: hub.endpoint(location) for location in full_census}
+
+    returns: Dict[Location, Any] = {}
+    failures: Dict[Location, BaseException] = {}
+    lock = threading.Lock()
+
+    def run_endpoint(location: Location) -> None:
+        endpoint_program = project(choreography, full_census, location, endpoints[location])
+        extra = tuple(location_args.get(location, ()))
+        try:
+            result = endpoint_program(*tuple(args) + extra, **kwargs)
+            with lock:
+                returns[location] = result
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            with lock:
+                failures[location] = exc
+
+    import time
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=run_endpoint, args=(location,), name=f"chor-{location}")
+        for location in full_census
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout * 2)
+    elapsed = time.perf_counter() - started
+
+    if owns_transport:
+        hub.close()
+
+    if failures:
+        # A crash at one endpoint typically makes its peers time out waiting for
+        # messages; report the root cause, not the induced timeouts.
+        def root_cause_first(item):
+            location, exc = item
+            return (isinstance(exc, TransportError), location)
+
+        location, original = sorted(failures.items(), key=root_cause_first)[0]
+        raise ChoreographyRuntimeError(location, original) from original
+
+    still_running = [thread.name for thread in threads if thread.is_alive()]
+    if still_running:
+        raise ChoreographyRuntimeError(
+            still_running[0].replace("chor-", ""),
+            TimeoutError("endpoint did not finish; the choreography may be deadlocked"),
+        )
+
+    return ChoreographyResult(
+        census=full_census,
+        returns=returns,
+        stats=hub.stats,
+        elapsed_seconds=elapsed,
+    )

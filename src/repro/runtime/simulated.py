@@ -1,0 +1,103 @@
+"""A deterministic simulated-network transport.
+
+The paper's efficiency story is about message *counts*; deployments also care
+about *latency*, which depends on how messages overlap.  This transport wraps
+:class:`~repro.runtime.local.LocalTransport` and charges a configurable
+per-message delay and per-byte bandwidth cost on the **receiving** side, using
+a virtual clock per endpoint: an endpoint's clock advances to
+``max(own clock, sender's clock at send time) + latency + bytes/bandwidth``
+whenever it receives.  The maximum endpoint clock after a run is the critical
+path length — a simple but useful proxy for protocol latency that lets the
+benchmarks compare, e.g., how the sequential OT chains of GMW dominate its
+runtime while the KVS's fan-outs overlap.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from ..core.locations import Location, LocationsLike
+from .local import LocalTransport
+from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint, serialize
+
+
+class _SimulatedEndpoint(TransportEndpoint):
+    """Wraps a queue endpoint, stamping payloads with virtual send times."""
+
+    def __init__(self, inner: TransportEndpoint, transport: "SimulatedNetworkTransport"):
+        super().__init__(inner.location, transport.stats, transport.timeout)
+        self._inner = inner
+        self._transport = transport
+
+    def send(self, receiver: Location, payload: Any) -> None:
+        send_time = self._transport.clock_of(self.location)
+        self._inner.send(receiver, (send_time, payload))
+
+    def recv(self, sender: Location) -> Any:
+        send_time, payload = self._inner.recv(sender)
+        nbytes = len(serialize(payload))
+        cost = self._transport.latency + nbytes / self._transport.bandwidth
+        self._transport.advance_clock(self.location, send_time + cost)
+        return payload
+
+
+class SimulatedNetworkTransport(Transport):
+    """A local transport with a virtual latency/bandwidth model.
+
+    Parameters
+    ----------
+    latency:
+        Virtual seconds added to every message (propagation + handshake).
+    bandwidth:
+        Virtual bytes per virtual second (serialisation cost of large payloads).
+    """
+
+    def __init__(
+        self,
+        census: LocationsLike,
+        *,
+        latency: float = 1.0,
+        bandwidth: float = 1_000_000.0,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        super().__init__(census, timeout)
+        if latency < 0 or bandwidth <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self._inner = LocalTransport(census, timeout=timeout)
+        self.stats = self._inner.stats
+        self._clocks: Dict[Location, float] = {location: 0.0 for location in self.census}
+        self._clock_lock = threading.Lock()
+
+    # -- virtual time ----------------------------------------------------------------
+
+    def clock_of(self, location: Location) -> float:
+        """The current virtual time at ``location``."""
+        with self._clock_lock:
+            return self._clocks[location]
+
+    def advance_clock(self, location: Location, at_least: float) -> None:
+        """Advance ``location``'s virtual clock to at least ``at_least``."""
+        with self._clock_lock:
+            self._clocks[location] = max(self._clocks[location], at_least)
+
+    @property
+    def critical_path(self) -> float:
+        """The largest endpoint clock: the virtual latency of the whole run."""
+        with self._clock_lock:
+            return max(self._clocks.values()) if self._clocks else 0.0
+
+    def clocks(self) -> Dict[Location, float]:
+        """A copy of every endpoint's virtual clock."""
+        with self._clock_lock:
+            return dict(self._clocks)
+
+    # -- transport plumbing ----------------------------------------------------------
+
+    def _make_endpoint(self, location: Location) -> TransportEndpoint:
+        return _SimulatedEndpoint(self._inner.endpoint(location), self)
+
+    def close(self) -> None:
+        self._inner.close()

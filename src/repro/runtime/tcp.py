@@ -1,0 +1,162 @@
+"""TCP transport: endpoints exchange length-prefixed messages over localhost.
+
+The paper's libraries run the same choreography unchanged over HTTP(S) between
+machines or over channels between threads.  This transport provides the
+socket-based half of that story without requiring a network: every location
+listens on a loopback port, messages are length-prefixed pickled frames tagged
+with the sender, and each endpoint demultiplexes incoming frames into
+per-sender FIFO queues so the ``recv(sender)`` discipline matches the abstract
+transport exactly.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import struct
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.errors import TransportError
+from ..core.locations import Location, LocationsLike
+from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint, deserialize, serialize
+
+_HEADER = struct.Struct("!I")
+
+
+def _send_frame(sock: socket.socket, data: bytes) -> None:
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class _TCPEndpoint(TransportEndpoint):
+    """One location's listening socket plus outgoing connections."""
+
+    def __init__(self, location: Location, transport: "TCPTransport", timeout: float):
+        super().__init__(location, transport.stats, timeout)
+        self._transport = transport
+        self._inboxes: Dict[Location, "queue.SimpleQueue[bytes]"] = {
+            peer: queue.SimpleQueue() for peer in transport.census if peer != location
+        }
+        self._out_sockets: Dict[Location, socket.socket] = {}
+        self._out_lock = threading.Lock()
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind(("127.0.0.1", 0))
+        self._server.listen(len(transport.census) + 4)
+        self.port = self._server.getsockname()[1]
+        self._closed = threading.Event()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"tcp-accept-{location}", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- incoming ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._server.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._reader_loop, args=(conn,), daemon=True,
+                name=f"tcp-read-{self.location}",
+            ).start()
+
+    def _reader_loop(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._closed.is_set():
+                header = _recv_exact(conn, _HEADER.size)
+                if header is None:
+                    return
+                (length,) = _HEADER.unpack(header)
+                frame = _recv_exact(conn, length)
+                if frame is None:
+                    return
+                sender, payload = deserialize(frame)
+                if sender in self._inboxes:
+                    self._inboxes[sender].put(payload)
+
+    # -- outgoing ------------------------------------------------------------------
+
+    def _connection_to(self, receiver: Location) -> socket.socket:
+        with self._out_lock:
+            sock = self._out_sockets.get(receiver)
+            if sock is None:
+                port = self._transport.port_of(receiver)
+                sock = socket.create_connection(("127.0.0.1", port), timeout=self._timeout)
+                self._out_sockets[receiver] = sock
+            return sock
+
+    def send(self, receiver: Location, payload: Any) -> None:
+        if receiver not in self._transport.census:
+            raise TransportError(f"unknown receiver {receiver!r}")
+        data = serialize(payload)
+        self._record(receiver, len(data))
+        try:
+            _send_frame(self._connection_to(receiver), serialize((self.location, payload)))
+        except OSError as exc:
+            raise TransportError(
+                f"{self.location!r} failed to send to {receiver!r}: {exc}"
+            ) from exc
+
+    def recv(self, sender: Location) -> Any:
+        if sender not in self._inboxes:
+            raise TransportError(f"unknown sender {sender!r}")
+        try:
+            return self._inboxes[sender].get(timeout=self._timeout)
+        except queue.Empty:
+            raise TransportError(
+                f"{self.location!r} timed out after {self._timeout}s waiting for a "
+                f"message from {sender!r}"
+            ) from None
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._server.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        with self._out_lock:
+            for sock in self._out_sockets.values():
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+            self._out_sockets.clear()
+
+
+class TCPTransport(Transport):
+    """Socket-based transport over the loopback interface.
+
+    All endpoints must be created (via :meth:`endpoint`) before any of them
+    sends, so that every listener's port is known; :func:`repro.runtime.runner.
+    run_choreography` does this automatically.
+    """
+
+    def __init__(self, census: LocationsLike, timeout: float = DEFAULT_TIMEOUT):
+        super().__init__(census, timeout)
+
+    def _make_endpoint(self, location: Location) -> TransportEndpoint:
+        return _TCPEndpoint(location, self, self.timeout)
+
+    def port_of(self, location: Location) -> int:
+        """The loopback port ``location`` listens on."""
+        endpoint = self.endpoint(location)
+        return endpoint.port  # type: ignore[attr-defined]
+
+    def close(self) -> None:
+        for endpoint in self._endpoints.values():
+            endpoint.close()  # type: ignore[attr-defined]

@@ -1,0 +1,96 @@
+"""Transport abstraction.
+
+HasChor, MultiChor, ChoRus and ChoreoTS all project a single choreography onto
+multiple interchangeable transport mechanisms (threads + channels on one
+machine, HTTP between machines, or user-written adapters).  This module
+defines the same seam for the Python library: a :class:`Transport` hands out
+one :class:`TransportEndpoint` per location; an endpoint can ``send`` to and
+``recv`` from peers; every payload is serialised so that message sizes are
+meaningful and endpoints never share mutable state.
+"""
+
+from __future__ import annotations
+
+import abc
+import pickle
+from typing import Any, Dict, Optional
+
+from ..core.errors import TransportError
+from ..core.locations import Census, Location, LocationsLike, as_census
+from .stats import ChannelStats
+
+#: Default number of seconds an endpoint waits for a message before concluding
+#: that the network of projected programs has deadlocked or crashed.
+DEFAULT_TIMEOUT = 30.0
+
+
+def serialize(payload: Any) -> bytes:
+    """Serialize a payload for transmission.
+
+    Uses :mod:`pickle`, which plays the role of MultiChor's ``Show``/``Read``
+    constraints: only values that survive a round-trip may be communicated.
+    """
+    try:
+        return pickle.dumps(payload)
+    except Exception as exc:  # pragma: no cover - defensive
+        raise TransportError(f"payload {payload!r} is not serializable: {exc}") from exc
+
+
+def deserialize(data: bytes) -> Any:
+    """Inverse of :func:`serialize`."""
+    try:
+        return pickle.loads(data)
+    except Exception as exc:  # pragma: no cover - defensive
+        raise TransportError(f"could not deserialize message: {exc}") from exc
+
+
+class TransportEndpoint(abc.ABC):
+    """One location's view of the transport: its own sends and receives."""
+
+    def __init__(self, location: Location, stats: ChannelStats, timeout: float):
+        self.location = location
+        self._stats = stats
+        self._timeout = timeout
+
+    @abc.abstractmethod
+    def send(self, receiver: Location, payload: Any) -> None:
+        """Deliver ``payload`` to ``receiver``; never blocks indefinitely."""
+
+    @abc.abstractmethod
+    def recv(self, sender: Location) -> Any:
+        """Return the next payload from ``sender``; raises
+        :class:`~repro.core.errors.TransportError` on timeout."""
+
+    def _record(self, receiver: Location, nbytes: int) -> None:
+        self._stats.record(self.location, receiver, nbytes)
+
+
+class Transport(abc.ABC):
+    """A communication substrate connecting a fixed census of locations."""
+
+    def __init__(self, census: LocationsLike, timeout: float = DEFAULT_TIMEOUT):
+        self.census: Census = as_census(census).require_nonempty()
+        self.stats = ChannelStats()
+        self.timeout = timeout
+        self._endpoints: Dict[Location, TransportEndpoint] = {}
+
+    @abc.abstractmethod
+    def _make_endpoint(self, location: Location) -> TransportEndpoint:
+        """Create the endpoint object for ``location``."""
+
+    def endpoint(self, location: Location) -> TransportEndpoint:
+        """Return (creating if necessary) the endpoint for ``location``."""
+        self.census.require_member(location)
+        if location not in self._endpoints:
+            self._endpoints[location] = self._make_endpoint(location)
+        return self._endpoints[location]
+
+    def close(self) -> None:
+        """Release any resources held by the transport (sockets, threads)."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *_exc: Any) -> Optional[bool]:
+        self.close()
+        return None

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.locations import Census
+from repro.runtime.central import CentralOp
+from repro.runtime.local import LocalTransport
+
+
+@pytest.fixture
+def abc_census() -> Census:
+    """A small three-party census used by many unit tests."""
+    return Census(["alice", "bob", "carol"])
+
+
+@pytest.fixture
+def cluster_census() -> Census:
+    """A client plus three servers, the shape of the KVS case study."""
+    return Census(["client", "s1", "s2", "s3"])
+
+
+@pytest.fixture
+def central_abc(abc_census) -> CentralOp:
+    """A centralized operator over the three-party census."""
+    return CentralOp(abc_census)
+
+
+@pytest.fixture
+def local_transport(abc_census) -> LocalTransport:
+    """An in-process transport for the three-party census."""
+    transport = LocalTransport(abc_census, timeout=5.0)
+    yield transport
+    transport.close()

@@ -1,0 +1,160 @@
+"""Unit tests for multiply-located values, faceted values, and quires."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import OwnershipError, PlaceholderError
+from repro.core.located import ABSENT, Faceted, Located, Quire
+from repro.core.locations import Census
+
+
+class TestLocated:
+    def test_present_value_unwraps_for_owner(self):
+        value = Located(["alice", "bob"], 42)
+        assert value.unwrap_for("alice") == 42
+        assert value.unwrap_for("bob") == 42
+
+    def test_non_owner_cannot_unwrap(self):
+        value = Located(["alice"], 42)
+        with pytest.raises(OwnershipError):
+            value.unwrap_for("bob")
+
+    def test_placeholder_cannot_unwrap_even_for_owner(self):
+        value = Located.absent(["alice"])
+        with pytest.raises(PlaceholderError):
+            value.unwrap_for("alice")
+
+    def test_owners_census(self):
+        value = Located(["alice", "bob"], 1)
+        assert isinstance(value.owners, Census)
+        assert list(value.owners) == ["alice", "bob"]
+
+    def test_unknown_owners_allowed_for_placeholders(self):
+        value = Located.absent(None)
+        assert value.owners is None
+        assert not value.is_present()
+
+    def test_empty_owner_set_rejected(self):
+        with pytest.raises(Exception):
+            Located([], 1)
+
+    def test_owned_by(self):
+        value = Located(["alice"], 1)
+        assert value.owned_by("alice")
+        assert not value.owned_by("bob")
+        assert not Located.absent(None).owned_by("alice")
+
+    def test_peek_only_on_present(self):
+        assert Located(["a"], 7).peek() == 7
+        with pytest.raises(PlaceholderError):
+            Located.absent(["a"]).peek()
+
+    def test_map_preserves_owners_and_absence(self):
+        present = Located(["a", "b"], 2).map(lambda x: x * 10)
+        assert present.peek() == 20
+        assert list(present.owners) == ["a", "b"]
+        absent = Located.absent(["a"]).map(lambda x: x * 10)
+        assert not absent.is_present()
+
+    def test_repr_mentions_state(self):
+        assert "absent" in repr(Located.absent(["a"]))
+        assert "42" in repr(Located(["a"], 42))
+
+    def test_absent_singleton_bool_is_an_error(self):
+        with pytest.raises(PlaceholderError):
+            bool(ABSENT)
+
+
+class TestFaceted:
+    def test_each_owner_sees_its_own_facet(self):
+        faceted = Faceted(["a", "b"], {"a": 1, "b": 2})
+        assert faceted.facet_for("a") == 1
+        assert faceted.facet_for("b") == 2
+
+    def test_plain_owner_cannot_see_other_facets(self):
+        faceted = Faceted(["a", "b"], {"a": 1, "b": 2})
+        with pytest.raises(OwnershipError):
+            faceted.facet_for("a", "b")
+
+    def test_common_owner_sees_every_facet(self):
+        faceted = Faceted(["a", "b"], {"a": 1, "b": 2}, common=["dealer"])
+        assert faceted.facet_for("dealer", "a") == 1
+        assert faceted.facet_for("dealer", "b") == 2
+
+    def test_non_owner_facet_rejected(self):
+        faceted = Faceted(["a"], {"a": 1})
+        with pytest.raises(OwnershipError):
+            faceted.facet_for("a", "z")
+
+    def test_facets_for_non_owners_rejected_at_construction(self):
+        with pytest.raises(OwnershipError):
+            Faceted(["a"], {"a": 1, "z": 2})
+
+    def test_missing_facet_is_a_placeholder_error(self):
+        faceted = Faceted(["a", "b"], {"a": 1})
+        with pytest.raises(PlaceholderError):
+            faceted.facet_for("b")
+
+    def test_localize_present_and_absent(self):
+        faceted = Faceted(["a", "b"], {"a": 1})
+        assert faceted.localize("a").peek() == 1
+        assert not faceted.localize("b").is_present()
+        with pytest.raises(Exception):
+            faceted.localize("z")
+
+    def test_to_quire_requires_all_facets(self):
+        complete = Faceted(["a", "b"], {"a": 1, "b": 2})
+        assert complete.to_quire().to_dict() == {"a": 1, "b": 2}
+        with pytest.raises(PlaceholderError):
+            Faceted(["a", "b"], {"a": 1}).to_quire()
+
+    def test_visible_facets_is_a_copy(self):
+        faceted = Faceted(["a"], {"a": 1})
+        copy = faceted.visible_facets()
+        copy["a"] = 99
+        assert faceted.facet_for("a") == 1
+
+    def test_has_facet(self):
+        faceted = Faceted(["a", "b"], {"a": 1})
+        assert faceted.has_facet("a")
+        assert not faceted.has_facet("b")
+
+
+class TestQuire:
+    def test_requires_complete_values(self):
+        with pytest.raises(OwnershipError, match="missing"):
+            Quire(["a", "b"], {"a": 1})
+
+    def test_rejects_extra_values(self):
+        with pytest.raises(OwnershipError, match="extra"):
+            Quire(["a"], {"a": 1, "b": 2})
+
+    def test_indexing_and_iteration(self):
+        quire = Quire(["a", "b"], {"a": 1, "b": 2})
+        assert quire["a"] == 1
+        assert dict(quire) == {"a": 1, "b": 2}
+        assert len(quire) == 2
+
+    def test_values_in_census_order(self):
+        quire = Quire(["b", "a"], {"a": 1, "b": 2})
+        assert quire.values() == (2, 1)
+
+    def test_from_function(self):
+        quire = Quire.from_function(["a", "bb"], len)
+        assert quire.to_dict() == {"a": 1, "bb": 2}
+
+    def test_map_and_modify(self):
+        quire = Quire(["a", "b"], {"a": 1, "b": 2})
+        assert quire.map(lambda v: v * 10).to_dict() == {"a": 10, "b": 20}
+        assert quire.modify("a", lambda v: v + 5).to_dict() == {"a": 6, "b": 2}
+        # the original is untouched (quires are persistent)
+        assert quire["a"] == 1
+
+    def test_equality(self):
+        assert Quire(["a"], {"a": 1}) == Quire(["a"], {"a": 1})
+        assert Quire(["a"], {"a": 1}) != Quire(["a"], {"a": 2})
+
+    def test_unknown_index_raises(self):
+        with pytest.raises(Exception):
+            Quire(["a"], {"a": 1})["b"]

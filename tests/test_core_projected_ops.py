@@ -1,0 +1,299 @@
+"""Unit tests for the projected choreographic operators (EPP-as-DI).
+
+These tests drive :class:`ProjectedOp` instances directly against an in-memory
+fake endpoint, so each operator's per-endpoint behaviour (who computes, who
+sends, who receives, who gets a placeholder) can be checked in isolation —
+without threads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import pytest
+
+from repro.core.epp import ProjectedOp, project
+from repro.core.errors import CensusError, OwnershipError, PlaceholderError
+from repro.core.located import Faceted, Located, Quire
+from repro.core.locations import Census
+
+
+class FakeEndpoint:
+    """Records sends; serves receives from a scripted queue."""
+
+    def __init__(self, location: str):
+        self.location = location
+        self.sent: List[Tuple[str, Any]] = []
+        self.inbox: Dict[str, List[Any]] = {}
+
+    def send(self, receiver: str, payload: Any) -> None:
+        self.sent.append((receiver, payload))
+
+    def recv(self, sender: str) -> Any:
+        return self.inbox[sender].pop(0)
+
+    def expect(self, sender: str, *payloads: Any) -> None:
+        self.inbox.setdefault(sender, []).extend(payloads)
+
+
+def make_op(census, target) -> Tuple[ProjectedOp, FakeEndpoint]:
+    endpoint = FakeEndpoint(target)
+    return ProjectedOp(census, target, endpoint), endpoint
+
+
+CENSUS = ["alice", "bob", "carol"]
+
+
+class TestLocally:
+    def test_runs_only_at_the_named_location(self):
+        op, _ = make_op(CENSUS, "alice")
+        value = op.locally("alice", lambda _un: 42)
+        assert value.peek() == 42
+        assert list(value.owners) == ["alice"]
+
+    def test_other_endpoints_skip_and_get_placeholders(self):
+        op, _ = make_op(CENSUS, "bob")
+        calls = []
+        value = op.locally("alice", lambda _un: calls.append(1))
+        assert not value.is_present()
+        assert calls == []
+
+    def test_location_must_be_in_census(self):
+        op, _ = make_op(CENSUS, "alice")
+        with pytest.raises(CensusError):
+            op.locally("mallory", lambda _un: 1)
+
+    def test_unwrapper_reads_own_located_values(self):
+        op, _ = make_op(CENSUS, "alice")
+        first = op.locally("alice", lambda _un: 10)
+        second = op.locally("alice", lambda un: un(first) + 1)
+        assert second.peek() == 11
+
+    def test_unwrapper_rejects_other_parties_values(self):
+        op, _ = make_op(CENSUS, "bob")
+        foreign = Located(["alice"], 10)
+        with pytest.raises(OwnershipError):
+            op.locally("bob", lambda un: un(foreign))
+
+    def test_unwrapper_reads_faceted_own_facet(self):
+        op, _ = make_op(CENSUS, "carol")
+        faceted = Faceted(CENSUS, {"carol": 7})
+        value = op.locally("carol", lambda un: un(faceted))
+        assert value.peek() == 7
+
+    def test_unwrapper_rejects_plain_values(self):
+        op, _ = make_op(CENSUS, "alice")
+        with pytest.raises(TypeError):
+            op.locally("alice", lambda un: un(42))
+
+    def test_locally_underscore_ignores_unwrapper(self):
+        op, _ = make_op(CENSUS, "alice")
+        assert op.locally_("alice", lambda: "hi").peek() == "hi"
+
+
+class TestMulticastAndComm:
+    def test_sender_sends_to_each_recipient_once(self):
+        op, endpoint = make_op(CENSUS, "alice")
+        payload = op.locally("alice", lambda _un: "msg")
+        shared = op.multicast("alice", ["bob", "carol"], payload)
+        assert endpoint.sent == [("bob", "msg"), ("carol", "msg")]
+        assert not shared.is_present()  # alice is not among the recipients
+
+    def test_sender_keeps_value_when_among_recipients(self):
+        op, endpoint = make_op(CENSUS, "alice")
+        payload = op.locally("alice", lambda _un: "msg")
+        shared = op.multicast("alice", ["alice", "bob"], payload)
+        assert shared.peek() == "msg"
+        assert endpoint.sent == [("bob", "msg")]
+
+    def test_recipient_receives(self):
+        op, endpoint = make_op(CENSUS, "bob")
+        endpoint.expect("alice", "msg")
+        shared = op.multicast("alice", ["bob", "carol"], Located.absent(["alice"]))
+        assert shared.peek() == "msg"
+        assert list(shared.owners) == ["bob", "carol"]
+
+    def test_bystander_gets_placeholder_and_no_traffic(self):
+        op, endpoint = make_op(CENSUS, "carol")
+        shared = op.multicast("alice", ["bob"], Located.absent(["alice"]))
+        assert not shared.is_present()
+        assert endpoint.sent == []
+
+    def test_sender_must_own_the_payload(self):
+        op, _ = make_op(CENSUS, "alice")
+        foreign = Located(["bob"], 1)
+        with pytest.raises(OwnershipError):
+            op.multicast("alice", ["bob"], foreign)
+
+    def test_payload_must_be_located(self):
+        op, _ = make_op(CENSUS, "alice")
+        with pytest.raises(OwnershipError, match="Located"):
+            op.multicast("alice", ["bob"], 42)
+
+    def test_recipients_must_be_in_census(self):
+        op, _ = make_op(CENSUS, "alice")
+        with pytest.raises(CensusError):
+            op.multicast("alice", ["mallory"], Located(["alice"], 1))
+
+    def test_comm_is_point_to_point(self):
+        op, endpoint = make_op(CENSUS, "alice")
+        payload = op.locally("alice", lambda _un: 5)
+        result = op.comm("alice", "bob", payload)
+        assert endpoint.sent == [("bob", 5)]
+        assert not result.is_present()
+        assert list(result.owners) == ["bob"]
+
+
+class TestNakedAndBroadcast:
+    def test_naked_requires_whole_census_ownership(self):
+        op, _ = make_op(CENSUS, "alice")
+        partial = Located(CENSUS[:2], 1)
+        with pytest.raises(OwnershipError):
+            op.naked(partial)
+
+    def test_naked_unwraps_census_wide_value(self):
+        op, _ = make_op(CENSUS, "bob")
+        value = Located(CENSUS, "shared")
+        assert op.naked(value) == "shared"
+
+    def test_naked_rejects_non_located(self):
+        op, _ = make_op(CENSUS, "alice")
+        with pytest.raises(OwnershipError):
+            op.naked("plain")
+
+    def test_broadcast_from_sender_counts_messages(self):
+        op, endpoint = make_op(CENSUS, "alice")
+        payload = op.locally("alice", lambda _un: True)
+        assert op.broadcast("alice", payload) is True
+        assert [receiver for receiver, _ in endpoint.sent] == ["bob", "carol"]
+
+    def test_broadcast_at_receiver(self):
+        op, endpoint = make_op(CENSUS, "carol")
+        endpoint.expect("alice", False)
+        assert op.broadcast("alice", Located.absent(["alice"])) is False
+
+
+class TestCongruently:
+    def test_replicas_compute_and_share_ownership(self):
+        op, _ = make_op(CENSUS, "bob")
+        value = op.congruently(["alice", "bob"], lambda _un: 9)
+        assert value.peek() == 9
+        assert list(value.owners) == ["alice", "bob"]
+
+    def test_non_replica_gets_placeholder(self):
+        op, _ = make_op(CENSUS, "carol")
+        value = op.congruently(["alice", "bob"], lambda _un: 9)
+        assert not value.is_present()
+
+    def test_reads_must_be_owned_by_every_replica(self):
+        op, _ = make_op(CENSUS, "alice")
+        only_alice = Located(["alice"], 3)
+        with pytest.raises(OwnershipError, match="every"):
+            op.congruently(["alice", "bob"], lambda un: un(only_alice))
+
+    def test_reads_of_fully_shared_values_are_fine(self):
+        op, _ = make_op(CENSUS, "alice")
+        shared = Located(["alice", "bob"], 3)
+        value = op.congruently(["alice", "bob"], lambda un: un(shared) * 2)
+        assert value.peek() == 6
+
+
+class TestConclave:
+    def test_member_runs_sub_choreography_with_narrowed_census(self):
+        op, _ = make_op(CENSUS, "alice")
+        seen = {}
+
+        def sub(inner):
+            seen["census"] = list(inner.census)
+            return "done"
+
+        result = op.conclave(["alice", "bob"], sub)
+        assert seen["census"] == ["alice", "bob"]
+        assert result.peek() == "done"
+        assert list(result.owners) == ["alice", "bob"]
+
+    def test_non_member_skips_entirely(self):
+        op, _ = make_op(CENSUS, "carol")
+        calls = []
+        result = op.conclave(["alice", "bob"], lambda inner: calls.append(1))
+        assert calls == []
+        assert not result.is_present()
+
+    def test_sub_census_must_be_subset(self):
+        op, _ = make_op(CENSUS, "alice")
+        with pytest.raises(CensusError):
+            op.conclave(["alice", "mallory"], lambda inner: None)
+
+    def test_broadcast_inside_conclave_skips_outsiders(self):
+        op, endpoint = make_op(CENSUS, "alice")
+
+        def sub(inner):
+            payload = inner.locally("alice", lambda _un: 1)
+            return inner.broadcast("alice", payload)
+
+        op.conclave(["alice", "bob"], sub)
+        assert [receiver for receiver, _ in endpoint.sent] == ["bob"]
+
+    def test_conclave_passes_extra_arguments(self):
+        op, _ = make_op(CENSUS, "alice")
+        result = op.conclave(["alice"], lambda inner, x, y=0: x + y, 1, y=2)
+        assert result.peek() == 3
+
+    def test_flatten_unnests_conclave_results(self):
+        op, _ = make_op(CENSUS, "alice")
+        nested = op.conclave(
+            ["alice", "bob"], lambda inner: inner.locally("alice", lambda _un: 5)
+        )
+        flat = op.flatten(nested)
+        assert flat.peek() == 5
+        assert list(flat.owners) == ["alice"]
+
+    def test_flatten_of_placeholder_is_placeholder(self):
+        op, _ = make_op(CENSUS, "carol")
+        nested = op.conclave(
+            ["alice", "bob"], lambda inner: inner.locally("alice", lambda _un: 5)
+        )
+        assert not op.flatten(nested).is_present()
+
+    def test_flatten_requires_nested_located(self):
+        op, _ = make_op(CENSUS, "alice")
+        flat_value = op.locally("alice", lambda _un: 5)
+        with pytest.raises(OwnershipError):
+            op.flatten(flat_value)
+
+    def test_conclave_to_annotates_result_owners(self):
+        op, _ = make_op(CENSUS, "carol")
+        result = op.conclave_to(
+            ["alice", "bob"], ["alice"],
+            lambda inner: inner.locally("alice", lambda _un: 5),
+        )
+        assert not result.is_present()
+        assert list(result.owners) == ["alice"]
+
+
+class TestRestrictAndLocation:
+    def test_restrict_shrinks_ownership_for_kept_member(self):
+        op, _ = make_op(CENSUS, "alice")
+        wide = Located(CENSUS, 1)
+        narrow = op.restrict(wide, ["alice"])
+        assert narrow.peek() == 1
+        assert list(narrow.owners) == ["alice"]
+
+    def test_restrict_drops_value_for_forgotten_member(self):
+        op, _ = make_op(CENSUS, "bob")
+        wide = Located(CENSUS, 1)
+        narrow = op.restrict(wide, ["alice"])
+        assert not narrow.is_present()
+
+    def test_location_property(self):
+        op, _ = make_op(CENSUS, "bob")
+        assert op.location == "bob"
+
+    def test_project_builds_named_endpoint_program(self):
+        def chor(op):
+            return op.broadcast("alice", op.locally("alice", lambda _un: 1))
+
+        endpoint = FakeEndpoint("alice")
+        program = project(chor, CENSUS, "alice", endpoint)
+        assert "alice" in program.__name__
+        assert program() == 1

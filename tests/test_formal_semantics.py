@@ -1,0 +1,257 @@
+"""Tests for λC's centralized semantics, EPP, λL, and the λN network semantics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.formal.local_lang import (
+    BOTTOM,
+    LApp,
+    LBottom,
+    LCase,
+    LInl,
+    LLam,
+    LPair,
+    LRecv,
+    LSend,
+    LUnit,
+    LVar,
+    LVec,
+    LocalStuckError,
+    find_redex,
+    floor,
+    is_local_value,
+)
+from repro.formal.network import apply_step, enabled_steps, run_network
+from repro.formal.projection import project, project_network
+from repro.formal.semantics import StuckError, evaluate, step, substitute, trace
+from repro.formal.syntax import (
+    App,
+    Case,
+    Com,
+    Fst,
+    Inl,
+    Inr,
+    Lam,
+    Lookup,
+    Pair,
+    Snd,
+    TData,
+    Unit,
+    UnitData,
+    Var,
+    Vec,
+    parties,
+)
+
+A = parties("a")
+AB = parties("a", "b")
+ABC = parties("a", "b", "c")
+UNIT = UnitData()
+
+
+def unit_at(*names):
+    return Unit(parties(*names))
+
+
+class TestCentralSemantics:
+    def test_values_do_not_step(self):
+        assert step(unit_at("a")) is None
+        assert step(Pair(unit_at("a"), unit_at("a"))) is None
+
+    def test_identity_application(self):
+        lam = Lam("x", TData(UNIT, AB), Var("x"), AB)
+        expr = App(lam, unit_at("a", "b", "c"))
+        assert evaluate(expr) == unit_at("a", "b")  # masked to the lambda's owners
+
+    def test_projection_operators(self):
+        pair = Pair(unit_at("a", "b"), Inl(unit_at("a", "b")))
+        assert evaluate(App(Fst(A), pair)) == unit_at("a")
+        assert evaluate(App(Snd(A), pair)) == Inl(unit_at("a"))
+        vec = Vec((unit_at("a", "b"), Inr(unit_at("a", "b"))))
+        assert evaluate(App(Lookup(1, AB), vec)) == Inr(unit_at("a", "b"))
+
+    def test_communication_retargets_ownership(self):
+        expr = App(Com("a", parties("b", "c")), unit_at("a"))
+        assert evaluate(expr) == unit_at("b", "c")
+
+    def test_communication_of_structured_data(self):
+        payload = Pair(Inl(unit_at("a")), unit_at("a"))
+        expr = App(Com("a", parties("b")), payload)
+        assert evaluate(expr) == Pair(Inl(unit_at("b")), unit_at("b"))
+
+    def test_case_left_and_right(self):
+        left = Case(AB, Inl(unit_at("a", "b")), "x", Var("x"), "y", unit_at("a"))
+        assert evaluate(left) == unit_at("a", "b")
+        right = Case(AB, Inr(unit_at("a", "b")), "x", unit_at("a"), "y", Var("y"))
+        assert evaluate(right) == unit_at("a", "b")
+
+    def test_nested_reduction_order(self):
+        inner = App(Com("a", parties("b")), unit_at("a"))
+        outer = App(Com("b", parties("c")), inner)
+        states = trace(outer)
+        # the argument reduces before the outer com fires
+        assert states[-1] == unit_at("c")
+        assert len(states) == 3
+
+    def test_stuck_expression_raises(self):
+        with pytest.raises(StuckError):
+            evaluate(App(unit_at("a"), unit_at("a")))
+
+    def test_masked_substitution_respects_conclaves(self):
+        # Substituting a value owned by {a} into a lambda owned by {b} is a no-op.
+        lam = Lam("y", TData(UNIT, parties("b")), Var("x"), parties("b"))
+        substituted = substitute(lam, "x", unit_at("a"))
+        assert substituted == lam
+
+    def test_substitution_masks_at_conclave_boundary(self):
+        lam = Lam("y", TData(UNIT, A), Var("x"), A)
+        substituted = substitute(lam, "x", unit_at("a", "b"))
+        assert substituted == Lam("y", TData(UNIT, A), unit_at("a"), A)
+
+    def test_substitution_shadowing(self):
+        lam = Lam("x", TData(UNIT, A), Var("x"), A)
+        assert substitute(lam, "x", unit_at("a")) == lam
+
+
+class TestFloorAndLocalLanguage:
+    def test_floor_removes_bottom_applications(self):
+        assert floor(LApp(BOTTOM, LUnit())) == BOTTOM
+        # a non-value argument keeps the application alive
+        pending = LApp(BOTTOM, LApp(LRecv("a"), BOTTOM))
+        assert isinstance(floor(pending), LApp)
+
+    def test_floor_collapses_bottom_structures(self):
+        assert floor(LPair(BOTTOM, BOTTOM)) == BOTTOM
+        assert floor(LInl(BOTTOM)) == BOTTOM
+        assert floor(LVec((BOTTOM, BOTTOM))) == BOTTOM
+        assert floor(LCase(BOTTOM, "x", LUnit(), "y", LUnit())) == BOTTOM
+
+    def test_floor_preserves_partial_structures(self):
+        assert floor(LPair(LUnit(), BOTTOM)) == LPair(LUnit(), BOTTOM)
+
+    def test_floor_is_idempotent(self):
+        exprs = [
+            LApp(BOTTOM, LUnit()),
+            LPair(BOTTOM, BOTTOM),
+            LLam("x", LApp(BOTTOM, LVar("x"))),
+        ]
+        for expr in exprs:
+            assert floor(floor(expr)) == floor(expr)
+
+    def test_find_redex_on_values_is_none(self):
+        assert find_redex(LUnit()) is None
+        assert find_redex(BOTTOM) is None
+
+    def test_find_redex_beta(self):
+        redex = find_redex(LApp(LLam("x", LVar("x")), LUnit()))
+        assert redex.kind == "local"
+        assert redex.reduce_local() == LUnit()
+
+    def test_find_redex_send_and_recv(self):
+        send = find_redex(LApp(LSend(frozenset({"b"})), LUnit()))
+        assert send.kind == "send" and send.recipients == frozenset({"b"})
+        recv = find_redex(LApp(LRecv("a"), BOTTOM))
+        assert recv.kind == "recv" and recv.sender == "a"
+
+    def test_find_redex_stuck(self):
+        with pytest.raises(LocalStuckError):
+            find_redex(LApp(LUnit(), LUnit()))
+
+
+class TestProjection:
+    def test_com_projection_shapes(self):
+        expr = Com("a", parties("a", "b"))
+        assert project(expr, "a") == LSend(frozenset({"b"}), keep_self=True)
+        assert project(expr, "b") == LRecv("a")
+        assert project(expr, "c") == BOTTOM
+        plain = Com("a", parties("b"))
+        assert project(plain, "a") == LSend(frozenset({"b"}), keep_self=False)
+
+    def test_unit_projection(self):
+        expr = unit_at("a", "b")
+        assert project(expr, "a") == LUnit()
+        assert project(expr, "c") == BOTTOM
+
+    def test_case_projection_for_non_owner_is_skippable(self):
+        expr = Case(AB, Inl(unit_at("a", "b")), "x", Var("x"), "y", unit_at("a"))
+        assert project(expr, "c") == BOTTOM
+
+    def test_application_projection_floors(self):
+        expr = App(Com("a", parties("b")), unit_at("a"))
+        assert project(expr, "c") == BOTTOM
+
+    def test_project_network_covers_all_roles(self):
+        expr = App(Com("a", parties("b", "c")), unit_at("a"))
+        network = project_network(expr)
+        assert set(network) == {"a", "b", "c"}
+
+
+class TestNetworkSemantics:
+    def choreography(self):
+        scrutinee = App(Com("a", parties("b", "c")), Inl(unit_at("a")))
+        return Case(
+            parties("b", "c"),
+            scrutinee,
+            "x",
+            App(Com("b", parties("c")), Var("x")),
+            "y",
+            unit_at("c"),
+        )
+
+    def test_network_runs_to_completion(self):
+        run = run_network(project_network(self.choreography()))
+        assert run.completed
+        assert run.message_count == 3  # multicast to two parties + b→c forward
+
+    def test_network_final_state_matches_projection_of_central_value(self):
+        expr = self.choreography()
+        value = evaluate(expr)
+        run = run_network(project_network(expr))
+        for party in ("a", "b", "c"):
+            assert run.network[party] == project(value, party)
+
+    def test_randomised_schedules_agree(self):
+        expr = self.choreography()
+        value = evaluate(expr)
+        for seed in range(5):
+            run = run_network(project_network(expr), rng=random.Random(seed))
+            assert run.completed
+            assert run.network["c"] == project(value, "c")
+
+    def test_enabled_steps_require_matching_receivers(self):
+        network = {
+            "a": LApp(LSend(frozenset({"b"})), LUnit()),
+            "b": LUnit(),  # b is not ready to receive
+        }
+        assert enabled_steps(network) == []
+
+    def test_comm_step_delivers_payload(self):
+        network = {
+            "a": LApp(LSend(frozenset({"b"})), LUnit()),
+            "b": LApp(LRecv("a"), BOTTOM),
+        }
+        steps = enabled_steps(network)
+        assert len(steps) == 1 and steps[0].kind == "comm"
+        after = apply_step(network, steps[0])
+        assert after["a"] == BOTTOM
+        assert after["b"] == LUnit()
+
+    def test_deadlocked_network_is_reported(self):
+        network = {
+            "a": LApp(LRecv("b"), BOTTOM),
+            "b": LApp(LRecv("a"), BOTTOM),
+        }
+        run = run_network(network, max_steps=10)
+        assert run.status == "deadlock"
+
+    def test_send_star_keeps_value_at_sender(self):
+        network = {
+            "a": LApp(LSend(frozenset({"b"}), keep_self=True), LUnit()),
+            "b": LApp(LRecv("a"), BOTTOM),
+        }
+        run = run_network(network)
+        assert run.network["a"] == LUnit()
+        assert run.network["b"] == LUnit()

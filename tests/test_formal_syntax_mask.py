@@ -1,0 +1,134 @@
+"""Tests for λC syntax, the roles function, and the ▷ mask operator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.formal.mask import mask_is_noop, mask_type, mask_value
+from repro.formal.syntax import (
+    App,
+    Case,
+    Com,
+    Fst,
+    Inl,
+    Inr,
+    Lam,
+    Lookup,
+    Pair,
+    ProdData,
+    Snd,
+    SumData,
+    TData,
+    TFun,
+    TVec,
+    Unit,
+    UnitData,
+    Var,
+    Vec,
+    FormalSyntaxError,
+    is_value,
+    parties,
+    roles,
+)
+
+AB = parties("a", "b")
+ABC = parties("a", "b", "c")
+
+
+class TestSyntax:
+    def test_owner_annotations_must_be_nonempty(self):
+        with pytest.raises(FormalSyntaxError):
+            Unit(frozenset())
+        with pytest.raises(FormalSyntaxError):
+            Lam("x", TData(UnitData(), AB), Var("x"), frozenset())
+        with pytest.raises(FormalSyntaxError):
+            Com("a", frozenset())
+
+    def test_values_are_recognised(self):
+        assert is_value(Unit(AB))
+        assert is_value(Inl(Unit(AB)))
+        assert is_value(Pair(Unit(AB), Unit(AB)))
+        assert is_value(Com("a", AB))
+        assert not is_value(App(Com("a", AB), Unit(AB)))
+        assert not is_value(
+            Case(AB, Inl(Unit(AB)), "x", Var("x"), "x", Var("x"))
+        )
+
+    def test_roles_collects_every_mentioned_party(self):
+        expr = App(Com("a", parties("b", "c")), Inl(Unit(parties("a"))))
+        assert roles(expr) == ABC
+
+    def test_roles_of_case_and_lambda(self):
+        lam = Lam("x", TData(UnitData(), parties("a")), Unit(parties("a")), parties("a"))
+        case = Case(parties("b"), Inl(Unit(parties("b"))), "x", Unit(parties("b")), "x", Unit(parties("b")))
+        assert roles(lam) == parties("a")
+        assert roles(case) == parties("b")
+
+    def test_str_forms_are_readable(self):
+        assert "com" in str(Com("a", AB))
+        assert "λ" in str(Lam("x", TData(UnitData(), AB), Var("x"), AB))
+        assert "case" in str(Case(AB, Inl(Unit(AB)), "x", Var("x"), "x", Var("x")))
+
+
+class TestMaskType:
+    def test_data_type_intersects_owners(self):
+        assert mask_type(TData(UnitData(), ABC), AB) == TData(UnitData(), AB)
+
+    def test_data_type_disjoint_is_undefined(self):
+        assert mask_type(TData(UnitData(), parties("c")), AB) is None
+
+    def test_function_type_requires_all_owners(self):
+        fun = TFun(TData(UnitData(), AB), TData(UnitData(), AB), AB)
+        assert mask_type(fun, ABC) == fun
+        assert mask_type(fun, parties("a")) is None
+
+    def test_vector_type_masks_pointwise(self):
+        vec = TVec((TData(UnitData(), ABC), TData(UnitData(), AB)))
+        masked = mask_type(vec, AB)
+        assert masked == TVec((TData(UnitData(), AB), TData(UnitData(), AB)))
+
+    def test_vector_type_undefined_if_any_item_is(self):
+        vec = TVec((TData(UnitData(), parties("c")),))
+        assert mask_type(vec, AB) is None
+
+    def test_mask_is_noop(self):
+        assert mask_is_noop(TData(UnitData(), AB), AB)
+        assert not mask_is_noop(TData(UnitData(), ABC), AB)
+
+
+class TestMaskValue:
+    def test_unit_intersects(self):
+        assert mask_value(Unit(ABC), AB) == Unit(AB)
+        assert mask_value(Unit(parties("c")), AB) is None
+
+    def test_variables_unchanged(self):
+        assert mask_value(Var("x"), AB) == Var("x")
+
+    def test_lambda_requires_subset(self):
+        lam = Lam("x", TData(UnitData(), AB), Var("x"), AB)
+        assert mask_value(lam, ABC) == lam
+        assert mask_value(lam, parties("a")) is None
+
+    def test_injections_and_pairs_recurse(self):
+        value = Inl(Pair(Unit(ABC), Unit(ABC)))
+        masked = mask_value(value, AB)
+        assert masked == Inl(Pair(Unit(AB), Unit(AB)))
+
+    def test_pair_undefined_if_component_undefined(self):
+        value = Pair(Unit(parties("c")), Unit(ABC))
+        assert mask_value(value, AB) is None
+
+    def test_vector_masks_pointwise(self):
+        value = Vec((Unit(ABC), Unit(AB)))
+        assert mask_value(value, AB) == Vec((Unit(AB), Unit(AB)))
+
+    def test_operators_require_subsets(self):
+        assert mask_value(Fst(AB), ABC) == Fst(AB)
+        assert mask_value(Fst(ABC), AB) is None
+        assert mask_value(Lookup(0, AB), AB) == Lookup(0, AB)
+        assert mask_value(Com("a", AB), ABC) == Com("a", AB)
+        assert mask_value(Com("c", AB), AB) is None
+
+    def test_masking_rejects_non_values(self):
+        with pytest.raises(TypeError):
+            mask_value(App(Com("a", AB), Unit(AB)), AB)

@@ -1,0 +1,200 @@
+"""Tests for the λC typing rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.formal.syntax import (
+    App,
+    Case,
+    Com,
+    Fst,
+    Inl,
+    Inr,
+    Lam,
+    Lookup,
+    Pair,
+    ProdData,
+    Snd,
+    SumData,
+    TData,
+    TFun,
+    TVec,
+    Unit,
+    UnitData,
+    Var,
+    Vec,
+    parties,
+)
+from repro.formal.typecheck import FormalTypeError, typecheck
+
+A = parties("a")
+AB = parties("a", "b")
+ABC = parties("a", "b", "c")
+UNIT = UnitData()
+
+
+class TestValueTyping:
+    def test_unit(self):
+        assert typecheck(ABC, Unit(AB)) == TData(UNIT, AB)
+
+    def test_unit_outside_census_rejected(self):
+        with pytest.raises(FormalTypeError, match="TUnit"):
+            typecheck(A, Unit(AB))
+
+    def test_empty_census_rejected(self):
+        with pytest.raises(FormalTypeError, match="census"):
+            typecheck(frozenset(), Unit(A))
+
+    def test_injections(self):
+        assert typecheck(AB, Inl(Unit(AB), UNIT)) == TData(SumData(UNIT, UNIT), AB)
+        assert typecheck(AB, Inr(Unit(AB), UNIT)) == TData(SumData(UNIT, UNIT), AB)
+
+    def test_injection_annotation_fixes_other_branch(self):
+        annotated = Inl(Unit(AB), ProdData(UNIT, UNIT))
+        assert typecheck(AB, annotated) == TData(SumData(UNIT, ProdData(UNIT, UNIT)), AB)
+
+    def test_pair_intersects_owners(self):
+        pair = Pair(Unit(ABC), Unit(AB))
+        assert typecheck(ABC, pair) == TData(ProdData(UNIT, UNIT), AB)
+
+    def test_pair_with_disjoint_owners_rejected(self):
+        pair = Pair(Unit(parties("a")), Unit(parties("b")))
+        with pytest.raises(FormalTypeError, match="TPair"):
+            typecheck(AB, pair)
+
+    def test_vector(self):
+        vec = Vec((Unit(AB), Inl(Unit(AB))))
+        observed = typecheck(AB, vec)
+        assert isinstance(observed, TVec) and len(observed.items) == 2
+
+    def test_lambda_types_body_in_conclave(self):
+        lam = Lam("x", TData(UNIT, A), Var("x"), A)
+        assert typecheck(ABC, lam) == TFun(TData(UNIT, A), TData(UNIT, A), A)
+
+    def test_lambda_param_type_must_be_masked(self):
+        lam = Lam("x", TData(UNIT, AB), Var("x"), A)
+        with pytest.raises(FormalTypeError, match="TLambda"):
+            typecheck(ABC, lam)
+
+    def test_lambda_owners_must_be_in_census(self):
+        lam = Lam("x", TData(UNIT, AB), Var("x"), AB)
+        with pytest.raises(FormalTypeError, match="TLambda"):
+            typecheck(A, lam)
+
+    def test_lambda_body_cannot_use_parties_outside_conclave(self):
+        body = App(Com("a", parties("b")), Var("x"))
+        lam = Lam("x", TData(UNIT, A), body, A)
+        with pytest.raises(FormalTypeError, match="TCom"):
+            typecheck(AB, lam)
+
+    def test_free_variable_rejected(self):
+        with pytest.raises(FormalTypeError, match="unbound"):
+            typecheck(AB, Var("x"))
+
+    def test_variable_masked_by_census(self):
+        lam = Lam("x", TData(UNIT, AB), Var("x"), AB)
+        app = App(lam, Unit(AB))
+        assert typecheck(AB, app) == TData(UNIT, AB)
+
+    def test_operator_values_are_ambiguous_standalone(self):
+        with pytest.raises(FormalTypeError, match="schematic"):
+            typecheck(AB, Fst(AB))
+
+
+class TestCommunicationTyping:
+    def test_multicast_retargets_owners(self):
+        expr = App(Com("a", parties("b", "c")), Unit(A))
+        assert typecheck(ABC, expr) == TData(UNIT, parties("b", "c"))
+
+    def test_sender_must_own_payload(self):
+        expr = App(Com("a", parties("b")), Unit(parties("b")))
+        with pytest.raises(FormalTypeError, match="must own"):
+            typecheck(AB, expr)
+
+    def test_participants_must_be_in_census(self):
+        expr = App(Com("a", parties("c")), Unit(A))
+        with pytest.raises(FormalTypeError, match="TCom"):
+            typecheck(AB, expr)
+
+    def test_only_data_can_be_communicated(self):
+        lam = Lam("x", TData(UNIT, A), Var("x"), A)
+        expr = App(Com("a", parties("b")), lam)
+        with pytest.raises(FormalTypeError, match="data"):
+            typecheck(AB, expr)
+
+    def test_self_multicast_is_legal(self):
+        expr = App(Com("a", A), Unit(A))
+        assert typecheck(AB, expr) == TData(UNIT, A)
+
+
+class TestCaseTyping:
+    def scrutinee(self, owners):
+        return Inl(Unit(owners), UNIT)
+
+    def test_well_typed_case(self):
+        expr = Case(AB, self.scrutinee(AB), "x", Var("x"), "y", Unit(AB))
+        assert typecheck(ABC, expr) == TData(UNIT, AB)
+
+    def test_branch_types_must_agree(self):
+        expr = Case(AB, self.scrutinee(AB), "x", Unit(A), "y", Unit(AB))
+        with pytest.raises(FormalTypeError, match="same type"):
+            typecheck(ABC, expr)
+
+    def test_owners_must_be_in_census(self):
+        expr = Case(ABC, self.scrutinee(ABC), "x", Var("x"), "y", Unit(ABC))
+        with pytest.raises(FormalTypeError):
+            typecheck(AB, expr)
+
+    def test_scrutinee_must_mask_to_sum_at_owners(self):
+        expr = Case(AB, Unit(AB), "x", Unit(AB), "y", Unit(AB))
+        with pytest.raises(FormalTypeError, match="TCase"):
+            typecheck(ABC, expr)
+
+    def test_branches_are_conclaved(self):
+        # Inside the branches only {a, b} exist, so sending to c is an error.
+        body = App(Com("a", parties("c")), Var("x"))
+        expr = Case(AB, self.scrutinee(AB), "x", body, "y", Unit(parties("c")))
+        with pytest.raises(FormalTypeError):
+            typecheck(ABC, expr)
+
+    def test_scrutinee_owned_by_superset_is_fine(self):
+        expr = Case(AB, self.scrutinee(ABC), "x", Var("x"), "y", Unit(AB))
+        assert typecheck(ABC, expr) == TData(UNIT, AB)
+
+
+class TestApplicationAndProjections:
+    def test_identity_application(self):
+        lam = Lam("x", TData(UNIT, AB), Var("x"), AB)
+        assert typecheck(ABC, App(lam, Unit(ABC))) == TData(UNIT, AB)
+
+    def test_argument_must_mask_to_parameter(self):
+        lam = Lam("x", TData(UNIT, AB), Var("x"), AB)
+        with pytest.raises(FormalTypeError, match="TApp"):
+            typecheck(ABC, App(lam, Unit(parties("c"))))
+
+    def test_non_function_application_rejected(self):
+        with pytest.raises(FormalTypeError, match="TApp"):
+            typecheck(AB, App(Unit(AB), Unit(AB)))
+
+    def test_fst_and_snd(self):
+        pair = Pair(Unit(AB), Inl(Unit(AB)))
+        assert typecheck(AB, App(Fst(A), pair)) == TData(UNIT, A)
+        assert typecheck(AB, App(Snd(A), pair)) == TData(SumData(UNIT, UNIT), A)
+
+    def test_fst_requires_pair(self):
+        with pytest.raises(FormalTypeError, match="TProj"):
+            typecheck(AB, App(Fst(A), Unit(AB)))
+
+    def test_lookup(self):
+        vec = Vec((Unit(AB), Inl(Unit(AB))))
+        assert typecheck(AB, App(Lookup(1, AB), vec)) == TData(SumData(UNIT, UNIT), AB)
+
+    def test_lookup_out_of_range(self):
+        vec = Vec((Unit(AB),))
+        with pytest.raises(FormalTypeError, match="range"):
+            typecheck(AB, App(Lookup(3, AB), vec))
+
+    def test_lookup_requires_tuple(self):
+        with pytest.raises(FormalTypeError, match="TProjN"):
+            typecheck(AB, App(Lookup(0, AB), Unit(AB)))

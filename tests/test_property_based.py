@@ -1,0 +1,269 @@
+"""Property-based tests (hypothesis) for core data structures and the formal model."""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.locations import Census
+from repro.core.located import Quire
+from repro.formal.generators import random_program
+from repro.formal.projection import project
+from repro.formal.properties import check_deadlock_freedom, check_preservation, check_projection
+from repro.formal.semantics import evaluate
+from repro.formal.typecheck import typecheck
+from repro.protocols.circuits import (
+    AndGate,
+    InputWire,
+    LitWire,
+    XorGate,
+    circuit_depth,
+    count_gates,
+    evaluate_plain,
+    iter_nodes,
+    or_gate,
+    majority3,
+)
+from repro.protocols.crypto import (
+    commitment,
+    decrypt_bit,
+    encrypt_bit,
+    generate_rsa_keypair,
+    is_probable_prime,
+    party_rng,
+    verify_commitment,
+)
+from repro.protocols.secretshare import (
+    make_boolean_shares,
+    make_modular_shares,
+    reconstruct_boolean,
+    reconstruct_modular,
+    xor_all,
+)
+
+# --------------------------------------------------------------------- strategies --
+
+location_names = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+
+SETTINGS = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# ------------------------------------------------------------------ core structures --
+
+
+class TestCensusProperties:
+    @given(location_names)
+    @SETTINGS
+    def test_restriction_is_idempotent(self, names):
+        census = Census(names)
+        once = census.restricted_to(names[: max(1, len(names) // 2)])
+        assert once.restricted_to(once) == once
+
+    @given(location_names, location_names)
+    @SETTINGS
+    def test_union_contains_both_operands(self, left, right):
+        union = Census(left).union(right)
+        assert all(name in union for name in left)
+        assert all(name in union for name in right)
+
+    @given(location_names)
+    @SETTINGS
+    def test_subset_of_self(self, names):
+        census = Census(names)
+        assert census.is_subset_of(census)
+        assert census.require_subset(names) == census
+
+    @given(location_names)
+    @SETTINGS
+    def test_index_of_round_trips(self, names):
+        census = Census(names)
+        for name in names:
+            assert census[census.index_of(name)] == name
+
+
+class TestQuireProperties:
+    @given(location_names, st.integers())
+    @SETTINGS
+    def test_map_preserves_census(self, names, offset):
+        quire = Quire.from_function(names, len)
+        mapped = quire.map(lambda v: v + offset)
+        assert mapped.census == quire.census
+        assert mapped.values() == tuple(v + offset for v in quire.values())
+
+    @given(location_names)
+    @SETTINGS
+    def test_modify_touches_only_target(self, names):
+        quire = Quire.from_function(names, lambda _: 0)
+        target = names[0]
+        modified = quire.modify(target, lambda v: v + 1)
+        assert modified[target] == 1
+        assert all(modified[name] == 0 for name in names[1:])
+
+
+# --------------------------------------------------------------------- secret sharing --
+
+
+class TestSecretSharingProperties:
+    @given(st.booleans(), location_names, st.integers(0, 2**32))
+    @SETTINGS
+    def test_boolean_shares_reconstruct(self, secret, names, seed):
+        shares = make_boolean_shares(secret, names, party_rng(seed, "dealer"))
+        assert set(shares) == set(names)
+        assert reconstruct_boolean(shares) == secret
+
+    @given(st.booleans(), location_names, st.integers(0, 2**32))
+    @SETTINGS
+    def test_any_single_boolean_share_is_unbiased_alone(self, secret, names, seed):
+        """Dropping one share destroys the secret unless there was only one party."""
+        if len(names) < 2:
+            return
+        shares = make_boolean_shares(secret, names, party_rng(seed, "dealer"))
+        partial = dict(shares)
+        partial.pop(names[0])
+        # reconstructing from a strict subset gives secret XOR missing-share
+        assert reconstruct_boolean(partial) == (secret != shares[names[0]])
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        location_names,
+        st.integers(2, 10**6),
+        st.integers(0, 2**32),
+    )
+    @SETTINGS
+    def test_modular_shares_reconstruct(self, secret, names, modulus, seed):
+        shares = make_modular_shares(secret, names, modulus, party_rng(seed, "dealer"))
+        assert all(0 <= share < modulus for share in shares.values())
+        assert reconstruct_modular(shares, modulus) == secret % modulus
+
+    @given(st.lists(st.booleans(), max_size=12))
+    @SETTINGS
+    def test_xor_all_matches_parity(self, bits):
+        assert xor_all(bits) == (sum(bits) % 2 == 1)
+
+
+# -------------------------------------------------------------------------- crypto --
+
+
+class TestCryptoProperties:
+    @given(st.booleans(), st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_rsa_bit_roundtrip(self, bit, seed):
+        keys = generate_rsa_keypair(party_rng(seed, "kp"), bits=128)
+        ciphertext = encrypt_bit(keys.public, bit, party_rng(seed, "pad"))
+        assert decrypt_bit(keys, ciphertext) == bit
+
+    @given(st.integers(0, 2**30), st.integers(0, 2**30))
+    @SETTINGS
+    def test_commitments_verify_and_bind(self, value, salt):
+        digest = commitment(value, salt)
+        assert verify_commitment(digest, value, salt)
+        assert not verify_commitment(digest, value + 1, salt)
+        assert not verify_commitment(digest, value, salt + 1)
+
+    @given(st.integers(2, 10_000))
+    @SETTINGS
+    def test_probable_prime_agrees_with_trial_division(self, candidate):
+        def slow_is_prime(n: int) -> bool:
+            if n < 2:
+                return False
+            return all(n % d for d in range(2, int(n**0.5) + 1))
+
+        assert is_probable_prime(candidate) == slow_is_prime(candidate)
+
+
+# ------------------------------------------------------------------------- circuits --
+
+circuit_strategy = st.recursive(
+    st.one_of(
+        st.builds(InputWire, st.sampled_from(["p1", "p2", "p3"]), st.sampled_from(["x", "y", "z"])),
+        st.builds(LitWire, st.booleans()),
+    ),
+    lambda children: st.one_of(
+        st.builds(AndGate, children, children),
+        st.builds(XorGate, children, children),
+    ),
+    max_leaves=16,
+)
+
+full_inputs = st.fixed_dictionaries(
+    {
+        party: st.fixed_dictionaries({name: st.booleans() for name in ["x", "y", "z"]})
+        for party in ["p1", "p2", "p3"]
+    }
+)
+
+
+class TestCircuitProperties:
+    @given(circuit_strategy, full_inputs)
+    @SETTINGS
+    def test_or_gate_matches_boolean_or(self, circuit, inputs):
+        lhs = evaluate_plain(circuit, inputs)
+        composed = or_gate(circuit, LitWire(False))
+        assert evaluate_plain(composed, inputs) == lhs
+
+    @given(circuit_strategy)
+    @SETTINGS
+    def test_gate_counts_are_consistent_with_node_iteration(self, circuit):
+        counts = count_gates(circuit)
+        assert sum(counts.values()) == sum(1 for _ in iter_nodes(circuit))
+        assert circuit_depth(circuit) >= 0
+
+    @given(full_inputs)
+    @SETTINGS
+    def test_majority3_is_the_median(self, inputs):
+        circuit = majority3(InputWire("p1", "x"), InputWire("p2", "x"), InputWire("p3", "x"))
+        bits = [inputs["p1"]["x"], inputs["p2"]["x"], inputs["p3"]["x"]]
+        assert evaluate_plain(circuit, inputs) == (sum(bits) >= 2)
+
+
+# ---------------------------------------------------------------- formal metatheory --
+
+
+class TestFormalMetatheoryProperties:
+    """Hypothesis-driven counterparts of Theorems 2–5 and Corollary 1."""
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_programs_typecheck(self, seed):
+        census, program = random_program(seed)
+        typecheck(census, program)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_preservation(self, seed):
+        census, program = random_program(seed)
+        report = check_preservation(census, program)
+        assert report, report.details
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_projection_bisimulates_central_semantics(self, seed):
+        census, program = random_program(seed)
+        report = check_projection(census, program, schedules=2, seed=seed % 1000)
+        assert report, report.details
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_deadlock_freedom(self, seed):
+        census, program = random_program(seed)
+        report = check_deadlock_freedom(census, program, schedules=2, seed=seed % 1000)
+        assert report, report.details
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_projection_of_final_value_is_a_value(self, seed):
+        census, program = random_program(seed)
+        final = evaluate(program)
+        for party in sorted(census):
+            projected = project(final, party)
+            from repro.formal.local_lang import is_local_value
+
+            assert is_local_value(projected)

@@ -1,0 +1,211 @@
+"""Unit tests for the protocol substrates: crypto, secret sharing, circuits, OT."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.locations import Census
+from repro.protocols import circuits, crypto
+from repro.protocols.ot import ot2
+from repro.protocols.secretshare import (
+    make_boolean_shares,
+    make_modular_shares,
+    reconstruct_boolean,
+    reconstruct_modular,
+    xor_all,
+)
+from repro.runtime.central import CentralOp
+from repro.runtime.runner import run_choreography
+
+
+class TestCrypto:
+    def test_party_rng_is_deterministic_and_independent(self):
+        assert crypto.party_rng(1, "alice").random() == crypto.party_rng(1, "alice").random()
+        assert crypto.party_rng(1, "alice").random() != crypto.party_rng(1, "bob").random()
+        assert (
+            crypto.party_rng(1, "alice", "ctx1").random()
+            != crypto.party_rng(1, "alice", "ctx2").random()
+        )
+
+    @pytest.mark.parametrize("prime", [2, 3, 5, 97, 65537, 2_147_483_647])
+    def test_known_primes(self, prime):
+        assert crypto.is_probable_prime(prime)
+
+    @pytest.mark.parametrize("composite", [0, 1, 4, 100, 65536, 561, 41041])
+    def test_known_composites_including_carmichael(self, composite):
+        assert not crypto.is_probable_prime(composite)
+
+    def test_generate_prime_has_requested_size(self):
+        prime = crypto.generate_prime(64, random.Random(3))
+        assert prime.bit_length() == 64
+        assert crypto.is_probable_prime(prime)
+
+    def test_generate_prime_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            crypto.generate_prime(4, random.Random(0))
+
+    def test_rsa_roundtrip_integers(self):
+        keys = crypto.generate_rsa_keypair(random.Random(1), bits=128)
+        for message in [0, 1, 42, 2**40 + 7]:
+            assert keys.decrypt(keys.public.encrypt(message)) == message
+
+    def test_rsa_rejects_out_of_range(self):
+        keys = crypto.generate_rsa_keypair(random.Random(1), bits=128)
+        with pytest.raises(ValueError):
+            keys.public.encrypt(keys.public.modulus)
+        with pytest.raises(ValueError):
+            keys.decrypt(-1)
+
+    def test_bit_encryption_is_randomised(self):
+        keys = crypto.generate_rsa_keypair(random.Random(1), bits=128)
+        rng = random.Random(2)
+        ciphertexts = {crypto.encrypt_bit(keys.public, True, rng) for _ in range(5)}
+        assert len(ciphertexts) == 5
+        assert all(crypto.decrypt_bit(keys, ct) for ct in ciphertexts)
+
+    def test_random_public_key_cannot_decrypt(self):
+        rng = random.Random(5)
+        real = crypto.generate_rsa_keypair(rng, bits=128)
+        fake_public = crypto.random_public_key(rng, bits=128)
+        ciphertext = crypto.encrypt_bit(fake_public, True, rng)
+        # decrypting with an unrelated private key gives garbage far more often
+        # than not; at minimum it must not be a reliable channel
+        assert fake_public.modulus != real.public.modulus
+
+    def test_commitments(self):
+        digest = crypto.commitment(123, 456)
+        assert crypto.verify_commitment(digest, 123, 456)
+        assert not crypto.verify_commitment(digest, 124, 456)
+
+
+class TestSecretSharing:
+    def test_boolean_roundtrip(self):
+        parties = ["a", "b", "c"]
+        for secret in (True, False):
+            shares = make_boolean_shares(secret, parties, random.Random(1))
+            assert reconstruct_boolean(shares) == secret
+
+    def test_single_party_share_is_the_secret(self):
+        assert make_boolean_shares(True, ["only"], random.Random(0)) == {"only": True}
+
+    def test_modular_roundtrip(self):
+        shares = make_modular_shares(1234, ["a", "b", "c"], 99991, random.Random(2))
+        assert reconstruct_modular(shares, 99991) == 1234
+
+    def test_empty_party_list_rejected(self):
+        with pytest.raises(ValueError):
+            make_boolean_shares(True, [], random.Random(0))
+        with pytest.raises(ValueError):
+            make_modular_shares(1, [], 7, random.Random(0))
+        with pytest.raises(ValueError):
+            reconstruct_boolean({})
+
+    def test_bad_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            make_modular_shares(1, ["a"], 1, random.Random(0))
+
+    def test_xor_all(self):
+        assert xor_all([]) is False
+        assert xor_all([True, True, False]) is False
+        assert xor_all([True, False, False]) is True
+
+
+class TestCircuits:
+    def inputs(self):
+        return {"p1": {"x": True}, "p2": {"x": False}, "p3": {"x": True}}
+
+    def test_operators_build_gates(self):
+        a = circuits.InputWire("p1", "x")
+        b = circuits.InputWire("p2", "x")
+        assert isinstance(a & b, circuits.AndGate)
+        assert isinstance(a ^ b, circuits.XorGate)
+        assert circuits.evaluate_plain(a | b, self.inputs()) is True
+        assert circuits.evaluate_plain(~a, self.inputs()) is False
+
+    def test_eq_gate(self):
+        a = circuits.InputWire("p1", "x")
+        b = circuits.InputWire("p3", "x")
+        assert circuits.evaluate_plain(circuits.eq_gate(a, b), self.inputs()) is True
+
+    def test_adders(self):
+        a_bits = [circuits.LitWire(bool(int(b))) for b in "101"]  # 5 little-endian -> 1,0,1
+        b_bits = [circuits.LitWire(bool(int(b))) for b in "110"]  # 3 little-endian -> 1,1,0
+        out = circuits.ripple_adder(a_bits, b_bits)
+        value = sum(
+            (1 << i) * int(circuits.evaluate_plain(bit, {})) for i, bit in enumerate(out)
+        )
+        assert value == 5 + 3
+
+    def test_tree_generators(self):
+        parties = ["p1", "p2", "p3", "p4", "p5"]
+        xor_c = circuits.xor_tree(parties)
+        and_c = circuits.and_tree(parties)
+        inputs = {p: {"x": True} for p in parties}
+        assert circuits.evaluate_plain(xor_c, inputs) == (len(parties) % 2 == 1)
+        assert circuits.evaluate_plain(and_c, inputs) is True
+        assert circuits.count_gates(xor_c)["xor"] == len(parties) - 1
+
+    def test_alternating_tree_mentions_every_party(self):
+        parties = ["p1", "p2", "p3"]
+        circuit = circuits.alternating_tree(parties, depth=3)
+        assert set(circuits.input_names(circuit)) == set(parties)
+
+    def test_missing_input_is_a_clear_error(self):
+        circuit = circuits.InputWire("p1", "x")
+        with pytest.raises(KeyError, match="p1"):
+            circuits.evaluate_plain(circuit, {"p1": {}})
+
+    def test_balanced_tree_rejects_empty(self):
+        with pytest.raises(ValueError):
+            circuits.xor_tree([])
+
+    def test_count_and_depth(self):
+        circuit = circuits.majority3(
+            circuits.InputWire("p1", "x"),
+            circuits.InputWire("p2", "x"),
+            circuits.InputWire("p3", "x"),
+        )
+        counts = circuits.count_gates(circuit)
+        assert counts == {"input": 6, "literal": 0, "and": 3, "xor": 2}
+        assert circuits.circuit_depth(circuit) == 3
+
+
+class TestObliviousTransfer:
+    CENSUS = ["sender", "receiver", "other"]
+
+    @pytest.mark.parametrize("b0", [False, True])
+    @pytest.mark.parametrize("b1", [False, True])
+    @pytest.mark.parametrize("select", [False, True])
+    def test_receiver_learns_exactly_the_selected_bit(self, b0, b1, select):
+        def chor(op):
+            pair = op.locally("sender", lambda _un: (b0, b1))
+            choice = op.locally("receiver", lambda _un: select)
+            result = op.conclave_to(
+                ["sender", "receiver"],
+                ["receiver"],
+                lambda sub: ot2(sub, "sender", "receiver", pair, choice, seed=9, rsa_bits=128),
+            )
+            return result
+
+        op = CentralOp(self.CENSUS)
+        outcome = chor(op)
+        assert outcome.peek() == (b1 if select else b0)
+
+    def test_projected_execution_matches_and_excludes_third_party(self):
+        def chor(op):
+            pair = op.locally("sender", lambda _un: (False, True))
+            choice = op.locally("receiver", lambda _un: True)
+            result = op.conclave_to(
+                ["sender", "receiver"],
+                ["receiver"],
+                lambda sub: ot2(sub, "sender", "receiver", pair, choice, seed=3, rsa_bits=128),
+            )
+            return result
+
+        outcome = run_choreography(chor, self.CENSUS)
+        assert outcome.value_at("receiver") is True
+        assert outcome.stats.messages_involving("other") == 0
+        # OT is two messages: keys over, ciphertexts back
+        assert outcome.stats.total_messages == 2

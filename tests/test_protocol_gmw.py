@@ -1,0 +1,187 @@
+"""Tests for the GMW secure-computation case study."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.locations import Census
+from repro.protocols import circuits
+from repro.protocols.gmw import gmw, reveal, secret_share, share_circuit, shared_and
+from repro.runtime.central import CentralOp
+from repro.runtime.runner import run_choreography
+from repro.runtime.stats import ChannelStats
+from repro.runtime.central import run_centralized
+
+RSA_BITS = 128  # keep key generation fast in tests
+
+
+def central(parties):
+    return CentralOp(parties)
+
+
+class TestSecretShareAndReveal:
+    PARTIES = ["p1", "p2", "p3"]
+
+    @pytest.mark.parametrize("secret", [True, False])
+    def test_share_then_reveal_roundtrip(self, secret):
+        op = central(self.PARTIES)
+        value = op.locally("p2", lambda _un: secret)
+        shares = secret_share(op, self.PARTIES, "p2", value, seed=4)
+        assert reveal(op, self.PARTIES, shares) == secret
+
+    def test_shares_have_no_common_owners(self):
+        op = central(self.PARTIES)
+        value = op.locally("p1", lambda _un: True)
+        shares = secret_share(op, self.PARTIES, "p1", value, seed=4)
+        assert list(shares.common) == []
+        assert list(shares.owners) == self.PARTIES
+
+    def test_dealer_endpoint_forgets_dealt_shares(self):
+        def chor(op):
+            value = op.locally("p1", lambda _un: True)
+            return secret_share(op, self.PARTIES, "p1", value, seed=4)
+
+        result = run_choreography(chor, self.PARTIES)
+        dealer_view = result.returns["p1"].visible_facets()
+        assert list(dealer_view) == ["p1"]
+
+    def test_sharing_costs_one_message_per_other_party(self):
+        def chor(op):
+            value = op.locally("p1", lambda _un: True)
+            secret_share(op, self.PARTIES, "p1", value, seed=4)
+
+        result = run_choreography(chor, self.PARTIES)
+        assert result.stats.total_messages == len(self.PARTIES) - 1
+
+
+class TestSharedAnd:
+    PARTIES = ["p1", "p2", "p3"]
+
+    @pytest.mark.parametrize("left,right", list(itertools.product([False, True], repeat=2)))
+    def test_and_of_shared_bits(self, left, right):
+        op = central(self.PARTIES)
+        left_shares = secret_share(
+            op, self.PARTIES, "p1", op.locally("p1", lambda _un: left), seed=1, context="L"
+        )
+        right_shares = secret_share(
+            op, self.PARTIES, "p2", op.locally("p2", lambda _un: right), seed=2, context="R"
+        )
+        product = shared_and(
+            op, self.PARTIES, left_shares, right_shares, seed=3, rsa_bits=RSA_BITS
+        )
+        assert reveal(op, self.PARTIES, product) == (left and right)
+
+    def test_ot_count_is_one_per_ordered_pair(self):
+        op = central(self.PARTIES)
+        left_shares = secret_share(
+            op, self.PARTIES, "p1", op.locally("p1", lambda _un: True), seed=1, context="L"
+        )
+        right_shares = secret_share(
+            op, self.PARTIES, "p2", op.locally("p2", lambda _un: True), seed=2, context="R"
+        )
+        before = op.stats.total_messages
+        shared_and(op, self.PARTIES, left_shares, right_shares, seed=3, rsa_bits=RSA_BITS)
+        n = len(self.PARTIES)
+        # each ordered pair of distinct parties runs one OT (2 messages each)
+        assert op.stats.total_messages - before == 2 * n * (n - 1)
+
+
+def run_gmw(circuit, inputs, parties, transport="local"):
+    def chor(op, my_inputs=None):
+        return gmw(op, parties, circuit, my_inputs, seed=7, rsa_bits=RSA_BITS)
+
+    return run_choreography(
+        chor,
+        parties,
+        location_args={party: (inputs.get(party, {}),) for party in parties},
+        transport=transport,
+    )
+
+
+class TestGMWEndToEnd:
+    PARTIES = ["p1", "p2", "p3"]
+
+    def majority(self):
+        return circuits.majority3(
+            circuits.InputWire("p1", "a"),
+            circuits.InputWire("p2", "b"),
+            circuits.InputWire("p3", "c"),
+        )
+
+    @pytest.mark.parametrize(
+        "bits", list(itertools.product([False, True], repeat=3))
+    )
+    def test_majority_circuit_matches_plaintext(self, bits):
+        inputs = {"p1": {"a": bits[0]}, "p2": {"b": bits[1]}, "p3": {"c": bits[2]}}
+        expected = circuits.evaluate_plain(self.majority(), inputs)
+        stats = ChannelStats()
+        observed = run_centralized(
+            lambda op, my=None: gmw(op, self.PARTIES, self.majority(), inputs, seed=7,
+                                    rsa_bits=RSA_BITS),
+            self.PARTIES,
+            stats=stats,
+        )
+        assert observed == expected
+
+    def test_projected_run_agrees_everywhere(self):
+        inputs = {"p1": {"a": True}, "p2": {"b": True}, "p3": {"c": False}}
+        expected = circuits.evaluate_plain(self.majority(), inputs)
+        result = run_gmw(self.majority(), inputs, self.PARTIES)
+        assert set(result.returns.values()) == {expected}
+
+    def test_xor_only_circuit_needs_only_sharing_and_reveal_messages(self):
+        circuit = circuits.xor_tree(self.PARTIES)
+        inputs = {p: {"x": True} for p in self.PARTIES}
+        result = run_gmw(circuit, inputs, self.PARTIES)
+        expected = circuits.evaluate_plain(circuit, inputs)
+        assert set(result.returns.values()) == {expected}
+        n = len(self.PARTIES)
+        sharing = n * (n - 1)   # each party deals shares of its input
+        reveal_msgs = n * (n - 1)  # everyone opens its output share to everyone
+        assert result.stats.total_messages == sharing + reveal_msgs
+
+    @pytest.mark.parametrize("n_parties", [2, 4])
+    def test_census_polymorphism_over_party_count(self, n_parties):
+        parties = [f"p{i}" for i in range(1, n_parties + 1)]
+        circuit = circuits.and_tree(parties)
+        inputs = {p: {"x": True} for p in parties}
+        result = run_gmw(circuit, inputs, parties)
+        assert set(result.returns.values()) == {True}
+
+    def test_literal_wires(self):
+        circuit = circuits.AndGate(circuits.LitWire(True), circuits.InputWire("p1", "a"))
+        inputs = {"p1": {"a": True}, "p2": {}, "p3": {}}
+        result = run_gmw(circuit, inputs, self.PARTIES)
+        assert set(result.returns.values()) == {True}
+
+    def test_missing_input_fails_loudly(self):
+        circuit = circuits.InputWire("p1", "a")
+        with pytest.raises(Exception):
+            run_gmw(circuit, {"p1": {}}, self.PARTIES)
+
+    def test_nested_dict_inputs_for_centralized_runs(self):
+        circuit = circuits.XorGate(
+            circuits.InputWire("p1", "a"), circuits.InputWire("p2", "b")
+        )
+        inputs = {"p1": {"a": True}, "p2": {"b": True}, "p3": {}}
+        observed = run_centralized(
+            lambda op, my=None: gmw(op, self.PARTIES, circuit, inputs, seed=1, rsa_bits=RSA_BITS),
+            self.PARTIES,
+        )
+        assert observed is False
+
+    def test_intermediate_values_stay_shared(self):
+        """share_circuit returns a faceted value whose reconstruction is the
+        plaintext result, but no single facet equals it systematically."""
+        circuit = circuits.AndGate(
+            circuits.InputWire("p1", "a"), circuits.InputWire("p2", "b")
+        )
+        inputs = {"p1": {"a": True}, "p2": {"b": True}, "p3": {}}
+        op = central(self.PARTIES)
+        shares = share_circuit(op, self.PARTIES, circuit, inputs, seed=5, rsa_bits=RSA_BITS)
+        quire = shares.to_quire()
+        from repro.protocols.secretshare import xor_all
+
+        assert xor_all(quire.values()) is True

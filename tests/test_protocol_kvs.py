@@ -1,0 +1,223 @@
+"""Tests for the replicated key-value store case study (Fig. 2 and App. B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comm_cost import communication_cost
+from repro.core.locations import Census
+from repro.protocols.kvs import (
+    Request,
+    RequestKind,
+    Response,
+    ResponseKind,
+    hash_state,
+    kvs_request,
+    kvs_serve,
+    kvs_with_backups,
+    lookup_state,
+    make_replica_states,
+    update_state,
+)
+from repro.runtime.central import CentralOp
+from repro.runtime.runner import run_choreography
+
+
+SERVERS = ["s1", "s2", "s3"]
+CLUSTER = ["client"] + SERVERS
+
+
+def serve(requests, servers=None, fault_rate=0.0, seed=0):
+    servers = servers or SERVERS
+    census = ["client"] + servers
+
+    def chor(op):
+        return kvs_serve(op, "client", servers[0], servers, requests,
+                         fault_rate=fault_rate, seed=seed)
+
+    return run_choreography(chor, census)
+
+
+class TestLocalStateHelpers:
+    def test_update_returns_previous_binding(self):
+        state = {}
+        assert update_state(state, "k", "v1").kind is ResponseKind.NOT_FOUND
+        previous = update_state(state, "k", "v2")
+        assert previous.kind is ResponseKind.FOUND and previous.value == "v1"
+        assert state["k"] == "v2"
+
+    def test_lookup(self):
+        state = {"k": "v"}
+        assert lookup_state(state, "k") == Response.found("v")
+        assert lookup_state(state, "missing").kind is ResponseKind.NOT_FOUND
+
+    def test_fault_injection_corrupts_writes(self):
+        import random
+
+        state = {}
+        update_state(state, "k", "v", fault_rate=1.0, rng=random.Random(0))
+        assert state["k"] != "v"
+
+    def test_hash_state_detects_divergence(self):
+        assert hash_state({"a": "1"}) == hash_state({"a": "1"})
+        assert hash_state({"a": "1"}) != hash_state({"a": "2"})
+
+    def test_request_response_constructors(self):
+        assert Request.put("k", "v").kind is RequestKind.PUT
+        assert Request.get("k").key == "k"
+        assert Request.stop().kind is RequestKind.STOP
+        assert Response.stopped().kind is ResponseKind.STOPPED
+
+
+class TestKVSSession:
+    def test_get_after_put_round_trips(self):
+        result = serve([Request.put("x", "1"), Request.get("x"), Request.stop()])
+        responses = result.returns["client"]
+        assert responses[1] == Response.found("1")
+        assert responses[-1].kind is ResponseKind.STOPPED
+
+    def test_get_of_missing_key(self):
+        result = serve([Request.get("nope"), Request.stop()])
+        assert result.returns["client"][0].kind is ResponseKind.NOT_FOUND
+
+    def test_put_returns_previous_value(self):
+        result = serve(
+            [Request.put("x", "1"), Request.put("x", "2"), Request.get("x"), Request.stop()]
+        )
+        responses = result.returns["client"]
+        assert responses[0].kind is ResponseKind.NOT_FOUND
+        assert responses[1] == Response.found("1")
+        assert responses[2] == Response.found("2")
+
+    def test_session_stops_at_stop_request(self):
+        result = serve([Request.stop(), Request.get("x")])
+        assert len(result.returns["client"]) == 1
+
+    def test_servers_return_client_responses_only_at_client(self):
+        result = serve([Request.get("x"), Request.stop()])
+        assert result.returns["client"]
+        assert result.returns["s2"] == []
+
+    @pytest.mark.parametrize("n_servers", [1, 2, 4, 6])
+    def test_census_polymorphism_over_server_count(self, n_servers):
+        servers = [f"srv{i}" for i in range(n_servers)]
+        result = serve([Request.put("k", "v"), Request.get("k"), Request.stop()], servers)
+        assert result.returns["client"][1] == Response.found("v")
+
+    def test_replicas_all_apply_puts(self):
+        def chor(op):
+            states = make_replica_states(op, SERVERS)
+            request = op.locally("client", lambda _un: Request.put("k", "v"))
+            kvs_request(op, "client", "s1", SERVERS, states, request)
+            return op.parallel(SERVERS, lambda _s, un: dict(un(states)))
+
+        result = run_choreography(chor, CLUSTER)
+        for server in SERVERS:
+            assert result.returns[server].visible_facets()[server] == {"k": "v"}
+
+    def test_faulty_writes_trigger_resynch_to_agreement(self):
+        def chor(op):
+            states = make_replica_states(op, SERVERS)
+            request = op.locally("client", lambda _un: Request.put("k", "v"))
+            kvs_request(op, "client", "s1", SERVERS, states, request, fault_rate=0.7, seed=11)
+            return op.parallel(SERVERS, lambda _s, un: dict(un(states)))
+
+        result = run_choreography(chor, CLUSTER)
+        replicas = [result.returns[s].visible_facets()[s] for s in SERVERS]
+        assert all(replica == replicas[0] for replica in replicas)
+
+    def test_centralized_and_projected_message_counts_agree(self):
+        requests = [Request.put("x", "1"), Request.get("x"), Request.stop()]
+        projected = serve(requests)
+        central = communication_cost(
+            lambda op: kvs_serve(op, "client", "s1", SERVERS, requests), CLUSTER
+        )
+        assert projected.stats.total_messages == central.total_messages
+
+
+class TestKoCStructure:
+    """The communication shape the conclaves-&-MLVs design promises (Fig. 2)."""
+
+    def cost(self, requests, servers=SERVERS):
+        census = ["client"] + servers
+        return communication_cost(
+            lambda op: kvs_serve(op, "client", servers[0], servers, requests), census
+        )
+
+    def test_client_is_not_involved_in_server_koc(self):
+        cost = self.cost([Request.put("k", "v"), Request.stop()])
+        # the client's traffic is exactly one request sent and one response
+        # received per request — none of the servers' branching reaches it
+        assert cost.per_location_sent["client"] == 2
+        assert cost.per_location_received["client"] == 2
+
+    def test_second_conditional_reuses_koc_for_free(self):
+        """Both conclaves of Fig. 2 branch on the request, but the request is
+        multicast exactly once: the second conditional re-uses the MLV.
+
+        For a Get, the primary's only traffic towards the other servers is the
+        single request multicast (n-1 messages) even though the servers branch
+        on the request twice.  For a Put there is exactly one extra broadcast —
+        the ``needsReSynch`` flag, which is genuinely new information — and
+        still no re-broadcast of the request itself.
+        """
+        others = len(SERVERS) - 1
+
+        def forwards(cost):
+            return sum(
+                count for (src, dst), count in cost.per_channel.items()
+                if src == "s1" and dst in SERVERS
+            )
+
+        get_cost = self.cost([Request.get("k")])
+        assert forwards(get_cost) == others
+
+        put_cost = self.cost([Request.put("k", "v")])
+        assert forwards(put_cost) == 2 * others
+
+    @pytest.mark.parametrize("n_servers", [2, 4, 8])
+    def test_get_message_count_scales_linearly_with_servers(self, n_servers):
+        servers = [f"srv{i}" for i in range(n_servers)]
+        cost = self.cost([Request.get("k"), Request.stop()], servers)
+        # per request: client→primary, primary→(n-1) others, primary→client
+        per_request = 1 + (n_servers - 1) + 1
+        assert cost.total_messages == 2 * per_request
+
+
+class TestBackupVariant:
+    BACKUPS = ["b1", "b2"]
+    CENSUS = ["client", "server", "b1", "b2"]
+
+    def run_one(self, request):
+        def chor(op):
+            states = make_replica_states(op, ["server"] + self.BACKUPS)
+            located = op.locally("client", lambda _un: request)
+            response = kvs_with_backups(op, "client", "server", self.BACKUPS, states, located)
+            return response
+
+        return run_choreography(chor, self.CENSUS)
+
+    def test_put_then_get(self):
+        def chor(op):
+            states = make_replica_states(op, ["server"] + self.BACKUPS)
+            put = op.locally("client", lambda _un: Request.put("k", "v"))
+            kvs_with_backups(op, "client", "server", self.BACKUPS, states, put)
+            get = op.locally("client", lambda _un: Request.get("k"))
+            return kvs_with_backups(op, "client", "server", self.BACKUPS, states, get)
+
+        result = run_choreography(chor, self.CENSUS)
+        assert result.value_at("client") == Response.found("v")
+
+    def test_get_involves_no_backup_traffic(self):
+        result = self.run_one(Request.get("x"))
+        for backup in self.BACKUPS:
+            assert result.stats.messages_involving(backup) == 1  # only the KoC broadcast
+
+    def test_put_gathers_acknowledgements(self):
+        result = self.run_one(Request.put("k", "v"))
+        for backup in self.BACKUPS:
+            assert result.stats.messages_sent_by(backup) == 1
+
+    def test_stop_request(self):
+        result = self.run_one(Request.stop())
+        assert result.value_at("client").kind is ResponseKind.STOPPED

@@ -1,0 +1,169 @@
+"""Tests for the concurrent runner and the centralized reference semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    CensusError,
+    ChoreographyRuntimeError,
+    OwnershipError,
+)
+from repro.core.located import Located, Quire
+from repro.runtime.central import CentralOp, run_centralized
+from repro.runtime.local import LocalTransport
+from repro.runtime.runner import ChoreographyResult, run_choreography
+from repro.runtime.stats import ChannelStats
+
+
+def ping_pong(op, payload):
+    at_bob = op.comm("alice", "bob", op.locally("alice", lambda _un: payload))
+    echoed = op.locally("bob", lambda un: un(at_bob) + "!")
+    return op.broadcast("bob", echoed)
+
+
+CENSUS = ["alice", "bob", "carol"]
+
+
+class TestRunChoreography:
+    def test_returns_per_location_results(self):
+        result = run_choreography(ping_pong, CENSUS, args=("hi",))
+        assert result.returns == {loc: "hi!" for loc in CENSUS}
+
+    def test_message_statistics(self):
+        result = run_choreography(ping_pong, CENSUS, args=("hi",))
+        assert result.stats.snapshot() == {
+            ("alice", "bob"): 1,
+            ("bob", "alice"): 1,
+            ("bob", "carol"): 1,
+        }
+
+    def test_elapsed_time_recorded(self):
+        result = run_choreography(ping_pong, CENSUS, args=("hi",))
+        assert result.elapsed_seconds > 0
+
+    def test_kwargs_are_passed(self):
+        def chor(op, *, suffix):
+            return op.broadcast("alice", op.locally("alice", lambda _un: "x" + suffix))
+
+        result = run_choreography(chor, ["alice", "bob"], kwargs={"suffix": "!"})
+        assert result.returns["bob"] == "x!"
+
+    def test_location_args_differ_per_endpoint(self):
+        def chor(op, mine=None):
+            facets = op.parallel(list(op.census), lambda loc, _un: mine)
+            gathered = op.gather(list(op.census), [list(op.census)[0]], facets)
+            first = list(op.census)[0]
+            total = op.locally(first, lambda un: sum(un(gathered).values()))
+            return op.broadcast(first, total)
+
+        result = run_choreography(
+            chor, ["a", "b"], location_args={"a": (1,), "b": (2,)}
+        )
+        assert result.returns["a"] == 3
+
+    def test_endpoint_exception_is_wrapped(self):
+        def chor(op):
+            return op.locally("alice", lambda _un: 1 / 0)
+
+        with pytest.raises(ChoreographyRuntimeError) as err:
+            run_choreography(chor, CENSUS)
+        assert err.value.location == "alice"
+        assert isinstance(err.value.original, ZeroDivisionError)
+
+    def test_census_error_reported(self):
+        def chor(op):
+            return op.locally("mallory", lambda _un: 1)
+
+        with pytest.raises(ChoreographyRuntimeError) as err:
+            run_choreography(chor, CENSUS)
+        assert isinstance(err.value.original, CensusError)
+
+    def test_unknown_transport_name(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            run_choreography(ping_pong, CENSUS, args=("x",), transport="carrier-pigeon")
+
+    def test_external_transport_is_not_closed(self):
+        transport = LocalTransport(CENSUS, timeout=5.0)
+        result = run_choreography(ping_pong, CENSUS, args=("x",), transport=transport)
+        assert result.stats is transport.stats
+        # the transport is still usable afterwards
+        transport.endpoint("alice").send("bob", 1)
+        assert transport.endpoint("bob").recv("alice") == 1
+
+    def test_tcp_transport_end_to_end(self):
+        result = run_choreography(ping_pong, CENSUS, args=("net",), transport="tcp")
+        assert result.returns == {loc: "net!" for loc in CENSUS}
+
+    def test_value_at_unwraps_located_returns(self):
+        def chor(op):
+            return op.locally("alice", lambda _un: 7)
+
+        result = run_choreography(chor, ["alice", "bob"])
+        assert result.value_at("alice") == 7
+        assert result.value_at("bob") is None
+
+    def test_present_values_skips_placeholders(self):
+        def chor(op):
+            return op.locally("alice", lambda _un: 7)
+
+        result = run_choreography(chor, ["alice", "bob"])
+        assert result.present_values() == {"alice": 7}
+
+
+class TestCentralOp:
+    def test_run_centralized_matches_distributed_result(self):
+        distributed = run_choreography(ping_pong, CENSUS, args=("z",))
+        stats = ChannelStats()
+        central_value = run_centralized(ping_pong, CENSUS, "z", stats=stats)
+        assert central_value == "z!"
+        assert stats.snapshot() == distributed.stats.snapshot()
+
+    def test_locally_checks_census(self):
+        op = CentralOp(["a", "b"])
+        with pytest.raises(CensusError):
+            op.locally("z", lambda _un: 1)
+
+    def test_multicast_checks_ownership(self):
+        op = CentralOp(["a", "b"])
+        with pytest.raises(OwnershipError):
+            op.multicast("a", ["b"], Located(["b"], 1))
+
+    def test_multicast_counts_would_be_messages(self):
+        op = CentralOp(["a", "b", "c"])
+        value = op.locally("a", lambda _un: "payload")
+        op.multicast("a", ["a", "b", "c"], value)
+        assert op.stats.total_messages == 2
+
+    def test_naked_requires_full_census(self):
+        op = CentralOp(["a", "b"])
+        with pytest.raises(OwnershipError):
+            op.naked(Located(["a"], 1))
+        assert op.naked(Located(["a", "b"], 5)) == 5
+
+    def test_naked_requires_known_owners(self):
+        op = CentralOp(["a", "b"])
+        with pytest.raises(OwnershipError):
+            op.naked(Located.absent(None))
+
+    def test_congruently_checks_replica_ownership(self):
+        op = CentralOp(["a", "b", "c"])
+        partial = op.locally("a", lambda _un: 1)
+        with pytest.raises(OwnershipError):
+            op.congruently(["a", "b"], lambda un: un(partial))
+
+    def test_conclave_shares_stats_with_parent(self):
+        op = CentralOp(["a", "b", "c"])
+
+        def sub(inner):
+            payload = inner.locally("a", lambda _un: 1)
+            return inner.broadcast("a", payload)
+
+        op.conclave(["a", "b"], sub)
+        assert op.stats.total_messages == 1
+
+    def test_faceted_unwrap_requires_owner_name(self):
+        op = CentralOp(["a", "b"])
+        faceted = op.parallel(["a", "b"], lambda loc, _un: loc)
+        with pytest.raises(OwnershipError):
+            op.congruently(["a", "b"], lambda un: un(faceted))

@@ -1,0 +1,182 @@
+"""Tests for the transport substrates and message accounting."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.errors import TransportError
+from repro.runtime.local import LocalTransport
+from repro.runtime.stats import ChannelStats
+from repro.runtime.tcp import TCPTransport
+from repro.runtime.transport import deserialize, serialize
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        for payload in [1, "x", {"a": [1, 2]}, (True, None), {"nested": {"deep": 3}}]:
+            assert deserialize(serialize(payload)) == payload
+
+    def test_rejects_unpicklable(self):
+        with pytest.raises(TransportError):
+            serialize(lambda x: x)
+
+
+class TestChannelStats:
+    def test_record_and_totals(self):
+        stats = ChannelStats()
+        stats.record("a", "b", 10)
+        stats.record("a", "b", 5)
+        stats.record("b", "c", 1)
+        assert stats.total_messages == 3
+        assert stats.total_bytes == 16
+        assert stats.snapshot() == {("a", "b"): 2, ("b", "c"): 1}
+
+    def test_per_location_views(self):
+        stats = ChannelStats()
+        stats.record("a", "b", 1)
+        stats.record("c", "a", 1)
+        assert stats.messages_sent_by("a") == 1
+        assert stats.messages_received_by("a") == 1
+        assert stats.messages_involving("a") == 2
+        assert stats.messages_sent_by("z") == 0
+
+    def test_merge(self):
+        first = ChannelStats()
+        first.record("a", "b", 1)
+        second = ChannelStats()
+        second.record("a", "b", 2)
+        second.record("b", "a", 3)
+        merged = first.merge(second)
+        assert merged.total_messages == 3
+        assert merged.payload_bytes[("a", "b")] == 3
+
+    def test_reset(self):
+        stats = ChannelStats()
+        stats.record("a", "b", 1)
+        stats.reset()
+        assert stats.total_messages == 0
+
+    def test_channels(self):
+        stats = ChannelStats()
+        stats.record("a", "b", 1)
+        assert ("a", "b") in stats.channels()
+
+    def test_thread_safety_under_contention(self):
+        stats = ChannelStats()
+
+        def hammer():
+            for _ in range(500):
+                stats.record("a", "b", 1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.total_messages == 2000
+
+
+class TestLocalTransport:
+    def test_send_and_receive(self):
+        transport = LocalTransport(["a", "b"], timeout=2.0)
+        transport.endpoint("a").send("b", {"k": 1})
+        assert transport.endpoint("b").recv("a") == {"k": 1}
+
+    def test_fifo_per_channel(self):
+        transport = LocalTransport(["a", "b"], timeout=2.0)
+        sender = transport.endpoint("a")
+        sender.send("b", 1)
+        sender.send("b", 2)
+        receiver = transport.endpoint("b")
+        assert receiver.recv("a") == 1
+        assert receiver.recv("a") == 2
+
+    def test_channels_are_isolated_by_direction(self):
+        transport = LocalTransport(["a", "b"], timeout=2.0)
+        transport.endpoint("a").send("b", "from-a")
+        transport.endpoint("b").send("a", "from-b")
+        assert transport.endpoint("a").recv("b") == "from-b"
+        assert transport.endpoint("b").recv("a") == "from-a"
+
+    def test_payloads_are_isolated_copies(self):
+        transport = LocalTransport(["a", "b"], timeout=2.0)
+        original = {"list": [1]}
+        transport.endpoint("a").send("b", original)
+        original["list"].append(2)
+        assert transport.endpoint("b").recv("a") == {"list": [1]}
+
+    def test_timeout_raises(self):
+        transport = LocalTransport(["a", "b"], timeout=0.05)
+        with pytest.raises(TransportError, match="timed out"):
+            transport.endpoint("b").recv("a")
+
+    def test_unknown_peer_raises(self):
+        transport = LocalTransport(["a", "b"], timeout=1.0)
+        with pytest.raises(TransportError):
+            transport.endpoint("a").send("z", 1)
+        with pytest.raises(TransportError):
+            transport.endpoint("a").recv("z")
+
+    def test_stats_record_message_sizes(self):
+        transport = LocalTransport(["a", "b"], timeout=1.0)
+        transport.endpoint("a").send("b", "x" * 100)
+        assert transport.stats.total_messages == 1
+        assert transport.stats.total_bytes >= 100
+
+    def test_endpoint_requires_census_member(self):
+        transport = LocalTransport(["a", "b"], timeout=1.0)
+        with pytest.raises(Exception):
+            transport.endpoint("z")
+
+    def test_context_manager(self):
+        with LocalTransport(["a", "b"], timeout=1.0) as transport:
+            transport.endpoint("a").send("b", 1)
+            assert transport.endpoint("b").recv("a") == 1
+
+
+class TestTCPTransport:
+    def test_send_and_receive_over_loopback(self):
+        with TCPTransport(["a", "b"], timeout=5.0) as transport:
+            transport.endpoint("a")
+            transport.endpoint("b")
+            transport.endpoint("a").send("b", {"payload": [1, 2, 3]})
+            assert transport.endpoint("b").recv("a") == {"payload": [1, 2, 3]}
+
+    def test_bidirectional_traffic(self):
+        with TCPTransport(["a", "b"], timeout=5.0) as transport:
+            a, b = transport.endpoint("a"), transport.endpoint("b")
+            a.send("b", "ping")
+            assert b.recv("a") == "ping"
+            b.send("a", "pong")
+            assert a.recv("b") == "pong"
+
+    def test_fifo_per_sender(self):
+        with TCPTransport(["a", "b"], timeout=5.0) as transport:
+            a, b = transport.endpoint("a"), transport.endpoint("b")
+            for index in range(10):
+                a.send("b", index)
+            assert [b.recv("a") for _ in range(10)] == list(range(10))
+
+    def test_three_party_demultiplexing(self):
+        with TCPTransport(["a", "b", "c"], timeout=5.0) as transport:
+            endpoints = {name: transport.endpoint(name) for name in "abc"}
+            endpoints["a"].send("c", "from-a")
+            endpoints["b"].send("c", "from-b")
+            assert endpoints["c"].recv("b") == "from-b"
+            assert endpoints["c"].recv("a") == "from-a"
+
+    def test_timeout(self):
+        with TCPTransport(["a", "b"], timeout=0.1) as transport:
+            transport.endpoint("a")
+            with pytest.raises(TransportError, match="timed out"):
+                transport.endpoint("b").recv("a")
+
+    def test_stats_recorded(self):
+        with TCPTransport(["a", "b"], timeout=5.0) as transport:
+            transport.endpoint("a")
+            transport.endpoint("b")
+            transport.endpoint("a").send("b", "hello")
+            transport.endpoint("b").recv("a")
+            assert transport.stats.total_messages == 1
