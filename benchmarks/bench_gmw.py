@@ -4,8 +4,14 @@ The paper's GMW case study is census polymorphic ("works for an arbitrary
 number of parties") and weighs in at roughly three hundred lines.  This bench
 reproduces the shape of that claim: the same choreography runs for 2–5 parties
 and for circuits of growing AND-gate counts; the output always matches the
-plaintext evaluation; message counts grow as (number of AND gates) ×
-(ordered pairs of parties); and the implementation's line count is reported.
+plaintext evaluation; and the implementation's line count is reported.
+
+With the layered evaluator, message counts grow as (AND *depth*) × (ordered
+pairs of parties) instead of (AND *gates*) × pairs: each layer's oblivious
+transfers ride one batched exchange per ordered pair, and every party deals
+all its input shares to a peer in a single message.
+``test_gmw_layered_batching_vs_seed`` pins the ≥2× win over the seed's
+per-gate accounting on a 4-party depth-3 AND tree.
 """
 
 from __future__ import annotations
@@ -14,11 +20,16 @@ import pathlib
 
 import pytest
 
+from bench_guard import smoke_scale
 from repro.protocols import circuits
+from repro.protocols.circuits import count_gates, level_circuit
 from repro.protocols.gmw import gmw
 from repro.runtime.runner import run_choreography
 
 RSA_BITS = 128
+
+PARTY_SWEEP = smoke_scale([2, 3, 4, 5], [2, 3])
+DEPTH_SWEEP = smoke_scale([1, 2, 3], [1])
 
 
 def run_gmw(parties, circuit, inputs, seed=3):
@@ -30,9 +41,46 @@ def run_gmw(parties, circuit, inputs, seed=3):
     )
 
 
+def layered_message_count(parties, circuit):
+    """Messages a layered GMW run sends: sharing + batched OT layers + reveal.
+
+    Dealers with at least one input send one message per peer; each AND layer
+    costs one two-message OT exchange per ordered pair; the reveal is one
+    all-to-all round.
+    """
+    n = len(parties)
+    pairwise = n * (n - 1)
+    leveled = level_circuit(circuit)
+    dealers = {leveled.nodes[wire_id].party for wire_id in leveled.input_ids}
+    return len(dealers) * (n - 1) + pairwise * 2 * leveled.round_count + pairwise
+
+
+def seed_message_count(parties, circuit):
+    """Messages the seed's per-gate evaluator would send for the same circuit.
+
+    Every input-wire *occurrence* was shared separately (n-1 messages each)
+    and every AND gate ran one OT (2 messages) per ordered pair, plus the
+    reveal round.
+    """
+    n = len(parties)
+    pairwise = n * (n - 1)
+    counts = count_gates(circuit)
+    return counts["input"] * (n - 1) + pairwise * 2 * counts["and"] + pairwise
+
+
+def smoke():
+    """One tiny, untimed GMW run for the tier-1 bitrot guard."""
+    parties = ["p1", "p2"]
+    circuit = circuits.and_tree(parties)
+    inputs = {p: {"x": True} for p in parties}
+    result = run_gmw(parties, circuit, inputs)
+    assert set(result.returns.values()) == {True}
+    assert result.stats.total_messages == layered_message_count(parties, circuit)
+
+
 def test_gmw_party_scaling(benchmark, report_table):
     rows = []
-    for n_parties in [2, 3, 4, 5]:
+    for n_parties in PARTY_SWEEP:
         parties = [f"p{i}" for i in range(1, n_parties + 1)]
         circuit = circuits.and_tree(parties, name="x")
         inputs = {p: {"x": (i % 4 != 3)} for i, p in enumerate(parties)}
@@ -49,11 +97,9 @@ def test_gmw_party_scaling(benchmark, report_table):
                 expected,
             ]
         )
-        # each AND gate costs 2 messages per ordered pair of distinct parties;
-        # input sharing and reveal cost n(n-1) each
-        pairwise = n_parties * (n_parties - 1)
-        expected_messages = pairwise * (2 * and_gates + 1 + 1)
-        assert result.stats.total_messages == expected_messages
+        # each AND *layer* costs 2 messages per ordered pair of distinct
+        # parties; input sharing and reveal cost n(n-1) each
+        assert result.stats.total_messages == layered_message_count(parties, circuit)
 
     small = ["p1", "p2"]
     benchmark.pedantic(
@@ -72,7 +118,7 @@ def test_gmw_party_scaling(benchmark, report_table):
 def test_gmw_gate_scaling(benchmark, report_table):
     parties = ["p1", "p2", "p3"]
     rows = []
-    for depth in [1, 2, 3]:
+    for depth in DEPTH_SWEEP:
         circuit = circuits.alternating_tree(parties, depth=depth)
         names = circuits.input_names(circuit)
         inputs = {p: {name: (hash((p, name)) % 2 == 0) for name in names.get(p, [])}
@@ -96,6 +142,35 @@ def test_gmw_gate_scaling(benchmark, report_table):
         "E6 — GMW scaling with circuit size (3 parties)",
         ["depth", "AND gates", "XOR gates", "inputs", "messages", "seconds"],
         rows,
+    )
+
+
+def test_gmw_layered_batching_vs_seed(report_table, benchmark):
+    """The layered evaluator must at least halve the seed's message count
+    on a 4-party, depth-3 AND tree (7 gates across 3 layers)."""
+    parties = [f"p{i}" for i in range(1, 5)]
+    circuit = circuits.deep_and_tree(parties, depth=3)
+    names = circuits.input_names(circuit)
+    inputs = {p: {name: True for name in names.get(p, [])} for p in parties}
+    expected = circuits.evaluate_plain(circuit, inputs)
+    result = run_gmw(parties, circuit, inputs)
+    assert set(result.returns.values()) == {expected}
+    observed = result.stats.total_messages
+    seed_count = seed_message_count(parties, circuit)
+    assert observed == layered_message_count(parties, circuit)
+    assert observed * 2 <= seed_count, (observed, seed_count)
+    report_table(
+        "E6 — layered batching vs the seed's per-gate evaluator "
+        "(4 parties, depth-3 AND tree)",
+        ["evaluator", "messages"],
+        [
+            ["per-gate OTs + per-occurrence sharing (seed)", seed_count],
+            ["layered batched OTs + per-dealer sharing", observed],
+            ["reduction", f"{seed_count / observed:.2f}x"],
+        ],
+    )
+    benchmark.pedantic(
+        run_gmw, args=(parties, circuit, inputs), rounds=1, iterations=1
     )
 
 

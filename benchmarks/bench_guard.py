@@ -1,0 +1,68 @@
+"""Benchmark bitrot guard and smoke mode.
+
+The ``bench_*.py`` modules are collected only when pytest is pointed at them
+with ``-o python_files='bench_*.py'``, so plain tier-1 runs would never notice
+when a benchmark rots.  This module closes that gap two ways:
+
+* the ``test_*`` functions below import every benchmark module and run one
+  tiny, untimed iteration of each module that exposes a ``smoke()`` callable;
+  ``tests/test_bench_guard.py`` re-exports them so plain tier-1
+  ``pytest -x -q`` exercises the benchmark code paths too; and
+* it exports :func:`smoke_scale`, which benchmark modules use to shrink their
+  parameter sweeps when ``BENCH_SMOKE=1`` is set — giving CI a fast way to
+  execute the full benchmark files without the timing loops.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import pathlib
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+#: True when the environment asks for tiny benchmark iterations.
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+
+def smoke_scale(normal, smoke):
+    """Pick the full-size or smoke-size parameter set based on ``BENCH_SMOKE``."""
+    return smoke if SMOKE else normal
+
+
+def bench_module_names():
+    """Every benchmark module in this directory, by import name."""
+    return sorted(
+        path.stem
+        for path in BENCH_DIR.glob("bench_*.py")
+        if path.stem != "bench_guard"
+    )
+
+
+def _import_bench(name: str):
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
+    return importlib.import_module(name)
+
+
+def test_benchmark_modules_import_cleanly():
+    """Importing every bench module must succeed: catches API drift early."""
+    names = bench_module_names()
+    assert names, "no benchmark modules found"
+    for name in names:
+        _import_bench(name)
+
+
+def test_benchmark_smoke_iterations():
+    """Run one tiny, untimed iteration of each benchmark exposing ``smoke()``."""
+    exercised = []
+    for name in bench_module_names():
+        module = _import_bench(name)
+        smoke = getattr(module, "smoke", None)
+        if callable(smoke):
+            smoke()
+            exercised.append(name)
+    # The hot-path benches must always carry a smoke entry point.
+    assert "bench_message_throughput" in exercised
+    assert "bench_gmw" in exercised

@@ -1,0 +1,124 @@
+"""Perf — the message hot path: serialize-once broadcast and compact framing.
+
+Seeds the performance trajectory for the communication layer.  Two claims are
+measured against the seed behaviour:
+
+* **Broadcast throughput**: sending one payload to N receivers used to cost N
+  serializations (one ``pickle.dumps`` per ``send``).  ``send_many``
+  serializes once and enqueues N times; for an 8-receiver broadcast of 64
+  serialization-heavy payloads the batched path must be at least 2× faster.
+  The per-receiver baseline is measured with the *same* endpoint by looping
+  ``send`` — exactly the code path ``multicast`` used before serialize-once.
+* **Bytes per message**: a GMW boolean share used to travel as the pickled
+  ``(sender, payload)`` tuple of the old TCP framing (~20 bytes); with the
+  compact wire codec and ``[len][sender][payload]`` framing the payload is a
+  single tag byte.  The reduction must be at least 5×.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+from bench_guard import smoke_scale
+from repro.runtime.local import LocalTransport
+from repro.runtime.transport import serialize
+
+RECEIVER_COUNT = 8
+PAYLOAD_COUNT = smoke_scale(64, 4)
+#: A payload whose serialization cost dominates a queue put: the shape of a
+#: batched share vector or KVS replication record.
+PAYLOAD = {"shares": list(range(4096)), "round": 7, "tag": "broadcast"}
+
+
+def _broadcast_setup(n_receivers=RECEIVER_COUNT):
+    receivers = [f"r{i}" for i in range(1, n_receivers + 1)]
+    transport = LocalTransport(["hub"] + receivers, timeout=5.0)
+    return transport, transport.endpoint("hub"), receivers
+
+
+def broadcast_per_receiver(endpoint, receivers, payloads):
+    """The seed broadcast: one full send (and one serialization) per receiver."""
+    for payload in payloads:
+        for receiver in receivers:
+            endpoint.send(receiver, payload)
+
+
+def broadcast_serialize_once(endpoint, receivers, payloads):
+    """The batched broadcast: one serialization shared by every receiver."""
+    for payload in payloads:
+        endpoint.send_many(receivers, payload)
+
+
+def _timed(fn, *args):
+    started = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - started
+
+
+def measure_broadcast(payload_count=PAYLOAD_COUNT, payload=PAYLOAD):
+    """Wall-clock seconds for baseline vs batched broadcast of the workload."""
+    payloads = [payload] * payload_count
+    transport, hub, receivers = _broadcast_setup()
+    baseline = _timed(broadcast_per_receiver, hub, receivers, payloads)
+    batched = _timed(broadcast_serialize_once, hub, receivers, payloads)
+    transport.close()
+    return baseline, batched
+
+
+def boolean_share_sizes():
+    """(old TCP frame bytes, plain pickle bytes, wire payload bytes) for one share."""
+    share = True
+    old_tcp_frame = len(pickle.dumps(("p1", share)))  # the seed's double-serialized frame
+    plain_pickle = len(pickle.dumps(share))
+    wire_payload = len(serialize(share))
+    return old_tcp_frame, plain_pickle, wire_payload
+
+
+def smoke():
+    """One tiny, untimed iteration for the tier-1 bitrot guard."""
+    transport, hub, receivers = _broadcast_setup(2)
+    broadcast_per_receiver(hub, receivers, [PAYLOAD])
+    broadcast_serialize_once(hub, receivers, [PAYLOAD])
+    for receiver in receivers:
+        endpoint = transport.endpoint(receiver)
+        assert endpoint.recv("hub") == PAYLOAD
+        assert endpoint.recv("hub") == PAYLOAD
+    transport.close()
+    old_frame, _plain, wire_bytes = boolean_share_sizes()
+    assert old_frame >= 5 * wire_bytes
+
+
+def test_serialize_once_broadcast_throughput(benchmark, report_table):
+    # Warm-up pass so interpreter caches don't skew the first measurement.
+    measure_broadcast(payload_count=4)
+    baseline, batched = measure_broadcast()
+    messages = PAYLOAD_COUNT * RECEIVER_COUNT
+    speedup = baseline / batched
+    report_table(
+        "Perf — 8-receiver broadcast of 64 payloads (LocalTransport)",
+        ["path", "seconds", "messages/s"],
+        [
+            ["per-receiver pickle (seed)", f"{baseline:.4f}", f"{messages / baseline:,.0f}"],
+            ["serialize-once send_many", f"{batched:.4f}", f"{messages / batched:,.0f}"],
+            ["speedup", f"{speedup:.1f}x", ""],
+        ],
+    )
+    assert speedup >= 2.0, f"serialize-once broadcast only {speedup:.2f}x faster"
+    benchmark.pedantic(measure_broadcast, kwargs={"payload_count": 8}, rounds=3, iterations=1)
+
+
+def test_boolean_share_bytes_per_message(report_table, benchmark):
+    old_frame, plain_pickle, wire_bytes = boolean_share_sizes()
+    report_table(
+        "Perf — bytes per boolean-share message",
+        ["encoding", "bytes"],
+        [
+            ["seed TCP frame (pickle of (sender, payload))", old_frame],
+            ["plain pickle payload", plain_pickle],
+            ["compact wire payload", wire_bytes],
+        ],
+    )
+    assert wire_bytes * 5 <= old_frame, (old_frame, wire_bytes)
+    assert wire_bytes < plain_pickle
+    benchmark(boolean_share_sizes)

@@ -37,6 +37,11 @@ class Endpoint(Protocol):
     def recv(self, sender: Location) -> Any:
         """Block until the next payload from ``sender`` arrives and return it."""
 
+    # Endpoints may additionally provide ``send_many(receivers, payload)`` —
+    # a serialize-once broadcast of the same payload.  ``multicast`` uses it
+    # when present and falls back to a loop of ``send`` otherwise, so minimal
+    # endpoints (including test doubles) keep working unchanged.
+
 
 def _make_unwrapper(viewer: Location, required_owners: Optional[Census] = None) -> Unwrapper:
     """Build the ``un`` function handed to local/replicated computations.
@@ -123,8 +128,13 @@ class ProjectedOp(ChoreoOp):
             )
         if self._is_target(sender):
             payload = value.unwrap_for(sender)
-            for receiver in receivers:
-                if receiver != sender:
+            others = [receiver for receiver in receivers if receiver != sender]
+            send_many = getattr(self._endpoint, "send_many", None)
+            if send_many is not None and len(others) > 1:
+                # Serialize-once broadcast: one serialization, N deliveries.
+                send_many(others, payload)
+            else:
+                for receiver in others:
                     self._endpoint.send(receiver, payload)
             if sender in receivers:
                 return Located(receivers, payload)

@@ -131,6 +131,8 @@ class ChoreoOp(abc.ABC):
 
         Inside a conclave the census is the conclave's census, so a broadcast
         only reaches the parties that actually need Knowledge of Choice.
+        Under projection the underlying multicast is a serialize-once
+        ``send_many``: one serialization shared by every receiver.
         """
         return self.naked(self.multicast(sender, self._census, value))
 
@@ -314,7 +316,12 @@ class ChoreoOp(abc.ABC):
         recipients: LocationsLike,
         values: Faceted[T],
     ) -> Located[Quire[T]]:
-        """Collect every sender's facet at the recipients, as a quire."""
+        """Collect every sender's facet at the recipients, as a quire.
+
+        With multiple recipients each sender's multicast rides the
+        serialize-once ``send_many`` path: its facet is serialized once and
+        delivered to every recipient.
+        """
         sources = self._require_subset(senders)
         receivers = self._require_subset(recipients)
 

@@ -10,8 +10,8 @@ circuit generators used by the benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.locations import Location
 
@@ -132,6 +132,20 @@ def and_tree(parties: Sequence[Location], name: str = "x") -> Circuit:
     return _balanced(wires, AndGate)
 
 
+def deep_and_tree(parties: Sequence[Location], depth: int, name: str = "x") -> Circuit:
+    """A balanced AND tree of the given depth (``2**depth`` leaves).
+
+    Inputs cycle through the parties, so every party contributes secrets once
+    ``depth`` is large enough; used to exercise the layered GMW evaluator on
+    circuits whose AND depth exceeds the party count's ``log2``.
+    """
+    leaves = 2 ** depth
+    wires: List[Circuit] = [
+        InputWire(parties[i % len(parties)], f"{name}{i}") for i in range(leaves)
+    ]
+    return _balanced(wires, AndGate)
+
+
 def alternating_tree(parties: Sequence[Location], depth: int, name: str = "x") -> Circuit:
     """A circuit of the given depth alternating AND and XOR layers.
 
@@ -162,6 +176,96 @@ def _balanced(wires: List[Circuit], gate) -> Circuit:
             for i in range(0, len(wires), 2)
         ]
     return wires[0]
+
+
+# -- topological leveling (the layered GMW evaluator's front end) -------------------
+
+
+@dataclass(frozen=True)
+class LeveledCircuit:
+    """A circuit flattened into a deduplicated, topologically ordered DAG.
+
+    ``nodes`` lists every distinct node with children before parents;
+    structurally identical subtrees share one entry (common-subexpression
+    elimination, so a shared wire is secret-shared and evaluated once).
+    ``child_ids`` maps a gate's position to its children's positions (``None``
+    for leaves).  ``and_depth`` is the number of AND gates on the longest
+    path from a node down to a leaf — the node's *round* in a layered GMW
+    evaluation, since XOR gates are communication-free.  ``and_layers`` groups
+    the AND gates by that depth: all gates in one layer can run their
+    oblivious transfers in a single batched exchange per ordered party pair.
+    """
+
+    nodes: Tuple[Circuit, ...]
+    child_ids: Tuple[Optional[Tuple[int, int]], ...]
+    and_depth: Tuple[int, ...]
+    output: int
+    and_layers: Tuple[Tuple[int, ...], ...] = field(default=())
+
+    @property
+    def input_ids(self) -> Tuple[int, ...]:
+        """Positions of the (distinct) secret-input wires, in topological order."""
+        return tuple(
+            index for index, node in enumerate(self.nodes) if isinstance(node, InputWire)
+        )
+
+    @property
+    def round_count(self) -> int:
+        """Communication rounds a layered evaluation needs (its AND depth)."""
+        return len(self.and_layers)
+
+
+def level_circuit(circuit: Circuit) -> LeveledCircuit:
+    """Flatten ``circuit`` into a :class:`LeveledCircuit`.
+
+    Iterative post-order traversal with structural deduplication: two equal
+    subtrees (the frozen dataclasses compare structurally) map to the same
+    node id, so e.g. the repeated operands of :func:`or_gate` are evaluated
+    once.
+    """
+    ids: Dict[Circuit, int] = {}
+    nodes: List[Circuit] = []
+    child_ids: List[Optional[Tuple[int, int]]] = []
+    depths: List[int] = []
+
+    def add(node: Circuit, children: Optional[Tuple[int, int]], depth: int) -> None:
+        ids[node] = len(nodes)
+        nodes.append(node)
+        child_ids.append(children)
+        depths.append(depth)
+
+    stack: List[Tuple[Circuit, bool]] = [(circuit, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node in ids:
+            continue
+        if isinstance(node, (InputWire, LitWire)):
+            add(node, None, 0)
+        elif isinstance(node, (AndGate, XorGate)):
+            if not ready:
+                stack.append((node, True))
+                stack.append((node.right, False))
+                stack.append((node.left, False))
+            else:
+                left, right = ids[node.left], ids[node.right]
+                depth = max(depths[left], depths[right])
+                if isinstance(node, AndGate):
+                    depth += 1
+                add(node, (left, right), depth)
+        else:
+            raise TypeError(f"unknown circuit node {node!r}")
+
+    layers: Dict[int, List[int]] = {}
+    for index, node in enumerate(nodes):
+        if isinstance(node, AndGate):
+            layers.setdefault(depths[index], []).append(index)
+    return LeveledCircuit(
+        nodes=tuple(nodes),
+        child_ids=tuple(child_ids),
+        and_depth=tuple(depths),
+        output=ids[circuit],
+        and_layers=tuple(tuple(layers[depth]) for depth in sorted(layers)),
+    )
 
 
 # -- analysis and reference evaluation ----------------------------------------------

@@ -3,31 +3,40 @@
 Reproduces the paper's flagship census-polymorphism case study (§6 and
 Appendix A): an arbitrary number of parties jointly evaluate a boolean circuit
 over their secret inputs without revealing the inputs or any intermediate
-value.  The structure follows the MultiChor implementation closely:
+value.  The structure follows the MultiChor implementation, with a *layered*
+evaluator on top:
 
-* secret inputs are dealt as boolean additive shares (``Faceted`` values with
-  no common owners),
+* the circuit is topologically levelled (:func:`~repro.protocols.circuits.
+  level_circuit`) with structural deduplication, so shared subcircuits are
+  evaluated once,
+* secret inputs are dealt as boolean additive shares in **one scatter round
+  per dealer**: each party serializes all the shares it owes a peer into a
+  single message (``Faceted`` values with no common owners),
 * XOR gates are evaluated locally by every party on its own shares
   (``parallel``), using the additive homomorphism of XOR sharing,
-* AND gates run one 1-out-of-2 oblivious transfer per ordered pair of distinct
-  parties, each embedded as a two-party conclave inside the full census
+* all AND gates of one layer run their oblivious transfers **batched**: one
+  two-message :func:`~repro.protocols.ot.ot2_batch` exchange per ordered pair
+  of distinct parties carries the offered pairs for every gate in the layer,
+  each embedded as a two-party conclave inside the full census
   (``fanout`` / ``fanin`` / ``conclave_to``), and
 * the final output is revealed by gathering every party's share everywhere.
 
-The protocol is parametric over the participating parties: nothing in this
-module fixes their number.
+Message complexity is therefore ``O(depth × pairs)`` rather than
+``O(gates × pairs)``; see ``docs/performance.md`` for the exact round
+structure.  The protocol is parametric over the participating parties:
+nothing in this module fixes their number.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.located import Faceted, Located, Quire
-from ..core.locations import Census, Location, LocationsLike, as_census
+from ..core.locations import Location, LocationsLike, as_census
 from ..core.ops import ChoreoOp
 from . import crypto
-from .circuits import AndGate, Circuit, InputWire, LitWire, XorGate
-from .ot import ot2
+from .circuits import Circuit, InputWire, LitWire, XorGate, level_circuit
+from .ot import ot2_batch
 from .secretshare import make_boolean_shares, xor_all
 
 #: Per-endpoint secret inputs.  Either a flat mapping ``{wire_name: bit}``
@@ -35,6 +44,9 @@ from .secretshare import make_boolean_shares, xor_all
 #: ``location_args``) or a nested mapping ``{party: {wire_name: bit}}`` (used
 #: by the centralized reference semantics, which plays every role).
 SecretInputs = Union[Mapping[str, bool], Mapping[Location, Mapping[str, bool]]]
+
+#: A pair of share vectors entering one AND gate, as faceted values.
+SharePair = Tuple[Faceted[bool], Faceted[bool]]
 
 
 def _lookup_input(inputs: Optional[SecretInputs], party: Location, name: str) -> bool:
@@ -66,14 +78,42 @@ def secret_share(
 
     Mirrors the paper's ``secretShare``: the owner generates one share per
     party whose XOR is the secret, scatters them, and then *forgets* the shares
-    it dealt so the resulting faceted value has no common owners.
+    it dealt so the resulting faceted value has no common owners.  The
+    single-secret case of :func:`secret_share_batch`.
+    """
+    members = as_census(parties)
+    batch = secret_share_batch(
+        op, members, owner, value.map(lambda bit: [bit]), seed=seed, context=context
+    )
+    return op.parallel(members, lambda _party, un: bool(un(batch)[0]))
+
+
+def secret_share_batch(
+    op: ChoreoOp,
+    parties: LocationsLike,
+    owner: Location,
+    values: Located[Sequence[bool]],
+    *,
+    seed: int = 0,
+    context: str = "",
+) -> Faceted[List[bool]]:
+    """Deal shares of a whole vector of secrets in one scatter round.
+
+    The owner generates shares for every value, then sends each peer a single
+    message carrying *all* the share bits that peer is owed — one message per
+    (dealer, peer) pair regardless of how many secrets the dealer contributes.
+    Like :func:`secret_share`, the dealer forgets the shares it dealt.
     """
     members = as_census(parties)
 
-    def deal(un) -> Quire[bool]:
+    def deal(un) -> Quire[List[bool]]:
         rng = crypto.party_rng(seed, owner, f"share|{context}")
-        shares = make_boolean_shares(bool(un(value)), list(members), rng)
-        return Quire(members, shares)
+        per_party: Dict[Location, List[bool]] = {member: [] for member in members}
+        for value in un(values):
+            shares = make_boolean_shares(bool(value), list(members), rng)
+            for member in members:
+                per_party[member].append(shares[member])
+        return Quire(members, per_party)
 
     dealt = op.locally(owner, deal)
     scattered = op.scatter(owner, members, dealt)
@@ -88,6 +128,105 @@ def reveal(op: ChoreoOp, parties: LocationsLike, shares: Faceted[bool]) -> bool:
     return xor_all(opened.values())
 
 
+def shared_and_layer(
+    op: ChoreoOp,
+    parties: LocationsLike,
+    share_pairs: Sequence[SharePair],
+    *,
+    seed: int = 0,
+    context: str = "",
+    rsa_bits: int = crypto.DEFAULT_RSA_BITS,
+) -> List[Faceted[bool]]:
+    """Compute shares of ``u AND v`` for a whole layer of gates at once.
+
+    The per-gate arithmetic is the ``fAnd`` of Appendix A — the sender ``i``
+    offers ``(a_ij, a_ij XOR u_i)`` and the receiver ``j`` selects with its
+    share ``v_j``, learning ``a_ij XOR (u_i AND v_j)``; each party's output
+    share is ``(u_i AND v_i) XOR (XOR of received OT results) XOR (XOR of the
+    masks it generated)`` — but every ordered pair of distinct parties runs
+    *one* batched oblivious transfer carrying the offers for every gate in
+    ``share_pairs``.  A layer of k AND gates therefore costs the same
+    ``2 · n · (n-1)`` messages as a single gate.
+    """
+    members = as_census(parties)
+    gate_count = len(share_pairs)
+    if gate_count == 0:
+        return []
+    gate_range = range(gate_count)
+
+    # 1. Every party i draws one random mask bit a_ij per peer j and gate g.
+    def draw_masks(party: Location, _un) -> Dict[Location, List[bool]]:
+        rng = crypto.party_rng(seed, party, f"and-masks|{context}")
+        return {
+            peer: [bool(rng.getrandbits(1)) for _ in gate_range]
+            for peer in members
+            if peer != party
+        }
+
+    masks = op.parallel(members, draw_masks)
+
+    # 2. Pairwise batched oblivious transfers, receiver-major (the fanOut of App. A).
+    def receive_from_all(receiver: Location) -> Located[List[bool]]:
+        def one_sender(sender: Location) -> Located[List[bool]]:
+            if sender == receiver:
+                return op.locally(receiver, lambda _un: [False] * gate_count)
+
+            def offered_pairs(un):
+                mask_bits = un(masks)[receiver]
+                offers = []
+                for mask, (u_shares, _v) in zip(mask_bits, share_pairs):
+                    u_share = bool(un(u_shares))
+                    offers.append((mask, mask != u_share))
+                return offers
+
+            pairs = op.locally(sender, offered_pairs)
+            selects = op.locally(
+                receiver, lambda un: [bool(un(v_shares)) for _u, v_shares in share_pairs]
+            )
+            return op.conclave_to(
+                [sender, receiver],
+                [receiver],
+                lambda sub: ot2_batch(
+                    sub,
+                    sender,
+                    receiver,
+                    pairs,
+                    selects,
+                    seed=seed,
+                    context=f"{context}|{sender}->{receiver}",
+                    rsa_bits=rsa_bits,
+                ),
+            )
+
+        received = op.fanin(members, [receiver], one_sender)
+        return op.locally(
+            receiver,
+            lambda un: [
+                xor_all(per_sender[gate] for per_sender in un(received).values())
+                for gate in gate_range
+            ],
+        )
+
+    ot_results = op.fanout(members, receive_from_all)
+
+    # 3. Combine per gate: own product, received OT results, and generated masks.
+    def combine(party: Location, un) -> List[bool]:
+        own_masks = un(masks)
+        received = un(ot_results)
+        output = []
+        for gate, (u_shares, v_shares) in enumerate(share_pairs):
+            own_product = bool(un(u_shares)) and bool(un(v_shares))
+            generated = xor_all(own_masks[peer][gate] for peer in own_masks)
+            output.append(xor_all([own_product, bool(received[gate]), generated]))
+        return output
+
+    combined = op.parallel(members, combine)
+    return [
+        op.parallel(members, lambda _party, un, _gate=gate: bool(un(combined)[_gate]))
+        for gate in gate_range
+    ]
+
+
 def shared_and(
     op: ChoreoOp,
     parties: LocationsLike,
@@ -98,64 +237,15 @@ def shared_and(
     context: str = "",
     rsa_bits: int = crypto.DEFAULT_RSA_BITS,
 ) -> Faceted[bool]:
-    """Compute shares of ``u AND v`` from shares of ``u`` and ``v`` (the ``fAnd`` of App. A).
+    """Compute shares of ``u AND v`` from shares of ``u`` and ``v``.
 
-    Every ordered pair of distinct parties runs one oblivious transfer: the
-    sender ``i`` offers ``(a_ij, a_ij XOR u_i)`` and the receiver ``j`` selects
-    with its share ``v_j``, learning ``a_ij XOR (u_i AND v_j)``.  Each party's
-    output share is ``(u_i AND v_i) XOR (XOR of received OT results) XOR
-    (XOR of the masks it generated)``.
+    The single-gate case of :func:`shared_and_layer`: one oblivious transfer
+    exchange (two messages) per ordered pair of distinct parties.
     """
-    members = as_census(parties)
-
-    # 1. Every party i draws one random mask bit a_ij per peer j.
-    def draw_masks(party: Location, _un) -> Dict[Location, bool]:
-        rng = crypto.party_rng(seed, party, f"and-masks|{context}")
-        return {peer: bool(rng.getrandbits(1)) for peer in members if peer != party}
-
-    masks = op.parallel(members, draw_masks)
-
-    # 2. Pairwise oblivious transfers, receiver-major (the fanOut of App. A).
-    def receive_from_all(receiver: Location) -> Located[bool]:
-        def one_sender(sender: Location) -> Located[bool]:
-            if sender == receiver:
-                return op.locally(receiver, lambda _un: False)
-
-            def offered_pair(un):
-                mask = un(masks)[receiver]
-                u_share = bool(un(u_shares))
-                return (mask, mask != u_share)
-
-            pair = op.locally(sender, offered_pair)
-            select = v_shares.localize(receiver)
-            return op.conclave_to(
-                [sender, receiver],
-                [receiver],
-                lambda sub: ot2(
-                    sub,
-                    sender,
-                    receiver,
-                    pair,
-                    select,
-                    seed=seed,
-                    context=f"{context}|{sender}->{receiver}",
-                    rsa_bits=rsa_bits,
-                ),
-            )
-
-        received = op.fanin(members, [receiver], one_sender)
-        return op.locally(receiver, lambda un: xor_all(un(received).values()))
-
-    ot_results = op.fanout(members, receive_from_all)
-
-    # 3. Combine: own product, received OT results, and generated masks.
-    def combine(party: Location, un) -> bool:
-        own_product = bool(un(u_shares)) and bool(un(v_shares))
-        received = bool(un(ot_results))
-        generated = xor_all(un(masks).values())
-        return xor_all([own_product, received, generated])
-
-    return op.parallel(members, combine)
+    (result,) = shared_and_layer(
+        op, parties, [(u_shares, v_shares)], seed=seed, context=context, rsa_bits=rsa_bits
+    )
+    return result
 
 
 def share_circuit(
@@ -166,67 +256,86 @@ def share_circuit(
     *,
     seed: int = 0,
     rsa_bits: int = crypto.DEFAULT_RSA_BITS,
-    _counter: Optional[List[int]] = None,
 ) -> Faceted[bool]:
     """Evaluate ``circuit`` under GMW, returning shares of the output bit.
 
-    The recursion mirrors the paper's ``gmw`` function: input wires are secret
-    shared by their owner, literals become canonical public shares, XOR gates
-    are local, AND gates call :func:`shared_and`.
+    The layered analogue of the paper's recursive ``gmw`` function: the
+    circuit is levelled once, every party's input wires are shared in a single
+    scatter round per dealer, XOR gates evaluate locally, and the AND gates of
+    each layer run their oblivious transfers through one batched exchange per
+    ordered pair (:func:`shared_and_layer`).
     """
     members = as_census(parties)
-    counter = _counter if _counter is not None else [0]
+    leveled = level_circuit(circuit)
+    shares: Dict[int, Faceted[bool]] = {}
 
-    if isinstance(circuit, InputWire):
-        counter[0] += 1
-        value = op.locally(
-            circuit.party,
-            lambda _un, _p=circuit.party, _n=circuit.name: _lookup_input(my_inputs, _p, _n),
+    # 1. Secret inputs: one scatter round per dealer, covering all its wires.
+    by_dealer: Dict[Location, List[int]] = {}
+    for wire_id in leveled.input_ids:
+        by_dealer.setdefault(leveled.nodes[wire_id].party, []).append(wire_id)
+    for dealer, wire_ids in by_dealer.items():
+        names = tuple(leveled.nodes[wire_id].name for wire_id in wire_ids)
+        values = op.locally(
+            dealer,
+            lambda _un, _dealer=dealer, _names=names: [
+                _lookup_input(my_inputs, _dealer, name) for name in _names
+            ],
         )
-        return secret_share(
-            op, members, circuit.party, value, seed=seed, context=f"input-{counter[0]}"
+        batch = secret_share_batch(
+            op, members, dealer, values, seed=seed, context=f"inputs|{dealer}"
         )
+        for position, wire_id in enumerate(wire_ids):
+            shares[wire_id] = op.parallel(
+                members, lambda _party, un, _position=position: bool(un(batch)[_position])
+            )
 
-    if isinstance(circuit, LitWire):
-        # The first party's share is the literal; everyone else holds False.
-        first = members[0]
-        return op.fanout(
-            members,
-            lambda party: op.congruently(
-                [party], lambda _un, _p=party: circuit.value if _p == first else False
-            ),
-        )
+    # 2. Literals: the first party's share is the literal; everyone else holds False.
+    first = members[0]
+    for node_id, node in enumerate(leveled.nodes):
+        if isinstance(node, LitWire):
+            shares[node_id] = op.fanout(
+                members,
+                lambda party, _value=node.value: op.congruently(
+                    [party], lambda _un, _party=party: _value if _party == first else False
+                ),
+            )
 
-    if isinstance(circuit, XorGate):
-        left = share_circuit(
-            op, members, circuit.left, my_inputs, seed=seed, rsa_bits=rsa_bits, _counter=counter
-        )
-        right = share_circuit(
-            op, members, circuit.right, my_inputs, seed=seed, rsa_bits=rsa_bits, _counter=counter
-        )
-        return op.parallel(
-            members, lambda _party, un: bool(un(left)) != bool(un(right))
-        )
+    # 3. Gates, one AND layer at a time.  An AND gate of depth d only reads
+    #    nodes of depth < d, and an XOR gate of depth d may read the AND gates
+    #    of its own layer, so per depth: batched ANDs first, then XORs in
+    #    topological order.
+    max_depth = max(leveled.and_depth, default=0)
+    and_layers = {leveled.and_depth[layer[0]]: layer for layer in leveled.and_layers}
+    xor_layers: Dict[int, List[int]] = {}
+    for node_id, node in enumerate(leveled.nodes):
+        if isinstance(node, XorGate):
+            xor_layers.setdefault(leveled.and_depth[node_id], []).append(node_id)
+    for depth in range(max_depth + 1):
+        layer = and_layers.get(depth, ())
+        if layer:
+            pairs = [
+                (shares[left], shares[right])
+                for left, right in (leveled.child_ids[gate_id] for gate_id in layer)
+            ]
+            outputs = shared_and_layer(
+                op,
+                members,
+                pairs,
+                seed=seed,
+                context=f"layer-{depth}",
+                rsa_bits=rsa_bits,
+            )
+            for gate_id, output in zip(layer, outputs):
+                shares[gate_id] = output
+        for node_id in xor_layers.get(depth, ()):
+            left, right = leveled.child_ids[node_id]
+            shares[node_id] = op.parallel(
+                members,
+                lambda _party, un, _left=left, _right=right: bool(un(shares[_left]))
+                != bool(un(shares[_right])),
+            )
 
-    if isinstance(circuit, AndGate):
-        left = share_circuit(
-            op, members, circuit.left, my_inputs, seed=seed, rsa_bits=rsa_bits, _counter=counter
-        )
-        right = share_circuit(
-            op, members, circuit.right, my_inputs, seed=seed, rsa_bits=rsa_bits, _counter=counter
-        )
-        counter[0] += 1
-        return shared_and(
-            op,
-            members,
-            left,
-            right,
-            seed=seed,
-            context=f"and-{counter[0]}",
-            rsa_bits=rsa_bits,
-        )
-
-    raise TypeError(f"unknown circuit node {circuit!r}")
+    return shares[leveled.output]
 
 
 def gmw(

@@ -12,16 +12,103 @@ Crucially, the choreography's census is exactly ``[sender, receiver]``: inside
 GMW it is embedded in an arbitrarily large census via ``conclave_to``, which is
 the paper's demonstration that pairwise sub-protocols compose with census
 polymorphism.
+
+:func:`ot2_batch` runs a whole *vector* of independent transfers in the same
+two messages (one carrying all public keys, one carrying all ciphertexts).
+This is what makes the layered GMW evaluator's round count proportional to
+circuit *depth* instead of gate count: all AND gates of a layer share one
+batched exchange per ordered pair.  :func:`ot2` is the single-instance
+special case.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Sequence, Tuple
 
 from ..core.located import Located
 from ..core.locations import Location
 from ..core.ops import ChoreoOp
 from . import crypto
+
+
+def ot2_batch(
+    op: ChoreoOp,
+    sender: Location,
+    receiver: Location,
+    pairs: Located[Sequence[Tuple[bool, bool]]],
+    selects: Located[Sequence[bool]],
+    *,
+    seed: int = 0,
+    context: str = "",
+    rsa_bits: int = crypto.DEFAULT_RSA_BITS,
+) -> Located[List[bool]]:
+    """Obliviously transfer one bit of each offered pair, all in two messages.
+
+    Parameters
+    ----------
+    op:
+        An operator whose census is (at least) ``[sender, receiver]``.  The
+        caller is expected to conclave down to exactly those two parties.
+    pairs:
+        A sequence of ``(b0, b1)`` offers located at the sender, one per
+        transfer instance.
+    selects:
+        The select bits located at the receiver, index-aligned with ``pairs``.
+    seed, context:
+        Determine the local randomness used for key generation and padding, so
+        repeated batches inside one protocol use independent streams.
+
+    Returns the list of selected bits, located at the receiver.
+    """
+    op.census.require_member(sender)
+    op.census.require_member(receiver)
+
+    # 1. Per instance, the receiver builds two public keys; only the slot
+    #    matching its select bit has a usable private key.
+    def make_keys(un):
+        rng = crypto.party_rng(seed, receiver, f"ot-keys|{context}")
+        material = []
+        for select_bit in un(selects):
+            real = crypto.generate_rsa_keypair(rng, rsa_bits)
+            fake_public = crypto.random_public_key(rng, rsa_bits)
+            if select_bit:
+                publics = (fake_public, real.public)
+            else:
+                publics = (real.public, fake_public)
+            material.append({"publics": publics, "keypair": real, "select": bool(select_bit)})
+        return material
+
+    keys = op.locally(receiver, make_keys)
+
+    # 2. The receiver publishes every instance's key pair in one message.
+    public_keys = op.comm(
+        receiver, sender, op.locally(receiver, lambda un: [m["publics"] for m in un(keys)])
+    )
+
+    # 3. The sender encrypts each offered bit under the matching key; one message back.
+    def encrypt_pairs(un):
+        rng = crypto.party_rng(seed, sender, f"ot-pad|{context}")
+        ciphertexts = []
+        for (b0, b1), (pk0, pk1) in zip(un(pairs), un(public_keys)):
+            ciphertexts.append(
+                (
+                    crypto.encrypt_bit(pk0, bool(b0), rng),
+                    crypto.encrypt_bit(pk1, bool(b1), rng),
+                )
+            )
+        return ciphertexts
+
+    ciphertexts = op.comm(sender, receiver, op.locally(sender, encrypt_pairs))
+
+    # 4. The receiver decrypts each instance's selected slot.
+    def decrypt_selected(un):
+        bits = []
+        for material, (c0, c1) in zip(un(keys), un(ciphertexts)):
+            chosen = c1 if material["select"] else c0
+            bits.append(crypto.decrypt_bit(material["keypair"], chosen))
+        return bits
+
+    return op.locally(receiver, decrypt_selected)
 
 
 def ot2(
@@ -37,59 +124,16 @@ def ot2(
 ) -> Located[bool]:
     """Obliviously transfer one of the sender's two bits to the receiver.
 
-    Parameters
-    ----------
-    op:
-        An operator whose census is (at least) ``[sender, receiver]``.  The
-        caller is expected to conclave down to exactly those two parties.
-    pair:
-        ``(b0, b1)`` located at the sender.
-    select:
-        The select bit located at the receiver.
-    seed, context:
-        Determine the local randomness used for key generation and padding, so
-        repeated transfers inside one protocol use independent streams.
+    The single-instance case of :func:`ot2_batch`; same two-message shape.
     """
-    op.census.require_member(sender)
-    op.census.require_member(receiver)
-
-    # 1. The receiver builds two public keys; only the slot matching its select
-    #    bit has a usable private key.
-    def make_keys(un):
-        select_bit = bool(un(select))
-        rng = crypto.party_rng(seed, receiver, f"ot-keys|{context}")
-        real = crypto.generate_rsa_keypair(rng, rsa_bits)
-        fake_public = crypto.random_public_key(rng, rsa_bits)
-        if select_bit:
-            publics = (fake_public, real.public)
-        else:
-            publics = (real.public, fake_public)
-        return {"publics": publics, "keypair": real, "select": select_bit}
-
-    keys = op.locally(receiver, make_keys)
-
-    # 2. The receiver publishes the two public keys to the sender.
-    public_keys = op.comm(
-        receiver, sender, op.locally(receiver, lambda un: un(keys)["publics"])
+    bits = ot2_batch(
+        op,
+        sender,
+        receiver,
+        pair.map(lambda offered: [offered]),
+        select.map(lambda select_bit: [select_bit]),
+        seed=seed,
+        context=context,
+        rsa_bits=rsa_bits,
     )
-
-    # 3. The sender encrypts each bit under the corresponding public key.
-    def encrypt_pair(un):
-        b0, b1 = un(pair)
-        pk0, pk1 = un(public_keys)
-        rng = crypto.party_rng(seed, sender, f"ot-pad|{context}")
-        return (
-            crypto.encrypt_bit(pk0, bool(b0), rng),
-            crypto.encrypt_bit(pk1, bool(b1), rng),
-        )
-
-    ciphertexts = op.comm(sender, receiver, op.locally(sender, encrypt_pair))
-
-    # 4. The receiver decrypts the ciphertext in its selected slot.
-    def decrypt_selected(un):
-        material = un(keys)
-        c0, c1 = un(ciphertexts)
-        chosen = c1 if material["select"] else c0
-        return crypto.decrypt_bit(material["keypair"], chosen)
-
-    return op.locally(receiver, decrypt_selected)
+    return bits.map(lambda decoded: decoded[0])

@@ -4,12 +4,18 @@ This is the "threads on a single machine communicating through channels"
 execution mode every library in the paper supports.  Payloads are serialised
 on send and deserialised on receive, so endpoints cannot accidentally share
 mutable state and message sizes are accounted accurately.
+
+Channels are created lazily on first use: a census of *n* locations has n²−n
+directed pairs, but most choreographies only ever touch a few of them, so
+eager allocation would make large-census benchmarks pay a quadratic setup tax
+before the first message moves.
 """
 
 from __future__ import annotations
 
 import queue
-from typing import Any, Dict, Tuple
+import threading
+from typing import Any, Dict, Iterable, Tuple
 
 from ..core.errors import TransportError
 from ..core.locations import Location, LocationsLike
@@ -19,36 +25,38 @@ from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint, deserializ
 class _QueueEndpoint(TransportEndpoint):
     """Endpoint backed by shared per-channel queues."""
 
-    def __init__(
-        self,
-        location: Location,
-        channels: Dict[Tuple[Location, Location], "queue.SimpleQueue[bytes]"],
-        stats,
-        timeout: float,
-    ):
-        super().__init__(location, stats, timeout)
-        self._channels = channels
+    def __init__(self, location: Location, transport: "LocalTransport"):
+        super().__init__(location, transport.stats, transport.timeout)
+        self._transport = transport
+
+    def _require_peer(self, peer: Location, direction: str) -> None:
+        if peer == self.location or peer not in self._transport.census:
+            preposition = "to" if direction == "receiver" else "from"
+            raise TransportError(
+                f"no channel {preposition} {peer!r} at {self.location!r}; is the "
+                f"{direction} part of this transport's census?"
+            )
+
+    def _send_serialized(self, receiver: Location, data: bytes) -> None:
+        self._record(receiver, len(data))
+        self._transport.channel(self.location, receiver).put(data)
 
     def send(self, receiver: Location, payload: Any) -> None:
-        channel = (self.location, receiver)
-        if channel not in self._channels:
-            raise TransportError(
-                f"no channel from {self.location!r} to {receiver!r}; is the receiver "
-                "part of this transport's census?"
-            )
-        data = serialize(payload)
-        self._record(receiver, len(data))
-        self._channels[channel].put(data)
+        self._require_peer(receiver, "receiver")
+        self._send_serialized(receiver, serialize(payload))
+
+    def send_many(self, receivers: Iterable[Location], payload: Any) -> None:
+        targets = list(receivers)
+        for receiver in targets:
+            self._require_peer(receiver, "receiver")
+        data = serialize(payload)  # one serialization shared by all receivers
+        for receiver in targets:
+            self._send_serialized(receiver, data)
 
     def recv(self, sender: Location) -> Any:
-        channel = (sender, self.location)
-        if channel not in self._channels:
-            raise TransportError(
-                f"no channel from {sender!r} to {self.location!r}; is the sender "
-                "part of this transport's census?"
-            )
+        self._require_peer(sender, "sender")
         try:
-            data = self._channels[channel].get(timeout=self._timeout)
+            data = self._transport.channel(sender, self.location).get(timeout=self._timeout)
         except queue.Empty:
             raise TransportError(
                 f"{self.location!r} timed out after {self._timeout}s waiting for a "
@@ -62,12 +70,17 @@ class LocalTransport(Transport):
 
     def __init__(self, census: LocationsLike, timeout: float = DEFAULT_TIMEOUT):
         super().__init__(census, timeout)
-        self._channels: Dict[Tuple[Location, Location], "queue.SimpleQueue[bytes]"] = {
-            (sender, receiver): queue.SimpleQueue()
-            for sender in self.census
-            for receiver in self.census
-            if sender != receiver
-        }
+        self._channels: Dict[Tuple[Location, Location], "queue.SimpleQueue[bytes]"] = {}
+        self._channels_lock = threading.Lock()
+
+    def channel(self, sender: Location, receiver: Location) -> "queue.SimpleQueue[bytes]":
+        """The FIFO queue for the directed pair, created on first use."""
+        key = (sender, receiver)
+        existing = self._channels.get(key)
+        if existing is not None:
+            return existing
+        with self._channels_lock:
+            return self._channels.setdefault(key, queue.SimpleQueue())
 
     def _make_endpoint(self, location: Location) -> TransportEndpoint:
-        return _QueueEndpoint(location, self._channels, self.stats, self.timeout)
+        return _QueueEndpoint(location, self)

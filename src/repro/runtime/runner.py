@@ -10,6 +10,7 @@ single :class:`~repro.core.errors.ChoreographyRuntimeError`.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
 
@@ -139,8 +140,6 @@ def run_choreography(
             with lock:
                 failures[location] = exc
 
-    import time
-
     started = time.perf_counter()
     threads = [
         threading.Thread(target=run_endpoint, args=(location,), name=f"chor-{location}")
@@ -148,8 +147,11 @@ def run_choreography(
     ]
     for thread in threads:
         thread.start()
+    # One wall-clock deadline shared by every join: a hung census must not
+    # compound the timeout once per location.
+    deadline = time.monotonic() + timeout * 2
     for thread in threads:
-        thread.join(timeout=timeout * 2)
+        thread.join(timeout=max(0.0, deadline - time.monotonic()))
     elapsed = time.perf_counter() - started
 
     if owns_transport:

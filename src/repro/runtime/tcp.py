@@ -3,10 +3,19 @@
 The paper's libraries run the same choreography unchanged over HTTP(S) between
 machines or over channels between threads.  This transport provides the
 socket-based half of that story without requiring a network: every location
-listens on a loopback port, messages are length-prefixed pickled frames tagged
-with the sender, and each endpoint demultiplexes incoming frames into
-per-sender FIFO queues so the ``recv(sender)`` discipline matches the abstract
-transport exactly.
+listens on a loopback port and each endpoint demultiplexes incoming frames
+into per-sender FIFO queues so the ``recv(sender)`` discipline matches the
+abstract transport exactly.
+
+Frames are laid out as ``[u32 length][u16 sender-length][sender][payload]``
+where ``sender`` is the wire-encoded sender location and ``payload`` is the
+:func:`~repro.runtime.transport.serialize`-d message — so the payload is
+serialized exactly once per send (shared across all receivers of a
+``send_many``) and the byte count recorded in
+:class:`~repro.runtime.stats.ChannelStats` is the exact payload byte count on
+the wire.  Sockets run with ``TCP_NODELAY`` and each frame goes out as one
+``sendmsg`` writev (header + payload scatter/gather), so small frames are
+neither delayed by Nagle's algorithm nor copied into a concatenated buffer.
 """
 
 from __future__ import annotations
@@ -15,17 +24,23 @@ import queue
 import socket
 import struct
 import threading
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional
 
 from ..core.errors import TransportError
 from ..core.locations import Location, LocationsLike
+from . import wire
 from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint, deserialize, serialize
 
-_HEADER = struct.Struct("!I")
+_LENGTH = struct.Struct("!I")
+_SENDER_LENGTH = struct.Struct("!H")
 
 
-def _send_frame(sock: socket.socket, data: bytes) -> None:
-    sock.sendall(_HEADER.pack(len(data)) + data)
+def _send_buffers(sock: socket.socket, buffers: List[bytes]) -> None:
+    """Write ``buffers`` to ``sock`` as one writev, finishing any short write."""
+    total = sum(len(buffer) for buffer in buffers)
+    sent = sock.sendmsg(buffers)
+    if sent < total:  # pragma: no cover - kernel-buffer dependent
+        sock.sendall(b"".join(buffers)[sent:])
 
 
 def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
@@ -49,6 +64,7 @@ class _TCPEndpoint(TransportEndpoint):
         self._inboxes: Dict[Location, "queue.SimpleQueue[bytes]"] = {
             peer: queue.SimpleQueue() for peer in transport.census if peer != location
         }
+        self._sender_tag = wire.encode(location)
         self._out_sockets: Dict[Location, socket.socket] = {}
         self._out_lock = threading.Lock()
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -70,6 +86,7 @@ class _TCPEndpoint(TransportEndpoint):
                 conn, _addr = self._server.accept()
             except OSError:
                 return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             threading.Thread(
                 target=self._reader_loop, args=(conn,), daemon=True,
                 name=f"tcp-read-{self.location}",
@@ -78,16 +95,18 @@ class _TCPEndpoint(TransportEndpoint):
     def _reader_loop(self, conn: socket.socket) -> None:
         with conn:
             while not self._closed.is_set():
-                header = _recv_exact(conn, _HEADER.size)
+                header = _recv_exact(conn, _LENGTH.size)
                 if header is None:
                     return
-                (length,) = _HEADER.unpack(header)
+                (length,) = _LENGTH.unpack(header)
                 frame = _recv_exact(conn, length)
                 if frame is None:
                     return
-                sender, payload = deserialize(frame)
+                (sender_length,) = _SENDER_LENGTH.unpack_from(frame)
+                body_start = _SENDER_LENGTH.size + sender_length
+                sender = wire.decode(frame[_SENDER_LENGTH.size:body_start])
                 if sender in self._inboxes:
-                    self._inboxes[sender].put(payload)
+                    self._inboxes[sender].put(frame[body_start:])
 
     # -- outgoing ------------------------------------------------------------------
 
@@ -97,31 +116,53 @@ class _TCPEndpoint(TransportEndpoint):
             if sock is None:
                 port = self._transport.port_of(receiver)
                 sock = socket.create_connection(("127.0.0.1", port), timeout=self._timeout)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 self._out_sockets[receiver] = sock
             return sock
 
-    def send(self, receiver: Location, payload: Any) -> None:
+    def _frame_header(self, payload: bytes) -> bytes:
+        """The ``[length][sender-length][sender]`` prefix for ``payload``."""
+        frame_length = _SENDER_LENGTH.size + len(self._sender_tag) + len(payload)
+        return (
+            _LENGTH.pack(frame_length)
+            + _SENDER_LENGTH.pack(len(self._sender_tag))
+            + self._sender_tag
+        )
+
+    def _send_serialized(self, receiver: Location, data: bytes) -> None:
         if receiver not in self._transport.census:
             raise TransportError(f"unknown receiver {receiver!r}")
-        data = serialize(payload)
         self._record(receiver, len(data))
         try:
-            _send_frame(self._connection_to(receiver), serialize((self.location, payload)))
+            _send_buffers(self._connection_to(receiver), [self._frame_header(data), data])
         except OSError as exc:
             raise TransportError(
                 f"{self.location!r} failed to send to {receiver!r}: {exc}"
             ) from exc
 
+    def send(self, receiver: Location, payload: Any) -> None:
+        self._send_serialized(receiver, serialize(payload))
+
+    def send_many(self, receivers: Iterable[Location], payload: Any) -> None:
+        targets = list(receivers)
+        for receiver in targets:  # all-or-nothing: validate before the first frame
+            if receiver not in self._transport.census:
+                raise TransportError(f"unknown receiver {receiver!r}")
+        data = serialize(payload)  # one serialization shared by all receivers
+        for receiver in targets:
+            self._send_serialized(receiver, data)
+
     def recv(self, sender: Location) -> Any:
         if sender not in self._inboxes:
             raise TransportError(f"unknown sender {sender!r}")
         try:
-            return self._inboxes[sender].get(timeout=self._timeout)
+            data = self._inboxes[sender].get(timeout=self._timeout)
         except queue.Empty:
             raise TransportError(
                 f"{self.location!r} timed out after {self._timeout}s waiting for a "
                 f"message from {sender!r}"
             ) from None
+        return deserialize(data)
 
     def close(self) -> None:
         self._closed.set()

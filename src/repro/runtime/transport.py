@@ -12,11 +12,11 @@ meaningful and endpoints never share mutable state.
 from __future__ import annotations
 
 import abc
-import pickle
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from ..core.errors import TransportError
 from ..core.locations import Census, Location, LocationsLike, as_census
+from . import wire
 from .stats import ChannelStats
 
 #: Default number of seconds an endpoint waits for a message before concluding
@@ -27,20 +27,22 @@ DEFAULT_TIMEOUT = 30.0
 def serialize(payload: Any) -> bytes:
     """Serialize a payload for transmission.
 
-    Uses :mod:`pickle`, which plays the role of MultiChor's ``Show``/``Read``
-    constraints: only values that survive a round-trip may be communicated.
+    Uses the compact codec of :mod:`repro.runtime.wire` (pickle for payload
+    shapes outside its fast paths), which plays the role of MultiChor's
+    ``Show``/``Read`` constraints: only values that survive a round-trip may
+    be communicated.
     """
     try:
-        return pickle.dumps(payload)
-    except Exception as exc:  # pragma: no cover - defensive
+        return wire.encode(payload)
+    except Exception as exc:
         raise TransportError(f"payload {payload!r} is not serializable: {exc}") from exc
 
 
 def deserialize(data: bytes) -> Any:
     """Inverse of :func:`serialize`."""
     try:
-        return pickle.loads(data)
-    except Exception as exc:  # pragma: no cover - defensive
+        return wire.decode(data)
+    except Exception as exc:
         raise TransportError(f"could not deserialize message: {exc}") from exc
 
 
@@ -60,6 +62,26 @@ class TransportEndpoint(abc.ABC):
     def recv(self, sender: Location) -> Any:
         """Return the next payload from ``sender``; raises
         :class:`~repro.core.errors.TransportError` on timeout."""
+
+    def send_many(self, receivers: Iterable[Location], payload: Any) -> None:
+        """Deliver the *same* ``payload`` to every receiver (the broadcast path).
+
+        The base implementation simply loops over :meth:`send`; transports
+        whose send path starts with serialization override this with a
+        serialize-once fast path (one :func:`serialize` shared by all
+        receivers).  ``receivers`` must not include this endpoint's own
+        location — a multicast sender keeps its copy without a message.
+        """
+        for receiver in receivers:
+            self.send(receiver, payload)
+
+    def recv_many(self, senders: Iterable[Location]) -> Dict[Location, Any]:
+        """Receive one payload from each sender, in the order given.
+
+        A convenience for gather-style rounds; equivalent to a loop over
+        :meth:`recv`.
+        """
+        return {sender: self.recv(sender) for sender in senders}
 
     def _record(self, receiver: Location, nbytes: int) -> None:
         self._stats.record(self.location, receiver, nbytes)

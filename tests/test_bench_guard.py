@@ -1,0 +1,28 @@
+"""Tier-1 hook for the benchmark bitrot guard.
+
+The benchmark files use the ``bench_*.py`` naming convention, so default
+pytest discovery never collects them; this wrapper pulls the guard tests from
+``benchmarks/bench_guard.py`` into the regular suite.  Each guard test imports
+every benchmark module and runs one tiny, untimed iteration of the modules
+that expose ``smoke()`` — enough to catch API drift in bench code without
+paying for the timing sweeps.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parents[1] / "benchmarks"
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+import bench_guard  # noqa: E402
+
+
+def test_benchmark_modules_import_cleanly():
+    bench_guard.test_benchmark_modules_import_cleanly()
+
+
+def test_benchmark_smoke_iterations():
+    bench_guard.test_benchmark_smoke_iterations()

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import pickle
 import string
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
+
+from repro.runtime import wire
 
 from repro.core.locations import Census
 from repro.core.located import Quire
@@ -222,6 +225,80 @@ class TestCircuitProperties:
         circuit = majority3(InputWire("p1", "x"), InputWire("p2", "x"), InputWire("p3", "x"))
         bits = [inputs["p1"]["x"], inputs["p2"]["x"], inputs["p3"]["x"]]
         assert evaluate_plain(circuit, inputs) == (sum(bits) >= 2)
+
+
+# ----------------------------------------------------------------------- wire codec --
+
+wire_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+wire_payloads = st.recursive(
+    wire_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=5), children, max_size=4),
+    ),
+    max_leaves=16,
+)
+
+#: Values outside the fast paths, exercising the pickle fallback tag.
+fallback_payloads = st.one_of(
+    st.frozensets(st.integers(), max_size=5),
+    st.sets(st.integers(), max_size=5),
+    st.builds(complex, st.floats(allow_nan=False), st.floats(allow_nan=False)),
+    st.lists(st.integers(), min_size=wire.MAX_FAST_ITEMS + 1, max_size=wire.MAX_FAST_ITEMS + 4),
+)
+
+
+class TestWireCodecProperties:
+    @given(wire_payloads)
+    @SETTINGS
+    def test_roundtrip_is_identity_on_fast_path_types(self, payload):
+        decoded = wire.decode(wire.encode(payload))
+        assert decoded == payload
+        assert type(decoded) is type(payload)
+
+    @given(fallback_payloads)
+    @SETTINGS
+    def test_roundtrip_is_identity_on_pickle_fallback_types(self, payload):
+        encoded = wire.encode(payload)
+        assert encoded[0] == ord("P"), "expected the pickle fallback tag"
+        decoded = wire.decode(encoded)
+        assert decoded == payload
+        assert type(decoded) is type(payload)
+
+    @given(st.booleans())
+    @SETTINGS
+    def test_bool_fast_path_is_strictly_smaller_than_pickle(self, payload):
+        assert len(wire.encode(payload)) < len(pickle.dumps(payload))
+
+    @given(st.integers())
+    @SETTINGS
+    def test_int_fast_path_is_strictly_smaller_than_pickle(self, payload):
+        assert len(wire.encode(payload)) < len(pickle.dumps(payload))
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=16))
+    @SETTINGS
+    def test_share_vectors_stay_compact(self, bits):
+        # a batched share vector is ~2 bytes of framing plus one byte per bit
+        assert len(wire.encode(bits)) <= len(bits) + 3
+
+    def test_bool_int_str_are_not_conflated(self):
+        assert wire.decode(wire.encode(True)) is True
+        assert wire.decode(wire.encode(False)) is False
+        one = wire.decode(wire.encode(1))
+        assert one == 1 and type(one) is int
+        assert wire.decode(wire.encode("1")) == "1"
+        assert wire.decode(wire.encode(b"x")) == b"x"
+        assert type(wire.decode(wire.encode((1,)))) is tuple
+        assert type(wire.decode(wire.encode([1]))) is list
 
 
 # ---------------------------------------------------------------- formal metatheory --

@@ -8,7 +8,16 @@ import pytest
 
 from repro.core.locations import Census
 from repro.protocols import circuits
-from repro.protocols.gmw import gmw, reveal, secret_share, share_circuit, shared_and
+from repro.protocols.circuits import level_circuit
+from repro.protocols.gmw import (
+    gmw,
+    reveal,
+    secret_share,
+    secret_share_batch,
+    share_circuit,
+    shared_and,
+    shared_and_layer,
+)
 from repro.runtime.central import CentralOp
 from repro.runtime.runner import run_choreography
 from repro.runtime.stats import ChannelStats
@@ -86,6 +95,117 @@ class TestSharedAnd:
         n = len(self.PARTIES)
         # each ordered pair of distinct parties runs one OT (2 messages each)
         assert op.stats.total_messages - before == 2 * n * (n - 1)
+
+
+class TestCircuitLeveling:
+    def test_layers_group_and_gates_by_depth(self):
+        parties = ["p1", "p2", "p3", "p4"]
+        circuit = circuits.deep_and_tree(parties, depth=3)
+        leveled = level_circuit(circuit)
+        assert leveled.round_count == 3
+        assert [len(layer) for layer in leveled.and_layers] == [4, 2, 1]
+        assert len(leveled.input_ids) == 8
+
+    def test_structural_dedup_shares_common_subtrees(self):
+        a = circuits.InputWire("p1", "a")
+        b = circuits.InputWire("p2", "b")
+        leveled = level_circuit(circuits.or_gate(a, b))  # a and b appear twice each
+        assert len(leveled.input_ids) == 2
+        counted = circuits.count_gates(circuits.or_gate(a, b))
+        assert counted["input"] == 4  # the tree view still sees 4 occurrences
+
+    def test_children_precede_parents(self):
+        parties = ["p1", "p2", "p3"]
+        leveled = level_circuit(circuits.alternating_tree(parties, depth=3))
+        for index, children in enumerate(leveled.child_ids):
+            if children is not None:
+                assert children[0] < index and children[1] < index
+
+    def test_xor_gates_do_not_add_rounds(self):
+        parties = ["p1", "p2", "p3"]
+        leveled = level_circuit(circuits.xor_tree(parties))
+        assert leveled.round_count == 0
+        assert leveled.and_layers == ()
+
+
+class TestBatchedPrimitives:
+    PARTIES = ["p1", "p2", "p3"]
+
+    def test_secret_share_batch_reconstructs_every_secret(self):
+        op = central(self.PARTIES)
+        secrets = [True, False, True, True]
+        values = op.locally("p2", lambda _un: secrets)
+        batch = secret_share_batch(op, self.PARTIES, "p2", values, seed=11)
+        for index, secret in enumerate(secrets):
+            per_wire = op.parallel(
+                self.PARTIES, lambda _party, un, _i=index: bool(un(batch)[_i])
+            )
+            assert reveal(op, self.PARTIES, per_wire) == secret
+
+    def test_secret_share_batch_costs_one_message_per_peer(self):
+        def chor(op):
+            values = op.locally("p1", lambda _un: [True, False, True])
+            secret_share_batch(op, self.PARTIES, "p1", values, seed=2)
+
+        result = run_choreography(chor, self.PARTIES)
+        # three secrets, still one message per (dealer, peer) pair
+        assert result.stats.total_messages == len(self.PARTIES) - 1
+
+    @pytest.mark.parametrize("bits", [(False, False), (True, False), (True, True)])
+    def test_shared_and_layer_matches_plain_and(self, bits):
+        op = central(self.PARTIES)
+        pairs = []
+        for index, _ in enumerate(bits):
+            u = secret_share(
+                op, self.PARTIES, "p1",
+                op.locally("p1", lambda _un, _i=index: bits[_i]),
+                seed=21, context=f"u{index}",
+            )
+            v = secret_share(
+                op, self.PARTIES, "p2",
+                op.locally("p2", lambda _un: True),
+                seed=22, context=f"v{index}",
+            )
+            pairs.append((u, v))
+        products = shared_and_layer(op, self.PARTIES, pairs, seed=23, rsa_bits=RSA_BITS)
+        for bit, product in zip(bits, products):
+            assert reveal(op, self.PARTIES, product) == (bit and True)
+
+    def test_layer_message_count_is_independent_of_gate_count(self):
+        op = central(self.PARTIES)
+        n = len(self.PARTIES)
+
+        def make_pairs(count, tag):
+            pairs = []
+            for index in range(count):
+                u = secret_share(
+                    op, self.PARTIES, "p1",
+                    op.locally("p1", lambda _un: True), seed=31, context=f"{tag}u{index}",
+                )
+                v = secret_share(
+                    op, self.PARTIES, "p2",
+                    op.locally("p2", lambda _un: False), seed=32, context=f"{tag}v{index}",
+                )
+                pairs.append((u, v))
+            return pairs
+
+        one_gate = make_pairs(1, "a")
+        before = op.stats.total_messages
+        shared_and_layer(op, self.PARTIES, one_gate, seed=33, rsa_bits=RSA_BITS)
+        single_cost = op.stats.total_messages - before
+
+        five_gates = make_pairs(5, "b")
+        before = op.stats.total_messages
+        shared_and_layer(op, self.PARTIES, five_gates, seed=34, rsa_bits=RSA_BITS)
+        batched_cost = op.stats.total_messages - before
+
+        assert single_cost == batched_cost == 2 * n * (n - 1)
+
+    def test_empty_layer_is_free(self):
+        op = central(self.PARTIES)
+        before = op.stats.total_messages
+        assert shared_and_layer(op, self.PARTIES, [], seed=1) == []
+        assert op.stats.total_messages == before
 
 
 def run_gmw(circuit, inputs, parties, transport="local"):

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import struct
 import threading
 
 import pytest
 
 from repro.core.errors import TransportError
+from repro.runtime import wire
 from repro.runtime.local import LocalTransport
 from repro.runtime.stats import ChannelStats
 from repro.runtime.tcp import TCPTransport
@@ -180,3 +182,136 @@ class TestTCPTransport:
             transport.endpoint("a").send("b", "hello")
             transport.endpoint("b").recv("a")
             assert transport.stats.total_messages == 1
+
+
+class _SpySocket:
+    """Captures the buffers an endpoint hands to ``sendmsg``."""
+
+    def __init__(self):
+        self.captured = b""
+
+    def sendmsg(self, buffers):
+        self.captured += b"".join(bytes(buffer) for buffer in buffers)
+        return sum(len(buffer) for buffer in buffers)
+
+    def sendall(self, data):  # pragma: no cover - short-write fallback
+        self.captured += bytes(data)
+
+    def close(self):
+        pass
+
+
+def _parse_tcp_frame(raw: bytes):
+    """Split a captured TCP frame into (sender, payload bytes)."""
+    (frame_length,) = struct.unpack_from("!I", raw)
+    frame = raw[4:4 + frame_length]
+    assert len(frame) == frame_length, "frame shorter than its length prefix"
+    (sender_length,) = struct.unpack_from("!H", frame)
+    sender = wire.decode(frame[2:2 + sender_length])
+    return sender, frame[2 + sender_length:]
+
+
+class TestSerializeOnceAccounting:
+    """Bytes recorded in ChannelStats must equal the bytes actually framed."""
+
+    CENSUS = ["a", "b", "c", "d"]
+    PAYLOAD = {"shares": [True, False, True], "round": 3}
+
+    def test_local_send_records_exact_serialized_bytes(self):
+        transport = LocalTransport(["a", "b"], timeout=2.0)
+        transport.endpoint("a").send("b", self.PAYLOAD)
+        assert transport.stats.payload_bytes[("a", "b")] == len(serialize(self.PAYLOAD))
+        assert transport.endpoint("b").recv("a") == self.PAYLOAD
+
+    def test_local_send_many_records_per_receiver(self):
+        transport = LocalTransport(self.CENSUS, timeout=2.0)
+        receivers = ["b", "c", "d"]
+        transport.endpoint("a").send_many(receivers, self.PAYLOAD)
+        expected = len(serialize(self.PAYLOAD))
+        for receiver in receivers:
+            assert transport.stats.messages[("a", receiver)] == 1
+            assert transport.stats.payload_bytes[("a", receiver)] == expected
+            assert transport.endpoint(receiver).recv("a") == self.PAYLOAD
+        assert transport.stats.total_bytes == expected * len(receivers)
+
+    def test_local_send_many_rejects_unknown_receiver(self):
+        transport = LocalTransport(["a", "b"], timeout=1.0)
+        with pytest.raises(TransportError):
+            transport.endpoint("a").send_many(["b", "z"], 1)
+        # the bad batch must not have been partially delivered or recorded
+        assert transport.stats.total_messages == 0
+
+    def test_tcp_send_many_rejects_unknown_receiver_before_sending(self):
+        with TCPTransport(["a", "b"], timeout=2.0) as transport:
+            transport.endpoint("a")
+            transport.endpoint("b")
+            with pytest.raises(TransportError):
+                transport.endpoint("a").send_many(["b", "z"], 1)
+            # all-or-nothing, matching LocalTransport: no partial broadcast
+            assert transport.stats.total_messages == 0
+
+    def test_tcp_framed_payload_bytes_match_stats(self):
+        with TCPTransport(["a", "b"], timeout=5.0) as transport:
+            sender = transport.endpoint("a")
+            transport.endpoint("b")
+            spy = _SpySocket()
+            sender._out_sockets["b"] = spy  # intercept the wire
+            sender.send("b", self.PAYLOAD)
+            origin, payload = _parse_tcp_frame(spy.captured)
+            assert origin == "a"
+            assert payload == serialize(self.PAYLOAD)
+            assert transport.stats.payload_bytes[("a", "b")] == len(payload)
+
+    def test_tcp_send_many_frames_one_serialization(self):
+        with TCPTransport(self.CENSUS, timeout=5.0) as transport:
+            sender = transport.endpoint("a")
+            for name in self.CENSUS:
+                transport.endpoint(name)
+            spies = {receiver: _SpySocket() for receiver in ["b", "c", "d"]}
+            sender._out_sockets.update(spies)
+            sender.send_many(["b", "c", "d"], self.PAYLOAD)
+            expected = serialize(self.PAYLOAD)
+            for receiver, spy in spies.items():
+                origin, payload = _parse_tcp_frame(spy.captured)
+                assert origin == "a"
+                assert payload == expected
+                assert transport.stats.payload_bytes[("a", receiver)] == len(expected)
+
+    def test_tcp_broadcast_end_to_end(self):
+        with TCPTransport(self.CENSUS, timeout=5.0) as transport:
+            for name in self.CENSUS:
+                transport.endpoint(name)
+            transport.endpoint("a").send_many(["b", "c", "d"], self.PAYLOAD)
+            for receiver in ["b", "c", "d"]:
+                assert transport.endpoint(receiver).recv("a") == self.PAYLOAD
+
+    def test_recv_many_collects_one_message_per_sender(self):
+        transport = LocalTransport(self.CENSUS, timeout=2.0)
+        for sender in ["b", "c", "d"]:
+            transport.endpoint(sender).send("a", f"from-{sender}")
+        received = transport.endpoint("a").recv_many(["b", "c", "d"])
+        assert received == {"b": "from-b", "c": "from-c", "d": "from-d"}
+
+
+class TestLazyChannels:
+    def test_channels_created_on_first_use_only(self):
+        census = [f"n{i}" for i in range(50)]
+        transport = LocalTransport(census, timeout=1.0)
+        assert len(transport._channels) == 0
+        transport.endpoint("n0").send("n1", 1)
+        assert transport.endpoint("n1").recv("n0") == 1
+        # one channel for the touched pair, not 50*49 for the census
+        assert len(transport._channels) == 1
+
+    def test_concurrent_first_use_yields_one_queue_per_channel(self):
+        transport = LocalTransport(["a", "b"], timeout=2.0)
+        endpoint = transport.endpoint("a")
+        threads = [
+            threading.Thread(target=endpoint.send, args=("b", index)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        receiver = transport.endpoint("b")
+        assert sorted(receiver.recv("a") for _ in range(8)) == list(range(8))
