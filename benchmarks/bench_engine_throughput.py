@@ -1,0 +1,124 @@
+"""Perf — persistent engine sessions vs per-call setup.
+
+The one-shot ``run_choreography`` pays transport construction (sockets,
+accept threads, connections for TCP), endpoint materialization, and one
+thread spawn per location for *every* choreography instance.  A warm
+:class:`~repro.runtime.engine.ChoreoEngine` pays all of that once and then
+only moves messages; ``engine.submit`` additionally pipelines independent
+instances through the same session.
+
+Acceptance for this PR: on the TCP backend a warm engine must deliver at
+least **3×** the runs/sec of per-call ``run_choreography``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_guard import smoke_scale
+from repro.runtime.engine import ChoreoEngine
+from repro.runtime.runner import run_choreography
+
+CENSUS = ["a", "b"]
+RUNS = smoke_scale(60, 12)
+
+
+def ping(op, token):
+    """One request/response round trip — the smallest serving-shaped unit."""
+    at_b = op.comm("a", "b", op.locally("a", lambda _un: token))
+    return op.broadcast("b", op.locally("b", lambda un: un(at_b)))
+
+
+def per_call_runs_per_sec(backend, runs=RUNS):
+    """The seed shape: transport + threads built and torn down per instance."""
+    started = time.perf_counter()
+    for index in range(runs):
+        result = run_choreography(ping, CENSUS, args=(index,), transport=backend)
+        assert result.returns["a"] == index
+    return runs / (time.perf_counter() - started)
+
+
+def warm_engine_runs_per_sec(backend, runs=RUNS):
+    """Sequential ``engine.run`` calls over one warm session."""
+    with ChoreoEngine(CENSUS, backend=backend) as engine:
+        engine.run(ping, args=(-1,))  # warm-up: endpoints, connections, workers
+        started = time.perf_counter()
+        for index in range(runs):
+            result = engine.run(ping, args=(index,))
+            assert result.returns["a"] == index
+        elapsed = time.perf_counter() - started
+    return runs / elapsed
+
+
+def pipelined_runs_per_sec(backend, runs=RUNS):
+    """``engine.submit`` keeps every location busy: no wait between instances."""
+    with ChoreoEngine(CENSUS, backend=backend) as engine:
+        engine.run(ping, args=(-1,))
+        started = time.perf_counter()
+        futures = [engine.submit(ping, args=(index,)) for index in range(runs)]
+        results = [future.result(timeout=60.0) for future in futures]
+        elapsed = time.perf_counter() - started
+    for index, result in enumerate(results):
+        assert result.returns["a"] == index
+    return runs / elapsed
+
+
+#: Trials per shape; the best of each is reported, damping scheduler noise.
+TRIALS = smoke_scale(3, 2)
+
+
+def measure(backend, runs=RUNS, trials=TRIALS):
+    """Best-of-``trials`` (per-call, warm engine, pipelined) runs/sec."""
+    return tuple(
+        max(shape(backend, runs) for _ in range(trials))
+        for shape in (per_call_runs_per_sec, warm_engine_runs_per_sec, pipelined_runs_per_sec)
+    )
+
+
+def smoke():
+    """One tiny, untimed iteration for the tier-1 bitrot guard."""
+    with ChoreoEngine(CENSUS, backend="local") as engine:
+        futures = [engine.submit(ping, args=(index,)) for index in range(3)]
+        assert [f.result(timeout=30.0).returns["b"] for f in futures] == [0, 1, 2]
+    assert per_call_runs_per_sec("local", runs=2) > 0
+
+
+def _report(report_table, backend, cold, warm, piped):
+    report_table(
+        f"Perf — engine sessions over the {backend!r} backend ({RUNS} runs)",
+        ["execution shape", "runs/sec", "speedup vs per-call"],
+        [
+            ["per-call run_choreography", f"{cold:,.0f}", "1.0x"],
+            ["warm engine, engine.run", f"{warm:,.0f}", f"{warm / cold:.1f}x"],
+            ["warm engine, pipelined submit", f"{piped:,.0f}", f"{piped / cold:.1f}x"],
+        ],
+    )
+
+
+def test_warm_engine_beats_per_call_setup_on_tcp(benchmark, report_table):
+    measure("tcp", runs=4, trials=1)  # warm-up so first-use costs don't skew
+    cold, warm, piped = measure("tcp")
+    _report(report_table, "tcp", cold, warm, piped)
+    speedup = warm / cold
+    assert speedup >= 3.0, f"warm TCP engine only {speedup:.2f}x per-call setup"
+    benchmark.pedantic(
+        warm_engine_runs_per_sec, args=("tcp",), kwargs={"runs": 8},
+        rounds=3, iterations=1,
+    )
+
+
+def test_engine_throughput_local(benchmark, report_table):
+    measure("local", runs=4, trials=1)
+    cold, warm, piped = measure("local")
+    _report(report_table, "local", cold, warm, piped)
+    # Local setup is just dicts + thread spawns, so the warm-engine win is
+    # modest and scheduler noise on shared CI runners is comparable to it;
+    # assert only that the warm path is not materially slower.  The hard
+    # speedup acceptance lives in the TCP test above.
+    assert warm > cold * 0.7, (
+        f"warm local engine much slower than per-call ({warm:.0f} vs {cold:.0f})"
+    )
+    benchmark.pedantic(
+        warm_engine_runs_per_sec, args=("local",), kwargs={"runs": 8},
+        rounds=3, iterations=1,
+    )

@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.protocols.kvs import Request, RequestKind, ResponseKind, kvs_serve
-from repro.runtime.runner import run_choreography
+from repro.runtime.engine import ChoreoEngine
 
 WORKLOAD = [
     Request.put("a", "1"),
@@ -32,7 +32,8 @@ def run_cluster(n_servers, fault_rate=0.0, seed=0):
         return kvs_serve(op, "client", servers[0], servers, WORKLOAD,
                          fault_rate=fault_rate, seed=seed)
 
-    return run_choreography(session, census)
+    with ChoreoEngine(census, backend="local") as engine:
+        return engine.run(session)
 
 
 @pytest.mark.parametrize("n_servers", [1, 2, 4, 8])

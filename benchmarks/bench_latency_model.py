@@ -15,8 +15,7 @@ import pytest
 from repro.protocols import circuits
 from repro.protocols.gmw import gmw
 from repro.protocols.kvs import Request, kvs_serve
-from repro.runtime.runner import run_choreography
-from repro.runtime.simulated import SimulatedNetworkTransport
+from repro.runtime.engine import ChoreoEngine
 
 LATENCY = 1.0  # one virtual second per message hop
 
@@ -25,29 +24,24 @@ def kvs_critical_path(n_servers):
     servers = [f"s{i}" for i in range(1, n_servers + 1)]
     census = ["client"] + servers
     workload = [Request.put("k", "v"), Request.get("k"), Request.stop()]
-    transport = SimulatedNetworkTransport(census, latency=LATENCY, bandwidth=1e9)
-    run_choreography(
-        lambda op: kvs_serve(op, "client", servers[0], servers, workload),
-        census,
-        transport=transport,
-    )
-    transport.close()
-    return transport.critical_path, transport.stats.total_messages
+    with ChoreoEngine(census, backend="simulated",
+                      latency=LATENCY, bandwidth=1e9) as engine:
+        engine.run(lambda op: kvs_serve(op, "client", servers[0], servers, workload))
+        return engine.transport.critical_path, engine.stats.total_messages
 
 
 def gmw_critical_path(n_parties):
     parties = [f"p{i}" for i in range(1, n_parties + 1)]
     circuit = circuits.and_tree(parties)
     inputs = {p: {"x": True} for p in parties}
-    transport = SimulatedNetworkTransport(parties, latency=LATENCY, bandwidth=1e9)
-    run_choreography(
-        lambda op, my_inputs=None: gmw(op, parties, circuit, my_inputs, seed=3, rsa_bits=128),
-        parties,
-        location_args={p: (inputs[p],) for p in parties},
-        transport=transport,
-    )
-    transport.close()
-    return transport.critical_path, transport.stats.total_messages
+    with ChoreoEngine(parties, backend="simulated",
+                      latency=LATENCY, bandwidth=1e9) as engine:
+        engine.run(
+            lambda op, my_inputs=None: gmw(op, parties, circuit, my_inputs,
+                                           seed=3, rsa_bits=128),
+            location_args={p: (inputs[p],) for p in parties},
+        )
+        return engine.transport.critical_path, engine.stats.total_messages
 
 
 def test_kvs_latency_is_flat_in_replica_count(benchmark, report_table):

@@ -1,9 +1,11 @@
-"""Ablation — transport substrates: threads+queues vs loopback TCP sockets.
+"""Ablation — execution backends: threads+queues, loopback TCP, simulated net.
 
 Every library in the paper projects the same choreography onto multiple
-transports.  This ablation runs an identical workload over both of this
-repository's transports and over the centralized (message-free) semantics,
-verifying that results and message counts are invariant and comparing latency.
+transports.  This ablation runs an identical KVS workload through the unified
+:class:`~repro.runtime.engine.ChoreoEngine` surface on every registered
+backend, verifying that results and per-run message counts are invariant and
+comparing latency.  The one-shot ``run_choreography`` wrapper is exercised
+alongside, since it must stay behaviourally identical to a throwaway engine.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ import pytest
 
 from repro.analysis.comm_cost import communication_cost
 from repro.protocols.kvs import Request, kvs_serve
+from repro.runtime.engine import ChoreoEngine
 from repro.runtime.runner import run_choreography
 
 SERVERS = ["s1", "s2", "s3"]
@@ -23,16 +26,18 @@ def session(op):
     return kvs_serve(op, "client", "s1", SERVERS, WORKLOAD)
 
 
-@pytest.mark.parametrize("transport", ["local", "tcp"])
-def test_transport_latency(benchmark, report_table, transport):
-    result = benchmark.pedantic(
-        run_choreography, args=(session, CENSUS), kwargs={"transport": transport},
-        rounds=3, iterations=1,
-    )
+def run_on_engine(backend):
+    with ChoreoEngine(CENSUS, backend=backend) as engine:
+        return engine.run(session)
+
+
+@pytest.mark.parametrize("backend", ["local", "tcp", "simulated", "central"])
+def test_backend_latency(benchmark, report_table, backend):
+    result = benchmark.pedantic(run_on_engine, args=(backend,), rounds=3, iterations=1)
     central = communication_cost(session, CENSUS)
     assert result.stats.snapshot() == central.per_channel
     report_table(
-        f"Ablation — KVS workload over the {transport!r} transport",
+        f"Ablation — KVS workload on the {backend!r} backend",
         ["metric", "value"],
         [
             ["messages", result.stats.total_messages],
@@ -42,9 +47,29 @@ def test_transport_latency(benchmark, report_table, transport):
     )
 
 
-def test_transports_agree_on_results(benchmark):
-    local = run_choreography(session, CENSUS, transport="local")
-    tcp = run_choreography(session, CENSUS, transport="tcp")
-    assert local.returns["client"] == tcp.returns["client"]
-    assert local.stats.snapshot() == tcp.stats.snapshot()
+def test_backends_agree_on_results(benchmark):
+    results = {backend: run_on_engine(backend)
+               for backend in ["local", "tcp", "simulated", "central"]}
+    wrapper = run_choreography(session, CENSUS, transport="local")
+    reference = wrapper.returns["client"]
+    assert all(r.returns["client"] == reference for r in results.values())
+    snapshots = [r.stats.snapshot() for r in results.values()] + [wrapper.stats.snapshot()]
+    assert all(snapshot == snapshots[0] for snapshot in snapshots)
     benchmark(lambda: communication_cost(session, CENSUS))
+
+
+def test_warm_engine_amortizes_setup_across_sessions(benchmark):
+    """N sessions on one warm engine: per-run deltas stay constant while the
+    cumulative session stats grow linearly — no per-run transport rebuild."""
+    with ChoreoEngine(CENSUS, backend="local") as engine:
+        deltas = [engine.run(session).stats.total_messages for _ in range(4)]
+        assert len(set(deltas)) == 1
+        assert engine.stats.total_messages == sum(deltas)
+    benchmark.pedantic(run_on_engine, args=("local",), rounds=3, iterations=1)
+
+
+def smoke():
+    """One tiny, untimed iteration for the tier-1 bitrot guard."""
+    results = {backend: run_on_engine(backend) for backend in ["local", "central"]}
+    assert (results["local"].returns["client"]
+            == results["central"].returns["client"])

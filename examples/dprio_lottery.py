@@ -16,9 +16,8 @@ from __future__ import annotations
 import collections
 import sys
 
-from repro import run_choreography
+from repro import ChoreoEngine, run_choreography
 from repro.protocols.dprio import lottery
-from repro.runtime.central import run_centralized
 
 
 def main() -> None:
@@ -46,11 +45,14 @@ def main() -> None:
           f"{sum(result.stats.messages.get((c, analyst), 0) for c in clients)} (always 0)")
 
     # Fairness: over many runs each client should win roughly equally often.
-    print("\nwinner distribution over 40 seeds (centralized semantics, no threads):")
+    # The centralized reference semantics is just another engine backend, so
+    # the sweep submits all 40 seeds through one session and collects futures.
+    print("\nwinner distribution over 40 seeds (centralized backend, no sockets):")
     tally = collections.Counter()
-    for seed in range(40):
-        outcome = run_centralized(chor, census, seed=seed)
-        tally[outcome.peek().value] += 1
+    with ChoreoEngine(census, backend="central") as engine:
+        futures = [engine.submit(chor, kwargs={"seed": seed}) for seed in range(40)]
+        for future in futures:
+            tally[future.result().value_at(analyst).value] += 1
     for client in clients:
         count = tally[secrets[client]]
         print(f"  {client:9} {'#' * count} ({count})")

@@ -19,19 +19,19 @@ from __future__ import annotations
 
 import sys
 
-from repro import run_choreography
+from repro import ChoreoEngine
 from repro.protocols import circuits
 from repro.protocols.gmw import gmw
 
 
-def run_circuit(parties, circuit, votes, label):
+def run_circuit(engine, parties, circuit, votes, label):
     inputs = {party: {"v": votes[party]} for party in parties}
 
     def chor(op, my_inputs=None):
         return gmw(op, parties, circuit, my_inputs, seed=11, rsa_bits=256)
 
-    result = run_choreography(
-        chor, parties, location_args={party: (inputs[party],) for party in parties}
+    result = engine.run(
+        chor, location_args={party: (inputs[party],) for party in parties}
     )
     outputs = set(result.returns.values())
     expected = circuits.evaluate_plain(circuit, inputs)
@@ -50,19 +50,22 @@ def main() -> None:
     print(f"GMW with {n_parties} parties; private votes: "
           f"{ {p: v for p, v in votes.items()} }")
 
-    unanimity = circuits.and_tree(parties, name="v")
-    run_circuit(parties, unanimity, votes, "unanimous consent")
+    # One warm engine evaluates every circuit: the parties' transport and
+    # worker threads are shared by all three secure computations.
+    with ChoreoEngine(parties, backend="local") as engine:
+        unanimity = circuits.and_tree(parties, name="v")
+        run_circuit(engine, parties, unanimity, votes, "unanimous consent")
 
-    parity = circuits.xor_tree(parties, name="v")
-    run_circuit(parties, parity, votes, "vote parity")
+        parity = circuits.xor_tree(parties, name="v")
+        run_circuit(engine, parties, parity, votes, "vote parity")
 
-    if n_parties >= 3:
-        majority = circuits.majority3(
-            circuits.InputWire(parties[0], "v"),
-            circuits.InputWire(parties[1], "v"),
-            circuits.InputWire(parties[2], "v"),
-        )
-        run_circuit(parties, majority, votes, "majority of three")
+        if n_parties >= 3:
+            majority = circuits.majority3(
+                circuits.InputWire(parties[0], "v"),
+                circuits.InputWire(parties[1], "v"),
+                circuits.InputWire(parties[2], "v"),
+            )
+            run_circuit(engine, parties, majority, votes, "majority of three")
 
     print("\nEvery party learned only the circuit outputs; all intermediate "
           "values stayed additively secret-shared.")

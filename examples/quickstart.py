@@ -4,8 +4,11 @@
 This is the "hello world" of the library, modelled on the paper's Fig. 1
 (a client sends a request to a key-value server, which answers).  One global
 program describes both parties; endpoint projection derives each party's
-behaviour; `run_choreography` executes every endpoint concurrently over an
-in-process transport.
+behaviour; a persistent :class:`~repro.runtime.engine.ChoreoEngine` executes
+choreography instances over a warm transport — the same session object works
+for every backend (threads, TCP sockets, the simulated network, and the
+centralized reference semantics), and independent instances pipeline through
+it via ``engine.submit``.
 
 Run with::
 
@@ -14,10 +17,10 @@ Run with::
 
 from __future__ import annotations
 
-from repro import run_choreography
-from repro.analysis import check_choreography, communication_cost
+from repro import ChoreoEngine, choreography, run_choreography
 
 
+@choreography(census=["buyer", "seller"])
 def bookstore(op, title: str):
     """The buyer asks the seller for a price; the seller answers; both return it.
 
@@ -48,25 +51,41 @@ def bookstore(op, title: str):
 
 
 def main() -> None:
-    census = ["buyer", "seller"]
-
-    # 1. Check the choreography before running it (census/ownership hygiene).
-    report = check_choreography(bookstore, census, args=("TAPL",))
+    # The decorator made `bookstore` a first-class object carrying its census
+    # contract, so checking and cost prediction need no extra plumbing.
+    report = bookstore.check(args=("TAPL",))
     print(f"pre-run check: ok={report.ok}, messages={report.messages}")
 
-    # 2. Predict its communication cost without any threads.
-    cost = communication_cost(bookstore, census, "TAPL")
+    cost = bookstore.cost(None, "TAPL")
     print(f"predicted channel usage: {dict(cost.per_channel)}")
 
-    # 3. Run it for real: one thread per endpoint, queues in between.
-    for title in ["TAPL", "HoTT", "Dune"]:
-        result = run_choreography(bookstore, census, args=(title,))
-        print(f"{title!r:8} -> buyer sees {result.returns['buyer']!r}")
-        assert result.returns["buyer"] == result.returns["seller"]
+    # One persistent session serves a stream of instances: the transport and
+    # the per-location workers are set up once, then stay warm.
+    with ChoreoEngine(["buyer", "seller"], backend="local") as engine:
+        for title in ["TAPL", "HoTT", "Dune"]:
+            result = engine.run(bookstore, args=(title,))
+            print(f"{title!r:8} -> buyer sees {result.returns['buyer']!r}  "
+                  f"({result.stats.total_messages} messages this run)")
+            assert result.returns["buyer"] == result.returns["seller"]
 
-    # 4. The same choreography also runs over TCP sockets, unchanged.
-    over_tcp = run_choreography(bookstore, census, args=("SICP",), transport="tcp")
-    print(f"over TCP  -> {over_tcp.returns['buyer']!r}")
+        # Independent instances pipeline through the same warm session.
+        futures = [engine.submit(bookstore, args=(title,))
+                   for title in ["SICP", "TAPL", "SICP"]]
+        print("pipelined:", [f.result().returns["buyer"] for f in futures])
+        print(f"session total: {engine.stats.total_messages} messages")
+
+    # The same choreography runs unchanged on every registered backend —
+    # sockets, the latency-modelling simulator, and the single-threaded
+    # centralized reference semantics included.
+    for backend in ["local", "tcp", "simulated", "central"]:
+        with ChoreoEngine(["buyer", "seller"], backend=backend) as engine:
+            result = engine.run(bookstore, args=("SICP",))
+            print(f"backend {backend!r:11} -> {result.returns['buyer']!r}")
+
+    # The paper's one-shot "main method" still exists as a thin wrapper over
+    # a throwaway engine, for scripts that run a choreography exactly once.
+    one_shot = run_choreography(bookstore, ["buyer", "seller"], args=("SICP",))
+    print(f"one-shot  -> {one_shot.returns['buyer']!r}")
 
 
 if __name__ == "__main__":

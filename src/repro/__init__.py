@@ -5,7 +5,10 @@ Programming" (Bates et al., PLDI 2025).  The package provides:
 
 * :mod:`repro.core` — locations, censuses, multiply-located values, faceted
   values, quires, and the ``ChoreoOp`` operator record (EPP-as-DI).
-* :mod:`repro.runtime` — transports, the concurrent runner, and the
+* :mod:`repro.chor` — the ``@choreography`` decorator making choreographies
+  first-class, runnable, checkable objects.
+* :mod:`repro.runtime` — persistent :class:`ChoreoEngine` sessions, the
+  pluggable backend registry, transports, the one-shot runner, and the
   centralized reference semantics.
 * :mod:`repro.baselines` — a HasChor-style broadcast-KoC baseline.
 * :mod:`repro.formal` — the λC / λL / λN formal model and property checkers.
@@ -15,6 +18,7 @@ Programming" (Bates et al., PLDI 2025).  The package provides:
   the Table-1 feature matrix.
 """
 
+from .chor import ChoreographyDef, choreography
 from .core import (
     ABSENT,
     Census,
@@ -36,25 +40,33 @@ from .core import (
     single,
 )
 from .runtime import (
+    CentralBackend,
     CentralOp,
     ChannelStats,
+    ChoreoEngine,
     ChoreographyResult,
     LocalTransport,
+    SimulatedNetworkTransport,
     TCPTransport,
+    backend_names,
+    register_backend,
     run_centralized,
     run_choreography,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ABSENT",
     "Census",
     "CensusError",
+    "CentralBackend",
     "CentralOp",
     "ChannelStats",
+    "ChoreoEngine",
     "ChoreoOp",
     "Choreography",
+    "ChoreographyDef",
     "ChoreographyError",
     "ChoreographyResult",
     "ChoreographyRuntimeError",
@@ -66,10 +78,14 @@ __all__ = [
     "PlaceholderError",
     "ProjectedOp",
     "Quire",
+    "SimulatedNetworkTransport",
     "TCPTransport",
     "TransportError",
     "as_census",
+    "backend_names",
+    "choreography",
     "project",
+    "register_backend",
     "run_centralized",
     "run_choreography",
     "single",

@@ -216,12 +216,17 @@ def run_haschor(
         if transport in (None, "local"):
             hub: Transport = LocalTransport(full_census, timeout=timeout)
         else:
-            from ..runtime.runner import TRANSPORT_FACTORIES
+            from ..runtime.registry import create_backend
 
-            try:
-                hub = TRANSPORT_FACTORIES[transport](full_census, timeout=timeout)
-            except KeyError:
-                raise ValueError(f"unknown transport {transport!r}") from None
+            resolved = create_backend(transport, full_census, timeout=timeout)
+            if not isinstance(resolved, Transport):
+                # e.g. "central": registered for engines, but this baseline
+                # runner needs real endpoints.
+                raise ValueError(
+                    f"backend {transport!r} is not a transport; run_haschor needs "
+                    "one endpoint per location"
+                )
+            hub = resolved
         owns_transport = True
     else:
         hub = transport

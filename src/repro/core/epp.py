@@ -11,9 +11,10 @@ free monads (§5.2); Python's first-class functions make it direct.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Protocol, TypeVar, runtime_checkable
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, Optional, Protocol, TypeVar, runtime_checkable
 
-from .errors import CensusError, OwnershipError, PlaceholderError
+from .errors import CensusError, OwnershipError, PlaceholderError, TransportError
 from .located import ABSENT, Faceted, Located, Quire
 from .locations import Census, Location, LocationsLike, as_census
 from .ops import ChoreoOp, Choreography, Unwrapper
@@ -41,6 +42,101 @@ class Endpoint(Protocol):
     # a serialize-once broadcast of the same payload.  ``multicast`` uses it
     # when present and falls back to a loop of ``send`` otherwise, so minimal
     # endpoints (including test doubles) keep working unchanged.
+
+
+class InstanceScopedEndpoint:
+    """Scope an endpoint to a single choreography *instance*.
+
+    A persistent session (:class:`repro.runtime.engine.ChoreoEngine`) pipelines
+    many independent choreography instances over one warm transport.  Each
+    location runs the instances in submission order, but different locations
+    may be executing *different* instances at the same moment, so messages of
+    two instances can coexist on one directed channel.  This wrapper keeps them
+    apart: every outgoing payload is tagged with the instance id, and receives
+    demultiplex by tag.  When the wrapped endpoint offers the ``*_scoped``
+    transport methods the tag rides in the transport's framing (recorded
+    payload bytes stay exact); for minimal endpoints it falls back to an
+    in-payload ``(instance, payload)`` tuple.
+
+    Because each location executes instances in increasing id order and every
+    channel is FIFO, tags on a channel are non-decreasing.  A received tag can
+    therefore only be
+
+    * equal to ours — deliver it;
+    * greater — the sender has raced ahead to a later instance; stash the
+      payload for the worker's future self (``stash[instance][sender]``); or
+    * smaller — a leftover from an earlier instance that failed mid-protocol
+      before consuming it; drop it.
+
+    One worker thread drives each location, so neither the wrapped endpoint
+    nor the stash needs additional locking here.
+    """
+
+    __slots__ = ("location", "_inner", "_instance", "_stash", "_scoped")
+
+    def __init__(
+        self,
+        inner: Endpoint,
+        instance: int,
+        stash: Dict[int, Dict[Location, Deque[Any]]],
+    ):
+        self.location = inner.location
+        self._inner = inner
+        self._instance = instance
+        self._stash = stash
+        self._scoped = hasattr(inner, "send_scoped") and hasattr(inner, "recv_scoped")
+
+    def send(self, receiver: Location, payload: Any) -> None:
+        if self._scoped:
+            self._inner.send_scoped(receiver, self._instance, payload)
+        else:
+            self._inner.send(receiver, (self._instance, payload))
+
+    def send_many(self, receivers: Iterable[Location], payload: Any) -> None:
+        if self._scoped:
+            self._inner.send_many_scoped(receivers, self._instance, payload)
+            return
+        tagged = (self._instance, payload)
+        send_many = getattr(self._inner, "send_many", None)
+        if send_many is not None:
+            send_many(receivers, tagged)
+        else:
+            for receiver in receivers:
+                self._inner.send(receiver, tagged)
+
+    def _recv_tagged(self, sender: Location) -> Any:
+        if self._scoped:
+            return self._inner.recv_scoped(sender)
+        return self._untag(sender, self._inner.recv(sender))
+
+    def recv(self, sender: Location) -> Any:
+        stashed = self._stash.get(self._instance, {}).get(sender)
+        if stashed:
+            return stashed.popleft()
+        while True:
+            instance, payload = self._recv_tagged(sender)
+            if instance == self._instance:
+                return payload
+            if instance > self._instance:
+                per_sender = self._stash.setdefault(instance, {})
+                per_sender.setdefault(sender, deque()).append(payload)
+            # Tags below the current instance are leftovers of an earlier,
+            # already-finished (failed) run at this location: drop them.
+
+    def recv_many(self, senders: Iterable[Location]) -> Dict[Location, Any]:
+        return {sender: self.recv(sender) for sender in senders}
+
+    def _untag(self, sender: Location, message: Any) -> Any:
+        if (
+            not isinstance(message, tuple)
+            or len(message) != 2
+            or not isinstance(message[0], int)
+        ):
+            raise TransportError(
+                f"{self.location!r} received an untagged message from {sender!r} on an "
+                "instance-scoped channel; do not mix raw endpoint sends with engine runs"
+            )
+        return message
 
 
 def _make_unwrapper(viewer: Location, required_owners: Optional[Census] = None) -> Unwrapper:

@@ -14,6 +14,14 @@ core constructors.  Everything else (point-to-point ``comm``, ``broadcast``,
 here from the primitives, exactly as the paper argues they can be (§3.4,
 §5.4): census polymorphism needs no new primitives, only a loop over the
 census.
+
+Choreographies written against this surface are oblivious to *how* they are
+executed: one-shot (``run_choreography``), under the centralized reference
+semantics, or as one of many pipelined instances inside a persistent
+:class:`~repro.runtime.engine.ChoreoEngine` session, where the endpoint
+behind the projected operators is scoped to a single instance
+(:class:`~repro.core.epp.InstanceScopedEndpoint`).  Nothing here may assume
+exclusive ownership of a transport.
 """
 
 from __future__ import annotations

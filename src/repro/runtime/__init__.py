@@ -1,26 +1,36 @@
-"""Execution substrates: transports, the concurrent runner, and the
-centralized reference semantics."""
+"""Execution substrates: persistent engine sessions, transports, the one-shot
+runner, and the centralized reference semantics."""
 
-from .central import CentralOp, run_centralized
+from .central import CentralBackend, CentralOp, localize_return, run_centralized
+from .engine import ChoreoEngine, ChoreographyResult
 from .local import LocalTransport
-from .runner import ChoreographyResult, run_choreography
+from .registry import backend_names, create_backend, register_backend, unregister_backend
+from .runner import TRANSPORT_FACTORIES, run_choreography
 from .simulated import SimulatedNetworkTransport
 from .stats import ChannelStats
 from .tcp import TCPTransport
 from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint, deserialize, serialize
 
 __all__ = [
+    "CentralBackend",
     "CentralOp",
     "ChannelStats",
+    "ChoreoEngine",
     "ChoreographyResult",
     "DEFAULT_TIMEOUT",
     "LocalTransport",
     "SimulatedNetworkTransport",
     "TCPTransport",
+    "TRANSPORT_FACTORIES",
     "Transport",
     "TransportEndpoint",
+    "backend_names",
+    "create_backend",
     "deserialize",
+    "localize_return",
+    "register_backend",
     "run_centralized",
     "run_choreography",
     "serialize",
+    "unregister_backend",
 ]

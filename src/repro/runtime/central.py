@@ -20,10 +20,10 @@ from typing import Any, Callable, Optional, TypeVar
 
 from ..core.errors import OwnershipError
 from ..core.located import Faceted, Located
-from ..core.locations import Census, Location, LocationsLike
+from ..core.locations import Census, Location, LocationsLike, as_census
 from ..core.ops import ChoreoOp, Choreography, Unwrapper
 from .stats import ChannelStats
-from .transport import serialize
+from .transport import DEFAULT_TIMEOUT, serialize
 
 T = TypeVar("T")
 
@@ -138,6 +138,55 @@ class CentralOp(ChoreoOp):
             located = self.locally(member, lambda un, _m=member: computation(_m, un))
             facets[member] = located.peek()
         return Faceted(members, facets)
+
+
+class CentralBackend:
+    """The centralized reference semantics as an engine backend.
+
+    Unlike the transports, the centralized semantics has no endpoints: the
+    whole choreography executes in one thread on a :class:`CentralOp`, holding
+    every located value's real contents while enforcing every census and
+    ownership constraint globally.  Registering this class under the name
+    ``"central"`` lets :class:`repro.runtime.engine.ChoreoEngine` offer it
+    through the same ``engine.run``/``engine.submit`` surface as ``"local"``,
+    ``"tcp"``, and ``"simulated"``.
+    """
+
+    def __init__(self, census: LocationsLike, timeout: float = DEFAULT_TIMEOUT, **_options: Any):
+        self.census: Census = as_census(census).require_nonempty()
+        self.stats = ChannelStats()
+        self.timeout = timeout
+
+    def close(self) -> None:
+        """Nothing to release; present for lifecycle symmetry with Transport."""
+
+
+def localize_return(value: Any, location: Location) -> Any:
+    """Project a centralized return value to what ``location`` would hold.
+
+    The distributed runtime hands each endpoint its own copy of the
+    choreography's return value: owners of a :class:`Located` hold the value,
+    non-owners a placeholder; a :class:`Faceted` shows each endpoint only the
+    facets it is entitled to see.  The centralized semantics computes one
+    global value; this helper restores the per-endpoint view so
+    ``ChoreographyResult`` behaves identically across backends.  Only the
+    top-level wrapper is localized — values nested inside plain containers
+    are returned as-is, matching what a reference backend can know.
+    """
+    if isinstance(value, Located):
+        if value.owners is None or location in value.owners:
+            return value
+        return Located.absent(value.owners)
+    if isinstance(value, Faceted):
+        facets = value.visible_facets()
+        if location in value.common:
+            visible = facets
+        elif location in value.owners and location in facets:
+            visible = {location: facets[location]}
+        else:
+            visible = {}
+        return Faceted(value.owners, visible, value.common)
+    return value
 
 
 def run_centralized(

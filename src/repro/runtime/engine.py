@@ -1,0 +1,554 @@
+"""Persistent execution sessions: one API for every backend.
+
+The paper's case studies all ship a one-shot "main method": resolve a
+transport, materialize endpoints, spawn one thread per location, run, tear
+everything down.  That shape cannot serve sustained traffic — a KVS or
+bookstore answering a stream of requests must not pay transport setup and
+thread spawn per choreography instance.  :class:`ChoreoEngine` is the
+session-shaped replacement:
+
+* the engine owns a **warm backend** (a transport with live endpoints, or the
+  centralized reference semantics) and one **long-lived daemon worker thread
+  per location**, created once;
+* :meth:`ChoreoEngine.run` executes one choreography instance and returns a
+  :class:`ChoreographyResult` whose ``stats`` are the **per-run delta**, not
+  the session's cumulative counts (those stay on :attr:`ChoreoEngine.stats`);
+* :meth:`ChoreoEngine.submit` enqueues an instance without waiting, returning
+  a :class:`concurrent.futures.Future`, so independent instances **pipeline**
+  through the same warm session.  Messages are tagged with an instance id
+  (:class:`~repro.core.epp.InstanceScopedEndpoint`) so instances never
+  interleave even when locations progress at different speeds;
+* backends are resolved by name through the pluggable registry
+  (:mod:`repro.runtime.registry`): ``"local"``, ``"tcp"``, ``"simulated"``,
+  ``"central"``, any name added via
+  :func:`~repro.runtime.registry.register_backend`, or a pre-built
+  :class:`~repro.runtime.transport.Transport` instance.
+
+:func:`repro.runtime.runner.run_choreography` remains as a one-shot
+compatibility wrapper over a throwaway engine.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+
+from ..core.epp import InstanceScopedEndpoint, project
+from ..core.errors import ChoreographyRuntimeError, TransportError
+from ..core.located import Faceted, Located
+from ..core.locations import Census, Location, LocationsLike, as_census
+from ..core.ops import Choreography
+from .central import CentralBackend, CentralOp, localize_return
+from .registry import Backend, create_backend
+from .stats import ChannelStats
+from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint
+
+#: The "no value" marker used internally by :class:`ChoreographyResult` so a
+#: legitimate ``None`` return is distinguishable from an absent placeholder.
+_NO_VALUE = object()
+
+
+@dataclass
+class ChoreographyResult:
+    """The outcome of one distributed execution of a choreography.
+
+    ``stats`` holds the messages of *this run only*; a persistent engine's
+    cumulative counts live on :attr:`ChoreoEngine.stats`.
+    """
+
+    census: Census
+    returns: Dict[Location, Any]
+    stats: ChannelStats
+    elapsed_seconds: float = 0.0
+    per_location_args: Dict[Location, Any] = field(default_factory=dict)
+    #: The engine instance id this run executed under (0 for one-shot runs).
+    instance: int = 0
+
+    def _unwrapped(self, location: Location) -> Any:
+        """``location``'s return value, or ``_NO_VALUE`` for a placeholder.
+
+        Presence is decided by ownership — a ``Located``/``Faceted`` wrapper
+        that actually holds a value for ``location`` — never by comparing the
+        value against ``None``, so a choreography legitimately returning
+        ``None`` is still "present".
+        """
+        value = self.returns[location]
+        if isinstance(value, Located):
+            return value.peek() if value.is_present() else _NO_VALUE
+        if isinstance(value, Faceted):
+            facets = value.visible_facets()
+            return facets[location] if location in facets else _NO_VALUE
+        return value
+
+    def has_value(self, location: Location) -> bool:
+        """True when ``location`` returned an actual value, not a placeholder."""
+        return self._unwrapped(location) is not _NO_VALUE
+
+    def value_at(self, location: Location, default: Any = None) -> Any:
+        """The endpoint return value at ``location``, unwrapping located values.
+
+        Returns ``default`` when ``location`` holds only a placeholder; use
+        :meth:`has_value` to tell a defaulted result from a real ``None``.
+        """
+        value = self._unwrapped(location)
+        return default if value is _NO_VALUE else value
+
+    def present_values(self) -> Dict[Location, Any]:
+        """Every endpoint's unwrapped return value, skipping placeholders only."""
+        unwrapped = {}
+        for location in self.census:
+            value = self._unwrapped(location)
+            if value is not _NO_VALUE:
+                unwrapped[location] = value
+        return unwrapped
+
+
+class _TeeStats:
+    """Forwards ``record`` to several sinks (cumulative + per-run stats)."""
+
+    __slots__ = ("_sinks",)
+
+    def __init__(self, *sinks: Any):
+        self._sinks = sinks
+
+    def record(self, sender: Location, receiver: Location, nbytes: int) -> None:
+        for sink in self._sinks:
+            sink.record(sender, receiver, nbytes)
+
+
+class _EngineJob:
+    """One submitted choreography instance, shared by every location worker."""
+
+    __slots__ = (
+        "instance",
+        "choreography",
+        "args",
+        "kwargs",
+        "location_args",
+        "census",
+        "stats",
+        "future",
+        "submitted",
+        "started",
+        "_lock",
+        "_remaining",
+        "_returns",
+        "_failures",
+    )
+
+    def __init__(
+        self,
+        instance: int,
+        choreography: Choreography,
+        args: Sequence[Any],
+        kwargs: Dict[str, Any],
+        location_args: Dict[Location, Sequence[Any]],
+        census: Census,
+        workers: int,
+    ):
+        self.instance = instance
+        self.choreography = choreography
+        self.args = tuple(args)
+        self.kwargs = kwargs
+        self.location_args = location_args
+        self.census = census
+        self.stats = ChannelStats()
+        self.future: "Future[ChoreographyResult]" = Future()
+        self.submitted = time.perf_counter()
+        self.started: Optional[float] = None
+        self._lock = threading.Lock()
+        self._remaining = workers
+        self._returns: Dict[Location, Any] = {}
+        self._failures: Dict[Location, BaseException] = {}
+
+    def args_for(self, location: Location) -> tuple:
+        return self.args + tuple(self.location_args.get(location, ()))
+
+    def mark_started(self) -> None:
+        """Stamp the moment the first worker begins executing this instance,
+        so ``elapsed_seconds`` measures run time, not queue wait."""
+        with self._lock:
+            if self.started is None:
+                self.started = time.perf_counter()
+
+    def unfinished_locations(self) -> "list[Location]":
+        """Locations that have not reported a return or failure yet."""
+        with self._lock:
+            return [
+                location
+                for location in self.census
+                if location not in self._returns and location not in self._failures
+            ]
+
+    def finish_location(self, location: Location, value: Any) -> None:
+        with self._lock:
+            self._returns[location] = value
+            self._remaining -= 1
+            done = self._remaining == 0
+        if done:
+            self._resolve()
+
+    def fail_location(self, location: Location, error: BaseException) -> None:
+        with self._lock:
+            self._failures[location] = error
+            self._remaining -= 1
+            done = self._remaining == 0
+        if done:
+            self._resolve()
+
+    def finish_all(self, returns: Dict[Location, Any]) -> None:
+        """Resolve every location at once (the centralized backend)."""
+        with self._lock:
+            self._returns = returns
+            self._remaining = 0
+        self._resolve()
+
+    def _resolve(self) -> None:
+        elapsed = time.perf_counter() - (self.started or self.submitted)
+        if self._failures:
+            # A crash at one endpoint typically makes its peers time out
+            # waiting for messages; report the root cause, not the induced
+            # timeouts.
+            def root_cause_first(item):
+                location, exc = item
+                return (isinstance(exc, TransportError), location)
+
+            location, original = sorted(self._failures.items(), key=root_cause_first)[0]
+            outcome = ChoreographyRuntimeError(location, original)
+            result = None
+        else:
+            outcome = None
+            result = ChoreographyResult(
+                census=self.census,
+                returns=dict(self._returns),
+                stats=self.stats,
+                elapsed_seconds=elapsed,
+                instance=self.instance,
+            )
+        try:
+            if outcome is not None:
+                self.future.set_exception(outcome)
+            else:
+                self.future.set_result(result)
+        except Exception:
+            # The caller cancelled the Future; the instance already ran — a
+            # cancelled result must not take down the worker threads.
+            pass
+
+
+#: Queue label for the centralized backend's single worker.
+_CENTRAL_WORKER = "<centralized>"
+
+
+class ChoreoEngine:
+    """A persistent execution session for choreographies over one census.
+
+    Parameters
+    ----------
+    census:
+        The locations participating in every choreography this engine runs.
+    backend:
+        A registered backend name (``"local"``, ``"tcp"``, ``"simulated"``,
+        ``"central"``, or anything added with
+        :func:`~repro.runtime.registry.register_backend`) or a pre-built
+        :class:`~repro.runtime.transport.Transport` /
+        :class:`~repro.runtime.central.CentralBackend`.  Pre-built backends
+        are *borrowed*: :meth:`close` leaves them open.
+    timeout:
+        Seconds an endpoint waits on a receive before declaring failure.
+    **backend_options:
+        Extra keyword arguments forwarded to the backend factory (e.g.
+        ``latency=`` / ``bandwidth=`` for ``"simulated"``).
+
+    The engine is a context manager; leaving the ``with`` block shuts down
+    the workers and closes an engine-owned backend.
+    """
+
+    def __init__(
+        self,
+        census: LocationsLike,
+        backend: Union[str, Backend] = "local",
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        **backend_options: Any,
+    ):
+        self.census = as_census(census).require_nonempty()
+        self.timeout = timeout
+        self._submit_lock = threading.Lock()
+        self._next_instance = 0
+        self._pending = 0
+        self._closed = False
+
+        if isinstance(backend, str):
+            resolved = create_backend(backend, self.census, timeout=timeout, **backend_options)
+            self.backend_name: str = backend
+            self._owns_backend = True
+        elif isinstance(backend, (Transport, CentralBackend)):
+            if backend_options:
+                raise ValueError(
+                    "backend options apply to named backends only; configure a "
+                    "pre-built backend before passing it in"
+                )
+            resolved = backend
+            self.backend_name = type(backend).__name__
+            self._owns_backend = False
+        else:
+            raise TypeError(
+                f"backend must be a registered name, a Transport, or a "
+                f"CentralBackend; got {type(backend).__name__}"
+            )
+
+        self._queues: Dict[str, "queue.SimpleQueue[Optional[_EngineJob]]"] = {}
+        self._workers: list = []
+        self._central: Optional[CentralBackend] = None
+        self._transport: Optional[Transport] = None
+
+        try:
+            if isinstance(resolved, CentralBackend):
+                self._central = resolved
+                self.stats = resolved.stats
+                self._spawn_worker(_CENTRAL_WORKER, self._central_worker)
+            elif isinstance(resolved, Transport):
+                # Claim the transport for this session: its cached endpoints
+                # and instance-id space cannot be shared by two live engines
+                # without cross-delivering their messages.
+                holder = getattr(resolved, "_engine_lease", None)
+                if holder is not None:
+                    raise ValueError(
+                        "transport is already driven by another live ChoreoEngine; "
+                        "close it first or give each session its own transport"
+                    )
+                resolved._engine_lease = self
+                self._transport = resolved
+                self.stats = resolved.stats
+                resolved.census.require_subset(self.census)
+                # Materialize every endpoint up front so transports that need a
+                # rendezvous (e.g. TCP port discovery) are warm before any worker
+                # starts sending — this is the setup cost paid exactly once.
+                self._endpoints: Dict[Location, TransportEndpoint] = {
+                    location: resolved.endpoint(location) for location in self.census
+                }
+                for location in self.census:
+                    self._spawn_worker(location, self._endpoint_worker)
+            else:
+                raise TypeError(
+                    f"backend factory produced {type(resolved).__name__}; expected "
+                    "a Transport or CentralBackend"
+                )
+        except BaseException:
+            # Half-built sessions must not leak sockets, threads, or the
+            # transport lease: stop any workers already spawned and close an
+            # engine-owned transport.
+            self._closed = True
+            for jobs in self._queues.values():
+                jobs.put(None)
+            if isinstance(resolved, Transport):
+                if getattr(resolved, "_engine_lease", None) is self:
+                    resolved._engine_lease = None
+                if self._owns_backend:
+                    resolved.close()
+            raise
+
+    def _spawn_worker(self, label: str, target) -> None:
+        jobs: "queue.SimpleQueue[Optional[_EngineJob]]" = queue.SimpleQueue()
+        self._queues[label] = jobs
+        # Daemon threads: a deadlocked or runaway choreography must never be
+        # able to block interpreter exit after its timeout has fired.
+        worker = threading.Thread(
+            target=target, args=(label, jobs), name=f"engine-{label}", daemon=True
+        )
+        self._workers.append(worker)
+        worker.start()
+
+    # ---------------------------------------------------------------- surface --
+
+    @property
+    def transport(self) -> Optional[Transport]:
+        """The warm transport backing this engine (``None`` for ``"central"``)."""
+        return self._transport
+
+    def submit(
+        self,
+        choreography: Choreography,
+        args: Sequence[Any] = (),
+        kwargs: Optional[Mapping[str, Any]] = None,
+        *,
+        location_args: Optional[Mapping[Location, Sequence[Any]]] = None,
+    ) -> "Future[ChoreographyResult]":
+        """Enqueue one choreography instance; return a Future for its result.
+
+        Instances submitted while earlier ones are still running pipeline
+        through the same warm session: every location executes instances in
+        submission order, and instance-tagged messages keep concurrent
+        instances from interleaving.  The Future resolves to a
+        :class:`ChoreographyResult` or raises
+        :class:`~repro.core.errors.ChoreographyRuntimeError`.
+        """
+        return self._submit_job(choreography, args, kwargs, location_args).future
+
+    def _submit_job(
+        self,
+        choreography: Choreography,
+        args: Sequence[Any] = (),
+        kwargs: Optional[Mapping[str, Any]] = None,
+        location_args: Optional[Mapping[Location, Sequence[Any]]] = None,
+    ) -> _EngineJob:
+        kwargs = dict(kwargs or {})
+        location_args = dict(location_args or {})
+        for location in location_args:
+            self.census.require_member(location)
+        if self._central is not None and location_args:
+            raise ValueError(
+                "the centralized backend calls the choreography once for the whole "
+                "census; per-location arguments are only meaningful under projection"
+            )
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed ChoreoEngine")
+            instance = self._next_instance
+            self._next_instance += 1
+            self._pending += 1
+            job = _EngineJob(
+                instance, choreography, args, kwargs, location_args,
+                self.census, workers=len(self._queues),
+            )
+            job.future.add_done_callback(self._on_job_done)
+            # Enqueue to every worker under the lock so all locations observe
+            # submissions in the same order — the invariant instance tagging
+            # relies on.
+            for jobs in self._queues.values():
+                jobs.put(job)
+        return job
+
+    def _on_job_done(self, _future: "Future[ChoreographyResult]") -> None:
+        with self._submit_lock:
+            self._pending -= 1
+
+    def run(
+        self,
+        choreography: Choreography,
+        args: Sequence[Any] = (),
+        kwargs: Optional[Mapping[str, Any]] = None,
+        *,
+        location_args: Optional[Mapping[Location, Sequence[Any]]] = None,
+        wait_timeout: Optional[float] = None,
+    ) -> ChoreographyResult:
+        """Execute one choreography instance and wait for its result.
+
+        ``wait_timeout`` bounds the wait for the whole instance; the default
+        mirrors the one-shot runner's shared join deadline (twice the receive
+        timeout plus margin), scaled by the number of instances already
+        queued ahead, so a healthy pipelined backlog is not misreported as a
+        deadlock.  Endpoint receives time out on their own, so this only
+        fires for runaway local computation.
+        """
+        with self._submit_lock:
+            backlog = self._pending
+        job = self._submit_job(choreography, args, kwargs, location_args)
+        if wait_timeout is not None:
+            budget = wait_timeout
+        else:
+            budget = (self.timeout * 2 + 5.0) * (backlog + 1)
+        try:
+            return job.future.result(timeout=budget)
+        except _FutureTimeout:
+            stuck = job.unfinished_locations()
+            raise ChoreographyRuntimeError(
+                stuck[0] if stuck else "<engine>",
+                TimeoutError(
+                    f"choreography instance did not finish within {budget:.1f}s "
+                    f"(locations still running: {stuck!r}); it may be deadlocked "
+                    "or stuck in local computation"
+                ),
+            ) from None
+
+    def close(self) -> None:
+        """Shut down the workers; close the backend if this engine owns it.
+
+        Already-submitted instances are drained first (their queues are FIFO
+        and the stop sentinel is enqueued last).  Idempotent.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            backlog = self._pending
+            for jobs in self._queues.values():
+                jobs.put(None)
+        # One wall-clock deadline shared by every join (a hung census must
+        # not compound the timeout once per worker), scaled by the backlog so
+        # a healthy queue of submitted instances gets to finish before the
+        # transport goes away.
+        deadline = time.monotonic() + self.timeout * 2 * (backlog + 1)
+        for worker in self._workers:
+            worker.join(timeout=max(0.0, deadline - time.monotonic()))
+        if self._owns_backend and self._transport is not None:
+            self._transport.close()
+        if self._transport is not None and getattr(self._transport, "_engine_lease", None) is self:
+            self._transport._engine_lease = None
+
+    def __enter__(self) -> "ChoreoEngine":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # ---------------------------------------------------------------- workers --
+
+    def _endpoint_worker(self, location: Location, jobs) -> None:
+        """One location's long-lived runner: projects and executes each job."""
+        endpoint = self._endpoints[location]
+        base_stats = self._transport.stats
+        redirects = hasattr(endpoint, "use_stats")
+        stash: Dict[int, Dict[Location, Any]] = {}
+        while True:
+            job = jobs.get()
+            if job is None:
+                return
+            job.mark_started()
+            scoped = InstanceScopedEndpoint(endpoint, job.instance, stash)
+            if redirects:
+                endpoint.use_stats(_TeeStats(base_stats, job.stats))
+            try:
+                program = project(job.choreography, self.census, location, scoped)
+                value = program(*job.args_for(location), **job.kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported via the Future
+                outcome, payload = "error", exc
+            else:
+                outcome, payload = "ok", value
+            finally:
+                if redirects:
+                    endpoint.use_stats(base_stats)
+                # Unconsumed messages of this instance (a failed run) must not
+                # linger: later instances drop stale tags on arrival, and the
+                # stash entry is gone after this.
+                stash.pop(job.instance, None)
+            if outcome == "ok":
+                job.finish_location(location, payload)
+            else:
+                job.fail_location(location, payload)
+
+    def _central_worker(self, _label: str, jobs) -> None:
+        """The centralized backend's single runner."""
+        while True:
+            job = jobs.get()
+            if job is None:
+                return
+            job.mark_started()
+            try:
+                op = CentralOp(self.census, _TeeStats(self._central.stats, job.stats))
+                value = job.choreography(op, *job.args, **job.kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported via the Future
+                job.fail_location(_CENTRAL_WORKER, exc)
+            else:
+                job.finish_all(
+                    {
+                        location: localize_return(value, location)
+                        for location in self.census
+                    }
+                )

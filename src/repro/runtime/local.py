@@ -37,32 +37,54 @@ class _QueueEndpoint(TransportEndpoint):
                 f"{direction} part of this transport's census?"
             )
 
-    def _send_serialized(self, receiver: Location, data: bytes) -> None:
+    def _send_serialized(self, receiver: Location, data: bytes, instance: int = 0) -> None:
+        # The instance id rides next to the payload, not inside it, so the
+        # recorded byte count is exactly the payload's serialization.
         self._record(receiver, len(data))
-        self._transport.channel(self.location, receiver).put(data)
+        self._transport.channel(self.location, receiver).put((instance, data))
 
     def send(self, receiver: Location, payload: Any) -> None:
         self._require_peer(receiver, "receiver")
         self._send_serialized(receiver, serialize(payload))
 
+    def send_scoped(self, receiver: Location, instance: int, payload: Any) -> None:
+        self._require_peer(receiver, "receiver")
+        self._send_serialized(receiver, serialize(payload), instance)
+
     def send_many(self, receivers: Iterable[Location], payload: Any) -> None:
+        self.send_many_scoped(receivers, 0, payload)
+
+    def send_many_scoped(
+        self, receivers: Iterable[Location], instance: int, payload: Any
+    ) -> None:
         targets = list(receivers)
         for receiver in targets:
             self._require_peer(receiver, "receiver")
         data = serialize(payload)  # one serialization shared by all receivers
         for receiver in targets:
-            self._send_serialized(receiver, data)
+            self._send_serialized(receiver, data, instance)
 
-    def recv(self, sender: Location) -> Any:
+    def _recv_serialized(self, sender: Location) -> Tuple[int, bytes]:
         self._require_peer(sender, "sender")
         try:
-            data = self._transport.channel(sender, self.location).get(timeout=self._timeout)
+            return self._transport.channel(sender, self.location).get(timeout=self._timeout)
         except queue.Empty:
             raise TransportError(
                 f"{self.location!r} timed out after {self._timeout}s waiting for a "
                 f"message from {sender!r}"
             ) from None
+
+    def recv(self, sender: Location) -> Any:
+        _instance, data = self._recv_serialized(sender)
         return deserialize(data)
+
+    def recv_scoped(self, sender: Location) -> Tuple[int, Any]:
+        instance, data = self._recv_serialized(sender)
+        return instance, deserialize(data)
+
+
+#: Queue items are ``(instance, serialized payload)`` pairs.
+_Item = Tuple[int, bytes]
 
 
 class LocalTransport(Transport):
@@ -70,10 +92,10 @@ class LocalTransport(Transport):
 
     def __init__(self, census: LocationsLike, timeout: float = DEFAULT_TIMEOUT):
         super().__init__(census, timeout)
-        self._channels: Dict[Tuple[Location, Location], "queue.SimpleQueue[bytes]"] = {}
+        self._channels: Dict[Tuple[Location, Location], "queue.SimpleQueue[_Item]"] = {}
         self._channels_lock = threading.Lock()
 
-    def channel(self, sender: Location, receiver: Location) -> "queue.SimpleQueue[bytes]":
+    def channel(self, sender: Location, receiver: Location) -> "queue.SimpleQueue[_Item]":
         """The FIFO queue for the directed pair, created on first use."""
         key = (sender, receiver)
         existing = self._channels.get(key)

@@ -1,0 +1,85 @@
+"""Pluggable registry of execution backends.
+
+The paper's case studies each ship their own "main method"; this repository
+unifies them behind one surface: a backend *name* resolves — through this
+registry — to either a :class:`~repro.runtime.transport.Transport` (the
+projected, concurrent execution modes) or a
+:class:`~repro.runtime.central.CentralBackend` (the single-threaded reference
+semantics).  :class:`~repro.runtime.engine.ChoreoEngine` and the
+compatibility wrapper :func:`~repro.runtime.runner.run_choreography` both
+resolve names here, so registering a backend once makes it reachable from
+every entry point.
+
+A factory is any callable ``factory(census, timeout=..., **options)``
+returning a ``Transport`` or ``CentralBackend``; extra keyword options are
+forwarded verbatim (e.g. ``latency=`` / ``bandwidth=`` for ``"simulated"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+from ..core.locations import LocationsLike
+from .central import CentralBackend
+from .local import LocalTransport
+from .simulated import SimulatedNetworkTransport
+from .tcp import TCPTransport
+from .transport import DEFAULT_TIMEOUT, Transport
+
+#: Anything a backend factory may produce.
+Backend = Union[Transport, CentralBackend]
+
+BackendFactory = Callable[..., Backend]
+
+#: The live name → factory mapping.  Read-only for callers; mutate through
+#: :func:`register_backend` so duplicate registrations are caught.
+BACKENDS: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory, *, replace: bool = False) -> None:
+    """Register ``factory`` under ``name`` for engines and ``run_choreography``.
+
+    Raises :class:`ValueError` when the name is already taken, unless
+    ``replace=True`` is passed (useful for tests and for swapping in an
+    instrumented transport).
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if name in BACKENDS and not replace:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass replace=True to override"
+        )
+    BACKENDS[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (no-op when absent); mainly for tests."""
+    BACKENDS.pop(name, None)
+
+
+def backend_names() -> List[str]:
+    """The registered backend names, sorted."""
+    return sorted(BACKENDS)
+
+
+def create_backend(
+    name: str,
+    census: LocationsLike,
+    *,
+    timeout: float = DEFAULT_TIMEOUT,
+    **options: object,
+) -> Backend:
+    """Instantiate the backend registered under ``name`` for ``census``."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown transport/backend {name!r}; choose from {backend_names()}"
+        ) from None
+    return factory(census, timeout=timeout, **options)
+
+
+register_backend("local", LocalTransport)
+register_backend("tcp", TCPTransport)
+register_backend("simulated", SimulatedNetworkTransport)
+register_backend("central", CentralBackend)

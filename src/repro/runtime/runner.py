@@ -1,82 +1,41 @@
-"""Concurrent execution of a projected choreography.
+"""One-shot execution of a projected choreography (compatibility surface).
 
 ``run_choreography`` is the "main method" every case study in the paper ships:
-it performs endpoint projection for every location in the census, runs all the
-endpoint programs concurrently over a transport, and gathers their return
-values.  Exceptions raised by any endpoint are re-raised in the caller as a
-single :class:`~repro.core.errors.ChoreographyRuntimeError`.
+project to every location, run all endpoint programs concurrently, gather the
+return values.  Since the engine redesign it is a thin wrapper over a
+throwaway :class:`~repro.runtime.engine.ChoreoEngine` — one warm session,
+used for exactly one instance, then closed.  Long-running services should
+hold a ``ChoreoEngine`` open instead and call ``engine.run`` /
+``engine.submit`` so transport setup and worker spawn are paid once, not per
+instance (see ``benchmarks/bench_engine_throughput.py`` for the difference).
+
+The names historically imported from this module —
+:class:`ChoreographyResult` and the backend table — are re-exported here.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
+from typing import Any, Mapping, Optional, Sequence, Union
 
-from ..core.epp import project
-from ..core.errors import ChoreographyRuntimeError, TransportError
-from ..core.located import Faceted, Located
-from ..core.locations import Census, Location, LocationsLike, as_census
+from ..core.locations import Location, LocationsLike
 from ..core.ops import Choreography
-from .local import LocalTransport
-from .stats import ChannelStats
-from .tcp import TCPTransport
+from .engine import ChoreoEngine, ChoreographyResult
+from .registry import BACKENDS, backend_names, register_backend
 from .transport import DEFAULT_TIMEOUT, Transport
 
-#: Names accepted by the ``transport`` argument of :func:`run_choreography`.
-TRANSPORT_FACTORIES: Dict[str, Callable[..., Transport]] = {
-    "local": LocalTransport,
-    "tcp": TCPTransport,
-}
+#: Deprecated alias for the pluggable backend registry: prefer
+#: :func:`repro.runtime.registry.register_backend` over mutating this mapping.
+#: Note that it now also holds non-Transport backends (e.g. ``"central"``);
+#: callers needing real endpoints must type-check what the factory returns.
+TRANSPORT_FACTORIES = BACKENDS
 
-
-@dataclass
-class ChoreographyResult:
-    """The outcome of one distributed execution of a choreography."""
-
-    census: Census
-    returns: Dict[Location, Any]
-    stats: ChannelStats
-    elapsed_seconds: float = 0.0
-    per_location_args: Dict[Location, Any] = field(default_factory=dict)
-
-    def value_at(self, location: Location) -> Any:
-        """The endpoint return value at ``location``, unwrapping located values."""
-        value = self.returns[location]
-        if isinstance(value, Located):
-            if value.is_present():
-                return value.peek()
-            return None
-        if isinstance(value, Faceted):
-            facets = value.visible_facets()
-            return facets.get(location)
-        return value
-
-    def present_values(self) -> Dict[Location, Any]:
-        """Every endpoint's unwrapped return value, skipping placeholders."""
-        unwrapped = {}
-        for location in self.census:
-            value = self.value_at(location)
-            if value is not None:
-                unwrapped[location] = value
-        return unwrapped
-
-
-def _resolve_transport(
-    transport: Union[str, Transport, None], census: Census, timeout: float
-) -> Transport:
-    if transport is None:
-        return LocalTransport(census, timeout=timeout)
-    if isinstance(transport, str):
-        try:
-            factory = TRANSPORT_FACTORIES[transport]
-        except KeyError:
-            raise ValueError(
-                f"unknown transport {transport!r}; choose from {sorted(TRANSPORT_FACTORIES)}"
-            ) from None
-        return factory(census, timeout=timeout)
-    return transport
+__all__ = [
+    "ChoreographyResult",
+    "TRANSPORT_FACTORIES",
+    "backend_names",
+    "register_backend",
+    "run_choreography",
+]
 
 
 def run_choreography(
@@ -105,78 +64,18 @@ def run_choreography(
         ``args``; used when endpoints genuinely start from different local
         inputs (e.g. each party's secret in an MPC protocol).
     transport:
-        ``"local"`` (threads + queues), ``"tcp"`` (loopback sockets), or a
-        pre-built :class:`~repro.runtime.transport.Transport`.
+        A backend name from the registry (``"local"``, ``"tcp"``,
+        ``"simulated"``, ``"central"``, …) or a pre-built
+        :class:`~repro.runtime.transport.Transport`, which is borrowed and
+        left open.  ``None`` means ``"local"``.
     timeout:
         Seconds an endpoint waits on a receive before declaring failure.
 
     Returns
     -------
     ChoreographyResult
-        Per-location return values plus message statistics.
+        Per-location return values plus this run's message statistics.
     """
-    full_census = as_census(census).require_nonempty()
-    kwargs = dict(kwargs or {})
-    location_args = dict(location_args or {})
-    hub = _resolve_transport(transport, full_census, timeout)
-    owns_transport = not isinstance(transport, Transport)
-
-    # Materialize every endpoint up front so transports that need a rendezvous
-    # (e.g. TCP port discovery) are ready before any thread starts sending.
-    endpoints = {location: hub.endpoint(location) for location in full_census}
-
-    returns: Dict[Location, Any] = {}
-    failures: Dict[Location, BaseException] = {}
-    lock = threading.Lock()
-
-    def run_endpoint(location: Location) -> None:
-        endpoint_program = project(choreography, full_census, location, endpoints[location])
-        extra = tuple(location_args.get(location, ()))
-        try:
-            result = endpoint_program(*tuple(args) + extra, **kwargs)
-            with lock:
-                returns[location] = result
-        except BaseException as exc:  # noqa: BLE001 - reported to the caller
-            with lock:
-                failures[location] = exc
-
-    started = time.perf_counter()
-    threads = [
-        threading.Thread(target=run_endpoint, args=(location,), name=f"chor-{location}")
-        for location in full_census
-    ]
-    for thread in threads:
-        thread.start()
-    # One wall-clock deadline shared by every join: a hung census must not
-    # compound the timeout once per location.
-    deadline = time.monotonic() + timeout * 2
-    for thread in threads:
-        thread.join(timeout=max(0.0, deadline - time.monotonic()))
-    elapsed = time.perf_counter() - started
-
-    if owns_transport:
-        hub.close()
-
-    if failures:
-        # A crash at one endpoint typically makes its peers time out waiting for
-        # messages; report the root cause, not the induced timeouts.
-        def root_cause_first(item):
-            location, exc = item
-            return (isinstance(exc, TransportError), location)
-
-        location, original = sorted(failures.items(), key=root_cause_first)[0]
-        raise ChoreographyRuntimeError(location, original) from original
-
-    still_running = [thread.name for thread in threads if thread.is_alive()]
-    if still_running:
-        raise ChoreographyRuntimeError(
-            still_running[0].replace("chor-", ""),
-            TimeoutError("endpoint did not finish; the choreography may be deadlocked"),
-        )
-
-    return ChoreographyResult(
-        census=full_census,
-        returns=returns,
-        stats=hub.stats,
-        elapsed_seconds=elapsed,
-    )
+    backend = "local" if transport is None else transport
+    with ChoreoEngine(census, backend=backend, timeout=timeout) as engine:
+        return engine.run(choreography, args, kwargs, location_args=location_args)

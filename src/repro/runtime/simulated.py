@@ -15,7 +15,7 @@ runtime while the KVS's fan-outs overlap.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from ..core.locations import Location, LocationsLike
 from .local import LocalTransport
@@ -34,12 +34,41 @@ class _SimulatedEndpoint(TransportEndpoint):
         send_time = self._transport.clock_of(self.location)
         self._inner.send(receiver, (send_time, payload))
 
-    def recv(self, sender: Location) -> Any:
-        send_time, payload = self._inner.recv(sender)
+    def send_many(self, receivers: Iterable[Location], payload: Any) -> None:
+        # All deliveries of a multicast share one send time, so the stamped
+        # payload can ride the inner transport's serialize-once path.
+        send_time = self._transport.clock_of(self.location)
+        self._inner.send_many(list(receivers), (send_time, payload))
+
+    def send_scoped(self, receiver: Location, instance: int, payload: Any) -> None:
+        send_time = self._transport.clock_of(self.location)
+        self._inner.send_scoped(receiver, instance, (send_time, payload))
+
+    def send_many_scoped(
+        self, receivers: Iterable[Location], instance: int, payload: Any
+    ) -> None:
+        send_time = self._transport.clock_of(self.location)
+        self._inner.send_many_scoped(list(receivers), instance, (send_time, payload))
+
+    def use_stats(self, stats: Any) -> None:
+        # Recording happens on the inner (queue) endpoint's send path.
+        super().use_stats(stats)
+        self._inner.use_stats(stats)
+
+    def _charge(self, send_time: float, payload: Any) -> None:
         nbytes = len(serialize(payload))
         cost = self._transport.latency + nbytes / self._transport.bandwidth
         self._transport.advance_clock(self.location, send_time + cost)
+
+    def recv(self, sender: Location) -> Any:
+        send_time, payload = self._inner.recv(sender)
+        self._charge(send_time, payload)
         return payload
+
+    def recv_scoped(self, sender: Location) -> "tuple[int, Any]":
+        instance, (send_time, payload) = self._inner.recv_scoped(sender)
+        self._charge(send_time, payload)
+        return instance, payload
 
 
 class SimulatedNetworkTransport(Transport):

@@ -7,11 +7,15 @@ listens on a loopback port and each endpoint demultiplexes incoming frames
 into per-sender FIFO queues so the ``recv(sender)`` discipline matches the
 abstract transport exactly.
 
-Frames are laid out as ``[u32 length][u16 sender-length][sender][payload]``
-where ``sender`` is the wire-encoded sender location and ``payload`` is the
+Frames are laid out as
+``[u32 length][u16 sender-length][sender][uvarint instance][payload]`` where
+``sender`` is the wire-encoded sender location, ``instance`` is the
+choreography-instance id (0 for one-shot sends; used by the persistent
+engine to demultiplex pipelined instances), and ``payload`` is the
 :func:`~repro.runtime.transport.serialize`-d message — so the payload is
 serialized exactly once per send (shared across all receivers of a
-``send_many``) and the byte count recorded in
+``send_many``), the instance tag rides in the frame header like the sender
+does, and the byte count recorded in
 :class:`~repro.runtime.stats.ChannelStats` is the exact payload byte count on
 the wire.  Sockets run with ``TCP_NODELAY`` and each frame goes out as one
 ``sendmsg`` writev (header + payload scatter/gather), so small frames are
@@ -61,7 +65,8 @@ class _TCPEndpoint(TransportEndpoint):
     def __init__(self, location: Location, transport: "TCPTransport", timeout: float):
         super().__init__(location, transport.stats, timeout)
         self._transport = transport
-        self._inboxes: Dict[Location, "queue.SimpleQueue[bytes]"] = {
+        # Inbox items are ``(instance, payload bytes)`` pairs.
+        self._inboxes: Dict[Location, "queue.SimpleQueue[tuple]"] = {
             peer: queue.SimpleQueue() for peer in transport.census if peer != location
         }
         self._sender_tag = wire.encode(location)
@@ -103,10 +108,11 @@ class _TCPEndpoint(TransportEndpoint):
                 if frame is None:
                     return
                 (sender_length,) = _SENDER_LENGTH.unpack_from(frame)
-                body_start = _SENDER_LENGTH.size + sender_length
-                sender = wire.decode(frame[_SENDER_LENGTH.size:body_start])
+                sender_end = _SENDER_LENGTH.size + sender_length
+                sender = wire.decode(frame[_SENDER_LENGTH.size:sender_end])
+                instance, body_start = wire.read_uvarint(frame, sender_end)
                 if sender in self._inboxes:
-                    self._inboxes[sender].put(frame[body_start:])
+                    self._inboxes[sender].put((instance, frame[body_start:]))
 
     # -- outgoing ------------------------------------------------------------------
 
@@ -120,21 +126,22 @@ class _TCPEndpoint(TransportEndpoint):
                 self._out_sockets[receiver] = sock
             return sock
 
-    def _frame_header(self, payload: bytes) -> bytes:
-        """The ``[length][sender-length][sender]`` prefix for ``payload``."""
-        frame_length = _SENDER_LENGTH.size + len(self._sender_tag) + len(payload)
-        return (
-            _LENGTH.pack(frame_length)
-            + _SENDER_LENGTH.pack(len(self._sender_tag))
-            + self._sender_tag
-        )
+    def _frame_header(self, payload: bytes, instance: int) -> bytes:
+        """The ``[length][sender-length][sender][instance]`` prefix for ``payload``."""
+        header = bytearray()
+        header += _SENDER_LENGTH.pack(len(self._sender_tag))
+        header += self._sender_tag
+        wire.write_uvarint(header, instance)
+        return _LENGTH.pack(len(header) + len(payload)) + bytes(header)
 
-    def _send_serialized(self, receiver: Location, data: bytes) -> None:
+    def _send_serialized(self, receiver: Location, data: bytes, instance: int = 0) -> None:
         if receiver not in self._transport.census:
             raise TransportError(f"unknown receiver {receiver!r}")
         self._record(receiver, len(data))
         try:
-            _send_buffers(self._connection_to(receiver), [self._frame_header(data), data])
+            _send_buffers(
+                self._connection_to(receiver), [self._frame_header(data, instance), data]
+            )
         except OSError as exc:
             raise TransportError(
                 f"{self.location!r} failed to send to {receiver!r}: {exc}"
@@ -143,26 +150,41 @@ class _TCPEndpoint(TransportEndpoint):
     def send(self, receiver: Location, payload: Any) -> None:
         self._send_serialized(receiver, serialize(payload))
 
+    def send_scoped(self, receiver: Location, instance: int, payload: Any) -> None:
+        self._send_serialized(receiver, serialize(payload), instance)
+
     def send_many(self, receivers: Iterable[Location], payload: Any) -> None:
+        self.send_many_scoped(receivers, 0, payload)
+
+    def send_many_scoped(
+        self, receivers: Iterable[Location], instance: int, payload: Any
+    ) -> None:
         targets = list(receivers)
         for receiver in targets:  # all-or-nothing: validate before the first frame
             if receiver not in self._transport.census:
                 raise TransportError(f"unknown receiver {receiver!r}")
         data = serialize(payload)  # one serialization shared by all receivers
         for receiver in targets:
-            self._send_serialized(receiver, data)
+            self._send_serialized(receiver, data, instance)
 
-    def recv(self, sender: Location) -> Any:
+    def _recv_serialized(self, sender: Location) -> "tuple[int, bytes]":
         if sender not in self._inboxes:
             raise TransportError(f"unknown sender {sender!r}")
         try:
-            data = self._inboxes[sender].get(timeout=self._timeout)
+            return self._inboxes[sender].get(timeout=self._timeout)
         except queue.Empty:
             raise TransportError(
                 f"{self.location!r} timed out after {self._timeout}s waiting for a "
                 f"message from {sender!r}"
             ) from None
+
+    def recv(self, sender: Location) -> Any:
+        _instance, data = self._recv_serialized(sender)
         return deserialize(data)
+
+    def recv_scoped(self, sender: Location) -> "tuple[int, Any]":
+        instance, data = self._recv_serialized(sender)
+        return instance, deserialize(data)
 
     def close(self) -> None:
         self._closed.set()

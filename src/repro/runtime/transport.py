@@ -83,8 +83,55 @@ class TransportEndpoint(abc.ABC):
         """
         return {sender: self.recv(sender) for sender in senders}
 
+    # -- instance scoping ----------------------------------------------------------
+    #
+    # A persistent engine pipelines many choreography instances over one
+    # transport; the ``*_scoped`` methods carry an instance id alongside each
+    # payload so receivers can demultiplex.  The base implementations carry
+    # the tag *inside* the payload (an ``(instance, payload)`` tuple), which
+    # works for any transport; Local/TCP override them to carry the tag in
+    # their framing instead, so the payload bytes recorded in
+    # :class:`~repro.runtime.stats.ChannelStats` stay exactly the bytes of
+    # the payload's serialization on every execution path.
+
+    def send_scoped(self, receiver: Location, instance: int, payload: Any) -> None:
+        """Send ``payload`` tagged with a choreography-instance id."""
+        self.send(receiver, (instance, payload))
+
+    def send_many_scoped(
+        self, receivers: Iterable[Location], instance: int, payload: Any
+    ) -> None:
+        """Broadcast counterpart of :meth:`send_scoped` (serialize-once capable)."""
+        self.send_many(receivers, (instance, payload))
+
+    def recv_scoped(self, sender: Location) -> "tuple[int, Any]":
+        """Return ``(instance, payload)``: the counterpart of :meth:`send_scoped`."""
+        message = self.recv(sender)
+        if (
+            not isinstance(message, tuple)
+            or len(message) != 2
+            or not isinstance(message[0], int)
+        ):
+            raise TransportError(
+                f"{self.location!r} received an untagged message from {sender!r} on an "
+                "instance-scoped channel; do not mix raw sends with engine runs"
+            )
+        return message
+
     def _record(self, receiver: Location, nbytes: int) -> None:
         self._stats.record(self.location, receiver, nbytes)
+
+    def use_stats(self, stats: ChannelStats) -> None:
+        """Redirect this endpoint's send-side accounting to ``stats``.
+
+        Message statistics are recorded on the sending side, so pointing one
+        endpoint at a different sink re-attributes exactly that location's
+        sends.  :class:`repro.runtime.engine.ChoreoEngine` uses this to tee
+        each send into both the transport's cumulative stats and the current
+        run's per-instance delta.  Only the (single) thread driving this
+        endpoint may call it.
+        """
+        self._stats = stats
 
 
 class Transport(abc.ABC):
@@ -95,6 +142,9 @@ class Transport(abc.ABC):
         self.stats = ChannelStats()
         self.timeout = timeout
         self._endpoints: Dict[Location, TransportEndpoint] = {}
+        #: The live ChoreoEngine driving this transport, if any: cached
+        #: endpoints and the instance-id space are single-session resources.
+        self._engine_lease: Optional[object] = None
 
     @abc.abstractmethod
     def _make_endpoint(self, location: Location) -> TransportEndpoint:

@@ -82,6 +82,16 @@ def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
         shift += 7
 
 
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` as an unsigned varint (public framing helper)."""
+    _write_uvarint(out, value)
+
+
+def read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Read an unsigned varint at ``pos``; returns ``(value, next_pos)``."""
+    return _read_uvarint(data, pos)
+
+
 def _zigzag(value: int) -> int:
     return (value << 1) if value >= 0 else ((-value) << 1) - 1
 

@@ -1,0 +1,323 @@
+"""Tests for persistent ChoreoEngine sessions and the backend registry."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import ChoreoEngine, run_choreography
+from repro.core.errors import CensusError, ChoreographyRuntimeError
+from repro.runtime.central import CentralBackend
+from repro.runtime.local import LocalTransport
+from repro.runtime.registry import (
+    backend_names,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.runtime.tcp import TCPTransport
+
+CENSUS = ["alice", "bob", "carol"]
+
+ALL_BACKENDS = ["local", "tcp", "simulated", "central"]
+
+
+def ping_pong(op, payload):
+    at_bob = op.comm("alice", "bob", op.locally("alice", lambda _un: payload))
+    echoed = op.locally("bob", lambda un: un(at_bob) + "!")
+    return op.broadcast("bob", echoed)
+
+
+def bookstore(op, title):
+    """The quickstart choreography: request, lookup, broadcast the price."""
+    catalogue = {"HoTT": 120, "TAPL": 80, "SICP": 40}
+    wanted = op.locally("buyer", lambda _un: title)
+    request = op.comm("buyer", "seller", wanted)
+    price = op.locally("seller", lambda un: catalogue.get(un(request), -1))
+    amount = op.broadcast("seller", price)
+    if amount < 0:
+        return f"{title}: not in catalogue"
+    return f"{title}: {amount}"
+
+
+class TestOneEngineEveryBackend:
+    """Acceptance: all four backends run the quickstart choreography through
+    the single ``ChoreoEngine``/``engine.run`` surface."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_quickstart_runs_on_every_backend(self, backend):
+        with ChoreoEngine(["buyer", "seller"], backend=backend) as engine:
+            result = engine.run(bookstore, args=("TAPL",))
+            assert result.returns["buyer"] == "TAPL: 80"
+            assert result.returns["buyer"] == result.returns["seller"]
+            assert result.stats.snapshot() == {
+                ("buyer", "seller"): 1,
+                ("seller", "buyer"): 1,
+            }
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_failures_surface_uniformly(self, backend):
+        def broken(op):
+            return op.locally("alice", lambda _un: 1 / 0)
+
+        with ChoreoEngine(CENSUS, backend=backend) as engine:
+            with pytest.raises(ChoreographyRuntimeError) as err:
+                engine.run(broken)
+            assert isinstance(err.value.original, ZeroDivisionError)
+            # the session survives a failed instance
+            assert engine.run(ping_pong, args=("ok",)).returns["carol"] == "ok!"
+
+
+class TestEngineReuse:
+    """N sequential runs reuse one warm transport: no re-setup per instance."""
+
+    def _spy_endpoint_creation(self, transport):
+        created = []
+        original = transport._make_endpoint
+
+        def counting_make_endpoint(location):
+            created.append(location)
+            return original(location)
+
+        transport._make_endpoint = counting_make_endpoint
+        return created
+
+    @pytest.mark.parametrize("transport_cls", [LocalTransport, TCPTransport])
+    def test_sequential_runs_share_one_transport(self, transport_cls):
+        transport = transport_cls(CENSUS, timeout=10.0)
+        created = self._spy_endpoint_creation(transport)
+        try:
+            with ChoreoEngine(CENSUS, backend=transport) as engine:
+                assert sorted(created) == sorted(CENSUS)
+                for index in range(4):
+                    result = engine.run(ping_pong, args=(f"m{index}",))
+                    assert result.returns["alice"] == f"m{index}!"
+                # endpoints were materialized exactly once, at engine start
+                assert sorted(created) == sorted(CENSUS)
+                assert engine.transport is transport
+        finally:
+            transport.close()
+
+    def test_per_run_stats_are_deltas_and_cumulative_on_engine(self):
+        with ChoreoEngine(CENSUS, backend="local") as engine:
+            first = engine.run(ping_pong, args=("x",))
+            second = engine.run(ping_pong, args=("y",))
+        per_run = {("alice", "bob"): 1, ("bob", "alice"): 1, ("bob", "carol"): 1}
+        assert first.stats.snapshot() == per_run
+        assert second.stats.snapshot() == per_run
+        assert first.instance == 0 and second.instance == 1
+        assert engine.stats.snapshot() == {channel: 2 for channel in per_run}
+
+    @pytest.mark.parametrize("backend", ["local", "tcp"])
+    def test_engine_runs_keep_byte_accounting_exact(self, backend):
+        """Instance scoping must not inflate recorded payload bytes: engine
+        runs agree with the centralized cost model byte-for-byte."""
+        from repro.analysis import communication_cost
+
+        def share_bit(op):
+            bit = op.locally("alice", lambda _un: True)
+            return op.broadcast("alice", bit)
+
+        predicted = communication_cost(share_bit, CENSUS)
+        with ChoreoEngine(CENSUS, backend=backend) as engine:
+            engine.run(ping_pong, args=("warm",))  # a prior instance ran first
+            result = engine.run(share_bit)
+        assert result.stats.total_bytes == predicted.total_bytes
+        # a boolean share is one wire byte per receiver, instance tag or not
+        assert result.stats.payload_bytes[("alice", "bob")] == 1
+
+    def test_worker_threads_are_daemons(self):
+        with ChoreoEngine(CENSUS, backend="local") as engine:
+            engine.run(ping_pong, args=("x",))
+            workers = [t for t in threading.enumerate() if t.name.startswith("engine-")]
+            assert workers
+            assert all(worker.daemon for worker in workers)
+
+
+def staggered(op, payload, delay):
+    """carol reports to alice immediately; alice/bob then ping-pong slowly.
+
+    With pipelined submissions carol races ahead to later instances while
+    alice is still mid-earlier-instance, so instance tags are exercised.
+    """
+    early = op.comm("carol", "alice", op.locally("carol", lambda _un: payload * 10))
+    at_bob = op.comm("alice", "bob", op.locally("alice", lambda _un: payload))
+    slowed = op.locally("bob", lambda un: (time.sleep(delay), un(at_bob))[1])
+    back = op.comm("bob", "alice", slowed)
+    total = op.locally("alice", lambda un: un(back) + un(early))
+    return op.broadcast("alice", total)
+
+
+class TestPipelinedSubmissions:
+    @pytest.mark.parametrize("backend", ["local", "tcp"])
+    def test_concurrent_submits_do_not_interleave(self, backend):
+        with ChoreoEngine(CENSUS, backend=backend, timeout=10.0) as engine:
+            futures = [
+                engine.submit(staggered, args=(index, 0.02 if index == 0 else 0.0))
+                for index in range(6)
+            ]
+            results = [future.result(timeout=30.0) for future in futures]
+        for index, result in enumerate(results):
+            assert result.returns["alice"] == index * 11
+            assert result.returns["carol"] == index * 11
+            # every run's stats delta is exactly one instance's traffic:
+            # carol→alice, alice→bob, bob→alice, broadcast alice→{bob, carol}
+            assert result.stats.total_messages == 5
+        assert [result.instance for result in results] == list(range(6))
+
+    def test_pipelining_after_a_failed_instance(self):
+        """A failed instance's unconsumed messages must not leak into later ones.
+
+        bob dies before receiving, so alice's instance-0 message is left in
+        the channel; instance 1 must drop that stale-tagged leftover and see
+        its own payload.
+        """
+
+        def leaky(op, boom, payload):
+            if boom:
+                op.locally("bob", lambda _un: 1 / 0)  # bob dies; alice skips this
+            at_bob = op.comm("alice", "bob", op.locally("alice", lambda _un: payload))
+            return op.locally("bob", lambda un: un(at_bob))
+
+        with ChoreoEngine(CENSUS, backend="local", timeout=5.0) as engine:
+            bad = engine.submit(leaky, args=(True, "stale"))
+            good = engine.submit(leaky, args=(False, "fresh"))
+            with pytest.raises(ChoreographyRuntimeError) as err:
+                bad.result(timeout=30.0)
+            assert isinstance(err.value.original, ZeroDivisionError)
+            result = good.result(timeout=30.0)
+            assert result.value_at("bob") == "fresh"
+
+
+class TestEngineLifecycle:
+    def test_context_manager_closes_owned_transport(self):
+        engine = ChoreoEngine(CENSUS, backend="local")
+        engine.run(ping_pong, args=("x",))
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.submit(ping_pong, args=("y",))
+        engine.close()  # idempotent
+
+    def test_borrowed_transport_left_open(self):
+        transport = LocalTransport(CENSUS, timeout=5.0)
+        with ChoreoEngine(CENSUS, backend=transport) as engine:
+            engine.run(ping_pong, args=("x",))
+        transport.endpoint("alice").send("bob", 1)
+        assert transport.endpoint("bob").recv("alice") == 1
+        transport.close()
+
+    def test_close_drains_pending_submissions(self):
+        engine = ChoreoEngine(CENSUS, backend="local", timeout=5.0)
+        futures = [engine.submit(ping_pong, args=(f"m{i}",)) for i in range(4)]
+        engine.close()
+        assert [f.result(timeout=1.0).returns["alice"] for f in futures] == [
+            "m0!", "m1!", "m2!", "m3!",
+        ]
+
+    def test_one_live_engine_per_transport(self):
+        """Two live engines on one transport would share cached endpoints and
+        collide on instance ids; the second engine must be refused."""
+        transport = LocalTransport(CENSUS, timeout=5.0)
+        try:
+            with ChoreoEngine(CENSUS, backend=transport) as engine:
+                engine.run(ping_pong, args=("x",))
+                with pytest.raises(ValueError, match="another live ChoreoEngine"):
+                    ChoreoEngine(CENSUS, backend=transport)
+            # the lease is released on close: a new session may claim it
+            with ChoreoEngine(CENSUS, backend=transport) as engine:
+                assert engine.run(ping_pong, args=("y",)).returns["bob"] == "y!"
+        finally:
+            transport.close()
+
+    def test_backend_options_rejected_for_prebuilt_backends(self):
+        transport = LocalTransport(CENSUS, timeout=5.0)
+        with pytest.raises(ValueError, match="backend options"):
+            ChoreoEngine(CENSUS, backend=transport, latency=1.0)
+        transport.close()
+
+    def test_location_args_routed_per_endpoint(self):
+        def chor(op, mine=None):
+            facets = op.parallel(list(op.census), lambda loc, _un: mine)
+            gathered = op.gather(list(op.census), [list(op.census)[0]], facets)
+            first = list(op.census)[0]
+            total = op.locally(first, lambda un: sum(un(gathered).values()))
+            return op.broadcast(first, total)
+
+        with ChoreoEngine(["a", "b"], backend="local") as engine:
+            result = engine.run(chor, location_args={"a": (1,), "b": (2,)})
+            assert result.returns["a"] == 3
+
+
+class TestCentralBackend:
+    def test_location_args_rejected(self):
+        with ChoreoEngine(["a", "b"], backend="central") as engine:
+            with pytest.raises(ValueError, match="per-location arguments"):
+                engine.submit(ping_pong, args=("x",), location_args={"a": (1,)})
+
+    def test_returns_are_localized(self):
+        def chor(op):
+            return op.locally("alice", lambda _un: 7)
+
+        with ChoreoEngine(CENSUS, backend="central") as engine:
+            result = engine.run(chor)
+        assert result.value_at("alice") == 7
+        assert result.has_value("bob") is False
+        assert result.present_values() == {"alice": 7}
+
+    def test_census_violations_are_wrapped(self):
+        def chor(op):
+            return op.locally("mallory", lambda _un: 1)
+
+        with ChoreoEngine(CENSUS, backend="central") as engine:
+            with pytest.raises(ChoreographyRuntimeError) as err:
+                engine.run(chor)
+            assert isinstance(err.value.original, CensusError)
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"local", "tcp", "simulated", "central"} <= set(backend_names())
+
+    def test_register_backend_is_pluggable(self):
+        class TracingTransport(LocalTransport):
+            pass
+
+        register_backend("tracing-local", TracingTransport)
+        try:
+            assert "tracing-local" in backend_names()
+            with ChoreoEngine(CENSUS, backend="tracing-local") as engine:
+                assert isinstance(engine.transport, TracingTransport)
+                assert engine.run(ping_pong, args=("x",)).returns["bob"] == "x!"
+            # ...and through the compatibility wrapper too
+            result = run_choreography(ping_pong, CENSUS, args=("y",),
+                                      transport="tracing-local")
+            assert result.returns["carol"] == "y!"
+        finally:
+            unregister_backend("tracing-local")
+
+    def test_duplicate_registration_needs_replace(self):
+        register_backend("dupe-test", LocalTransport)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend("dupe-test", LocalTransport)
+            register_backend("dupe-test", TCPTransport, replace=True)
+        finally:
+            unregister_backend("dupe-test")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            create_backend("carrier-pigeon", CENSUS)
+        with pytest.raises(ValueError, match="unknown transport"):
+            ChoreoEngine(CENSUS, backend="carrier-pigeon")
+
+    def test_simulated_backend_options_forwarded(self):
+        backend = create_backend("simulated", CENSUS, latency=2.5, bandwidth=1e6)
+        assert backend.latency == 2.5
+        backend.close()
+
+    def test_central_factory_builds_central_backend(self):
+        backend = create_backend("central", CENSUS)
+        assert isinstance(backend, CentralBackend)
+        backend.close()

@@ -86,7 +86,10 @@ class TestRunChoreography:
     def test_external_transport_is_not_closed(self):
         transport = LocalTransport(CENSUS, timeout=5.0)
         result = run_choreography(ping_pong, CENSUS, args=("x",), transport=transport)
-        assert result.stats is transport.stats
+        # result.stats is this run's delta; the borrowed transport accumulates
+        # the same messages on its own (cumulative) stats
+        assert result.stats is not transport.stats
+        assert result.stats.snapshot() == transport.stats.snapshot()
         # the transport is still usable afterwards
         transport.endpoint("alice").send("bob", 1)
         assert transport.endpoint("bob").recv("alice") == 1
@@ -109,6 +112,19 @@ class TestRunChoreography:
 
         result = run_choreography(chor, ["alice", "bob"])
         assert result.present_values() == {"alice": 7}
+
+    def test_legitimate_none_return_is_present(self):
+        # Presence is ownership, not a comparison against None: a choreography
+        # that genuinely returns None at an owner must show up in the result.
+        def chor(op):
+            return op.locally("alice", lambda _un: None)
+
+        result = run_choreography(chor, ["alice", "bob"])
+        assert result.has_value("alice") is True
+        assert result.has_value("bob") is False
+        assert result.present_values() == {"alice": None}
+        assert result.value_at("alice", default="missing") is None
+        assert result.value_at("bob", default="missing") == "missing"
 
 
 class TestCentralOp:

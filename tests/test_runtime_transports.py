@@ -202,13 +202,14 @@ class _SpySocket:
 
 
 def _parse_tcp_frame(raw: bytes):
-    """Split a captured TCP frame into (sender, payload bytes)."""
+    """Split a captured TCP frame into (sender, instance, payload bytes)."""
     (frame_length,) = struct.unpack_from("!I", raw)
     frame = raw[4:4 + frame_length]
     assert len(frame) == frame_length, "frame shorter than its length prefix"
     (sender_length,) = struct.unpack_from("!H", frame)
     sender = wire.decode(frame[2:2 + sender_length])
-    return sender, frame[2 + sender_length:]
+    instance, body_start = wire.read_uvarint(frame, 2 + sender_length)
+    return sender, instance, frame[body_start:]
 
 
 class TestSerializeOnceAccounting:
@@ -257,8 +258,9 @@ class TestSerializeOnceAccounting:
             spy = _SpySocket()
             sender._out_sockets["b"] = spy  # intercept the wire
             sender.send("b", self.PAYLOAD)
-            origin, payload = _parse_tcp_frame(spy.captured)
+            origin, instance, payload = _parse_tcp_frame(spy.captured)
             assert origin == "a"
+            assert instance == 0  # one-shot sends carry instance 0
             assert payload == serialize(self.PAYLOAD)
             assert transport.stats.payload_bytes[("a", "b")] == len(payload)
 
@@ -272,7 +274,7 @@ class TestSerializeOnceAccounting:
             sender.send_many(["b", "c", "d"], self.PAYLOAD)
             expected = serialize(self.PAYLOAD)
             for receiver, spy in spies.items():
-                origin, payload = _parse_tcp_frame(spy.captured)
+                origin, _instance, payload = _parse_tcp_frame(spy.captured)
                 assert origin == "a"
                 assert payload == expected
                 assert transport.stats.payload_bytes[("a", receiver)] == len(expected)
@@ -284,6 +286,21 @@ class TestSerializeOnceAccounting:
             transport.endpoint("a").send_many(["b", "c", "d"], self.PAYLOAD)
             for receiver in ["b", "c", "d"]:
                 assert transport.endpoint(receiver).recv("a") == self.PAYLOAD
+
+    @pytest.mark.parametrize("transport_cls", [LocalTransport, TCPTransport])
+    def test_scoped_sends_keep_payload_bytes_exact(self, transport_cls):
+        """The instance tag rides in the framing: a 1-byte boolean share is
+        recorded as 1 byte whatever instance it belongs to."""
+        with transport_cls(["a", "b"], timeout=5.0) as transport:
+            sender = transport.endpoint("a")
+            receiver = transport.endpoint("b")
+            sender.send_scoped("b", 7, True)
+            sender.send_many_scoped(["b"], 300, self.PAYLOAD)
+            assert receiver.recv_scoped("a") == (7, True)
+            assert receiver.recv_scoped("a") == (300, self.PAYLOAD)
+            assert transport.stats.payload_bytes[("a", "b")] == (
+                len(serialize(True)) + len(serialize(self.PAYLOAD))
+            )
 
     def test_recv_many_collects_one_message_per_sender(self):
         transport = LocalTransport(self.CENSUS, timeout=2.0)
