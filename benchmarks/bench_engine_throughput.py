@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time
 
+import report
 from bench_guard import smoke_scale
 from repro.runtime.engine import ChoreoEngine
 from repro.runtime.runner import run_choreography
@@ -84,6 +85,10 @@ def smoke():
 
 
 def _report(report_table, backend, cold, warm, piped):
+    report.record(f"engine_throughput/{backend}", "per_call", cold, "runs/sec")
+    report.record(f"engine_throughput/{backend}", "warm_engine", warm, "runs/sec")
+    report.record(f"engine_throughput/{backend}", "pipelined", piped, "runs/sec")
+    report.record(f"engine_throughput/{backend}", "warm_speedup", warm / cold, "x")
     report_table(
         f"Perf — engine sessions over the {backend!r} backend ({RUNS} runs)",
         ["execution shape", "runs/sec", "speedup vs per-call"],

@@ -20,6 +20,7 @@ import pathlib
 
 import pytest
 
+import report
 from bench_guard import smoke_scale
 from repro.protocols import circuits
 from repro.protocols.circuits import count_gates, level_circuit
@@ -101,6 +102,9 @@ def test_gmw_party_scaling(benchmark, report_table):
         # parties; input sharing and reveal cost n(n-1) each
         assert result.stats.total_messages == layered_message_count(parties, circuit)
 
+    for row in rows:
+        report.record("gmw/party_scaling", f"parties_{row[0]}_seconds",
+                      float(row[3]), "seconds")
     small = ["p1", "p2"]
     benchmark.pedantic(
         run_gmw,
@@ -159,6 +163,9 @@ def test_gmw_layered_batching_vs_seed(report_table, benchmark):
     seed_count = seed_message_count(parties, circuit)
     assert observed == layered_message_count(parties, circuit)
     assert observed * 2 <= seed_count, (observed, seed_count)
+    report.record("gmw/layered_batching", "seed_messages", seed_count, "messages")
+    report.record("gmw/layered_batching", "layered_messages", observed, "messages")
+    report.record("gmw/layered_batching", "reduction", seed_count / observed, "x")
     report_table(
         "E6 — layered batching vs the seed's per-gate evaluator "
         "(4 parties, depth-3 AND tree)",

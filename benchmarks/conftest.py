@@ -9,9 +9,17 @@ visible even under pytest's output capture (and land in ``bench_output.txt``).
 
 from __future__ import annotations
 
+import pathlib
+import sys
 from typing import Dict, List, Sequence
 
 import pytest
+
+_BENCH_DIR = str(pathlib.Path(__file__).resolve().parent)
+if _BENCH_DIR not in sys.path:
+    sys.path.insert(0, _BENCH_DIR)
+
+import report
 
 _TABLES: List[str] = []
 
@@ -39,6 +47,12 @@ def report_table():
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D401
+    if report.enabled() and report.RESULTS:
+        path = report.write()
+        terminalreporter.write_sep("=", "machine-readable benchmark report")
+        terminalreporter.write_line(
+            f"wrote {len(report.RESULTS)} results to {path} (rev {report.git_rev()[:12]})"
+        )
     if not _TABLES:
         return
     terminalreporter.write_sep("=", "reproduced tables and figure series")

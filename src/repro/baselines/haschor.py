@@ -239,11 +239,21 @@ def run_haschor(
 
     def run_endpoint(location: Location) -> None:
         op = HasChorProjectedOp(full_census, location, endpoints[location])
+        flush = getattr(endpoints[location], "flush", None)
         try:
             result = choreography(op, *args, **kwargs)
+            # Coalescing transports defer sends; trailing ones must be
+            # drained before this location's thread finishes.
+            if flush is not None:
+                flush()
             with lock:
                 returns[location] = result
         except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            if flush is not None:
+                try:
+                    flush()  # best-effort: peers may be blocked on these sends
+                except BaseException:  # noqa: BLE001 - original error wins
+                    pass
             with lock:
                 failures[location] = exc
 

@@ -42,6 +42,14 @@ class Endpoint(Protocol):
     # a serialize-once broadcast of the same payload.  ``multicast`` uses it
     # when present and falls back to a loop of ``send`` otherwise, so minimal
     # endpoints (including test doubles) keep working unchanged.
+    #
+    # Coalescing endpoints also provide ``flush()``: sends may be deferred
+    # into per-receiver write buffers that drain on flush, on a byte
+    # high-watermark, and always before the endpoint blocks in ``recv`` (the
+    # flush-before-block rule — see repro.runtime.transport).  Projected
+    # operators never need to call it: a projected program only ever blocks
+    # in ``recv``, which flushes first, and the engine/runner flush at
+    # instance boundaries for trailing sends.
 
 
 class InstanceScopedEndpoint:
@@ -103,6 +111,12 @@ class InstanceScopedEndpoint:
         else:
             for receiver in receivers:
                 self._inner.send(receiver, tagged)
+
+    def flush(self) -> None:
+        """Drain the wrapped endpoint's deferred writes (no-op for minimal ones)."""
+        flush = getattr(self._inner, "flush", None)
+        if flush is not None:
+            flush()
 
     def _recv_tagged(self, sender: Location) -> Any:
         if self._scoped:

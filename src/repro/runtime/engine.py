@@ -45,7 +45,7 @@ from ..core.locations import Census, Location, LocationsLike, as_census
 from ..core.ops import Choreography
 from .central import CentralBackend, CentralOp, localize_return
 from .registry import Backend, create_backend
-from .stats import ChannelStats
+from .stats import ChannelStats, record_broadcast_on
 from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint
 
 #: The "no value" marker used internally by :class:`ChoreographyResult` so a
@@ -119,6 +119,14 @@ class _TeeStats:
     def record(self, sender: Location, receiver: Location, nbytes: int) -> None:
         for sink in self._sinks:
             sink.record(sender, receiver, nbytes)
+
+    def record_broadcast(
+        self, sender: Location, receivers: Any, nbytes: int
+    ) -> None:
+        """Batched counterpart of :meth:`record`, one call per broadcast."""
+        receivers = list(receivers)
+        for sink in self._sinks:
+            record_broadcast_on(sink, sender, receivers, nbytes)
 
 
 class _EngineJob:
@@ -333,6 +341,12 @@ class ChoreoEngine:
                 self._endpoints: Dict[Location, TransportEndpoint] = {
                     location: resolved.endpoint(location) for location in self.census
                 }
+                # Per-worker stashes for messages of future instances, kept on
+                # the engine (not as worker locals) so the stash-purge
+                # invariant — no keys ≤ a finished instance — is observable.
+                self._stashes: Dict[Location, Dict[int, Dict[Location, Any]]] = {
+                    location: {} for location in self.census
+                }
                 for location in self.census:
                     self._spawn_worker(location, self._endpoint_worker)
             else:
@@ -505,7 +519,8 @@ class ChoreoEngine:
         endpoint = self._endpoints[location]
         base_stats = self._transport.stats
         redirects = hasattr(endpoint, "use_stats")
-        stash: Dict[int, Dict[Location, Any]] = {}
+        flush = getattr(endpoint, "flush", None)
+        stash: Dict[int, Dict[Location, Any]] = self._stashes[location]
         while True:
             job = jobs.get()
             if job is None:
@@ -517,17 +532,32 @@ class ChoreoEngine:
             try:
                 program = project(job.choreography, self.census, location, scoped)
                 value = program(*job.args_for(location), **job.kwargs)
+                # Instance-boundary flush: a coalescing endpoint may still
+                # hold this instance's trailing sends; they are part of the
+                # run, so a failed drain fails the run, and flushing before
+                # the stats tee is restored keeps the per-run ChannelStats
+                # delta exact.
+                if flush is not None:
+                    flush()
             except BaseException as exc:  # noqa: BLE001 - reported via the Future
+                if flush is not None:
+                    try:
+                        flush()  # best-effort: peers may be blocked on these
+                    except BaseException:  # noqa: BLE001 - original error wins
+                        pass
                 outcome, payload = "error", exc
             else:
                 outcome, payload = "ok", value
             finally:
                 if redirects:
                     endpoint.use_stats(base_stats)
-                # Unconsumed messages of this instance (a failed run) must not
-                # linger: later instances drop stale tags on arrival, and the
-                # stash entry is gone after this.
-                stash.pop(job.instance, None)
+                # Unconsumed messages of instances up to and including this
+                # one must not linger (a long-lived session would otherwise
+                # grow without bound): tags ≤ the just-finished instance are
+                # dead by construction — later instances drop them on arrival
+                # — so purge every such stash key, not just the current one.
+                for stale in [key for key in stash if key <= job.instance]:
+                    del stash[stale]
             if outcome == "ok":
                 job.finish_location(location, payload)
             else:

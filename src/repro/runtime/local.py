@@ -9,25 +9,52 @@ Channels are created lazily on first use: a census of *n* locations has n²−n
 directed pairs, but most choreographies only ever touch a few of them, so
 eager allocation would make large-census benchmarks pay a quadratic setup tax
 before the first message moves.
+
+Sends are *coalesced* like the TCP transport's: ``send``/``send_many``/
+``*_scoped`` append ``(instance, payload bytes)`` items to a per-receiver
+write buffer, and a drain puts the whole batch on the channel queue as **one
+item** — one queue rendezvous (lock + wakeup) for many frames instead of one
+per message.  Buffers drain on an explicit ``flush()``, past
+:data:`~repro.runtime.transport.FLUSH_WATERMARK` pending payload bytes, and
+always before a blocking receive (the flush-before-block rule; see
+:class:`~repro.runtime.transport.TransportEndpoint`).  The receive side pops
+one batch from the queue and serves subsequent ``recv`` calls from a local
+deque, preserving per-pair FIFO order exactly.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Dict, Iterable, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Tuple
 
 from ..core.errors import TransportError
 from ..core.locations import Location, LocationsLike
-from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint, deserialize, serialize
+from .transport import (
+    DEFAULT_TIMEOUT,
+    CoalescingEndpoint,
+    Transport,
+    TransportEndpoint,
+    deserialize,
+    serialize,
+)
+
+#: One frame: ``(instance, serialized payload)``.
+_Item = Tuple[int, bytes]
+
+#: One queue element: a batch of frames flushed together.
+_Batch = List[_Item]
 
 
-class _QueueEndpoint(TransportEndpoint):
+class _QueueEndpoint(CoalescingEndpoint):
     """Endpoint backed by shared per-channel queues."""
 
     def __init__(self, location: Location, transport: "LocalTransport"):
         super().__init__(location, transport.stats, transport.timeout)
         self._transport = transport
+        # Frames already popped from a channel queue but not yet recv'd.
+        self._pending_in: Dict[Location, Deque[_Item]] = {}
 
     def _require_peer(self, peer: Location, direction: str) -> None:
         if peer == self.location or peer not in self._transport.census:
@@ -37,11 +64,17 @@ class _QueueEndpoint(TransportEndpoint):
                 f"{direction} part of this transport's census?"
             )
 
+    # -- outgoing ------------------------------------------------------------------
+
+    def _deliver(self, receiver: Location, batch: _Batch) -> None:
+        # One queue put carries the whole drained batch of frames.
+        self._transport.channel(self.location, receiver).put(batch)
+
     def _send_serialized(self, receiver: Location, data: bytes, instance: int = 0) -> None:
         # The instance id rides next to the payload, not inside it, so the
         # recorded byte count is exactly the payload's serialization.
         self._record(receiver, len(data))
-        self._transport.channel(self.location, receiver).put((instance, data))
+        self._enqueue(receiver, ((instance, data),), len(data))
 
     def send(self, receiver: Location, payload: Any) -> None:
         self._require_peer(receiver, "receiver")
@@ -61,18 +94,33 @@ class _QueueEndpoint(TransportEndpoint):
         for receiver in targets:
             self._require_peer(receiver, "receiver")
         data = serialize(payload)  # one serialization shared by all receivers
+        self._record_broadcast(targets, len(data))
+        item = (instance, data)
         for receiver in targets:
-            self._send_serialized(receiver, data, instance)
+            self._enqueue(receiver, (item,), len(data))
 
-    def _recv_serialized(self, sender: Location) -> Tuple[int, bytes]:
+    # -- incoming ------------------------------------------------------------------
+
+    def _recv_serialized(self, sender: Location) -> _Item:
         self._require_peer(sender, "sender")
+        pending = self._pending_in.get(sender)
+        if pending:
+            return pending.popleft()
+        # Flush-before-block: our own deferred sends must be on their queues
+        # before we wait, or mutually-sending endpoints would starve.
+        self.flush()
         try:
-            return self._transport.channel(sender, self.location).get(timeout=self._timeout)
+            batch = self._transport.channel(sender, self.location).get(timeout=self._timeout)
         except queue.Empty:
             raise TransportError(
                 f"{self.location!r} timed out after {self._timeout}s waiting for a "
                 f"message from {sender!r}"
             ) from None
+        if len(batch) == 1:
+            return batch[0]
+        items = self._pending_in.setdefault(sender, deque())
+        items.extend(batch)
+        return items.popleft()
 
     def recv(self, sender: Location) -> Any:
         _instance, data = self._recv_serialized(sender)
@@ -83,20 +131,20 @@ class _QueueEndpoint(TransportEndpoint):
         return instance, deserialize(data)
 
 
-#: Queue items are ``(instance, serialized payload)`` pairs.
-_Item = Tuple[int, bytes]
-
-
 class LocalTransport(Transport):
     """Thread-friendly transport where every directed pair has its own FIFO queue."""
 
     def __init__(self, census: LocationsLike, timeout: float = DEFAULT_TIMEOUT):
         super().__init__(census, timeout)
-        self._channels: Dict[Tuple[Location, Location], "queue.SimpleQueue[_Item]"] = {}
+        self._channels: Dict[Tuple[Location, Location], "queue.SimpleQueue[_Batch]"] = {}
         self._channels_lock = threading.Lock()
 
-    def channel(self, sender: Location, receiver: Location) -> "queue.SimpleQueue[_Item]":
-        """The FIFO queue for the directed pair, created on first use."""
+    def channel(self, sender: Location, receiver: Location) -> "queue.SimpleQueue[_Batch]":
+        """The FIFO queue for the directed pair, created on first use.
+
+        Queue elements are *batches*: lists of ``(instance, payload bytes)``
+        frames flushed together by the sending endpoint.
+        """
         key = (sender, receiver)
         existing = self._channels.get(key)
         if existing is not None:

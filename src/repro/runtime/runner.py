@@ -9,6 +9,13 @@ hold a ``ChoreoEngine`` open instead and call ``engine.run`` /
 ``engine.submit`` so transport setup and worker spawn are paid once, not per
 instance (see ``benchmarks/bench_engine_throughput.py`` for the difference).
 
+Transports coalesce sends into per-receiver write buffers (see
+:class:`~repro.runtime.transport.TransportEndpoint` for the deferred-flush
+contract); running through this function — or any engine — needs no extra
+care, because endpoints flush before blocking in a receive and the engine's
+workers flush at every instance boundary.  Only code driving raw endpoints
+by hand must call ``endpoint.flush()`` after its final send.
+
 The names historically imported from this module —
 :class:`ChoreographyResult` and the backend table — are re-exported here.
 """

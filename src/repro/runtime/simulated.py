@@ -10,6 +10,20 @@ whenever it receives.  The maximum endpoint clock after a run is the critical
 path length — a simple but useful proxy for protocol latency that lets the
 benchmarks compare, e.g., how the sequential OT chains of GMW dominate its
 runtime while the KVS's fan-outs overlap.
+
+Accounting matches the real transports byte-for-byte: each payload is
+serialized exactly once and travels through the inner queues as a
+``(send_time, payload bytes)`` stamp, so the
+:class:`~repro.runtime.stats.ChannelStats` entry and the receive-side
+bandwidth charge both use the *unstamped* wire length — the same bytes TCP
+frames on the wire — and a choreography run here is directly comparable to
+(and a property test pins it equal to) the same run on the coalescing
+local/TCP transports.  The inner transport's own recording is disabled to
+make room for that.
+
+``flush`` forwards to the inner endpoint, and a receive flushes the inner
+endpoint's buffers before blocking, so the deferred-flush semantics (and the
+flush-before-block deadlock-freedom rule) carry over unchanged.
 """
 
 from __future__ import annotations
@@ -19,7 +33,22 @@ from typing import Any, Dict, Iterable, Optional
 
 from ..core.locations import Location, LocationsLike
 from .local import LocalTransport
-from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint, serialize
+from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint, deserialize, serialize
+
+
+class _DropStats:
+    """A stats sink that records nothing (the simulated endpoint records)."""
+
+    def record(self, sender: Location, receiver: Location, nbytes: int) -> None:
+        pass
+
+    def record_broadcast(
+        self, sender: Location, receivers: Iterable[Location], nbytes: int
+    ) -> None:
+        pass
+
+
+_DROP_STATS = _DropStats()
 
 
 class _SimulatedEndpoint(TransportEndpoint):
@@ -29,46 +58,63 @@ class _SimulatedEndpoint(TransportEndpoint):
         super().__init__(inner.location, transport.stats, transport.timeout)
         self._inner = inner
         self._transport = transport
+        # This wrapper records the unstamped payload bytes itself; the inner
+        # endpoint would otherwise record the (send_time, payload) tuple.
+        self._inner.use_stats(_DROP_STATS)
+
+    # Payloads travel stamped as ``(send_time, payload bytes)`` — the payload
+    # is serialized exactly once, its exact wire length feeds both the stats
+    # entry and the receive-side bandwidth charge, and the receive side
+    # decodes from the same bytes.
+
+    def _stamp(self, payload: Any) -> "tuple[bytes, tuple]":
+        data = serialize(payload)
+        return data, (self._transport.clock_of(self.location), data)
 
     def send(self, receiver: Location, payload: Any) -> None:
-        send_time = self._transport.clock_of(self.location)
-        self._inner.send(receiver, (send_time, payload))
+        data, stamped = self._stamp(payload)
+        self._record(receiver, len(data))
+        self._inner.send(receiver, stamped)
 
     def send_many(self, receivers: Iterable[Location], payload: Any) -> None:
         # All deliveries of a multicast share one send time, so the stamped
         # payload can ride the inner transport's serialize-once path.
-        send_time = self._transport.clock_of(self.location)
-        self._inner.send_many(list(receivers), (send_time, payload))
+        targets = list(receivers)
+        data, stamped = self._stamp(payload)
+        self._record_broadcast(targets, len(data))
+        self._inner.send_many(targets, stamped)
 
     def send_scoped(self, receiver: Location, instance: int, payload: Any) -> None:
-        send_time = self._transport.clock_of(self.location)
-        self._inner.send_scoped(receiver, instance, (send_time, payload))
+        data, stamped = self._stamp(payload)
+        self._record(receiver, len(data))
+        self._inner.send_scoped(receiver, instance, stamped)
 
     def send_many_scoped(
         self, receivers: Iterable[Location], instance: int, payload: Any
     ) -> None:
-        send_time = self._transport.clock_of(self.location)
-        self._inner.send_many_scoped(list(receivers), instance, (send_time, payload))
+        targets = list(receivers)
+        data, stamped = self._stamp(payload)
+        self._record_broadcast(targets, len(data))
+        self._inner.send_many_scoped(targets, instance, stamped)
 
-    def use_stats(self, stats: Any) -> None:
-        # Recording happens on the inner (queue) endpoint's send path.
-        super().use_stats(stats)
-        self._inner.use_stats(stats)
+    def flush(self) -> None:
+        """Drain the inner endpoint's deferred writes."""
+        self._inner.flush()
 
-    def _charge(self, send_time: float, payload: Any) -> None:
-        nbytes = len(serialize(payload))
+    def _charge(self, send_time: float, nbytes: int) -> None:
         cost = self._transport.latency + nbytes / self._transport.bandwidth
         self._transport.advance_clock(self.location, send_time + cost)
 
     def recv(self, sender: Location) -> Any:
-        send_time, payload = self._inner.recv(sender)
-        self._charge(send_time, payload)
-        return payload
+        # The inner recv flushes the inner buffers before blocking.
+        send_time, data = self._inner.recv(sender)
+        self._charge(send_time, len(data))
+        return deserialize(data)
 
     def recv_scoped(self, sender: Location) -> "tuple[int, Any]":
-        instance, (send_time, payload) = self._inner.recv_scoped(sender)
-        self._charge(send_time, payload)
-        return instance, payload
+        instance, (send_time, data) = self._inner.recv_scoped(sender)
+        self._charge(send_time, len(data))
+        return instance, deserialize(data)
 
 
 class SimulatedNetworkTransport(Transport):
@@ -96,7 +142,6 @@ class SimulatedNetworkTransport(Transport):
         self.latency = latency
         self.bandwidth = bandwidth
         self._inner = LocalTransport(census, timeout=timeout)
-        self.stats = self._inner.stats
         self._clocks: Dict[Location, float] = {location: 0.0 for location in self.census}
         self._clock_lock = threading.Lock()
 

@@ -19,6 +19,23 @@ from ..core.locations import Location
 Channel = Tuple[Location, Location]
 
 
+def record_broadcast_on(
+    sink: object, sender: Location, receivers: Iterable[Location], nbytes: int
+) -> None:
+    """Record one ``nbytes`` message to each receiver on an arbitrary sink.
+
+    The one place that knows the batched-accounting duck-type: sinks offering
+    ``record_broadcast`` (a :class:`ChannelStats`, the engine's stats tee)
+    take it in one call; minimal sinks fall back to per-receiver ``record``.
+    """
+    record_broadcast = getattr(sink, "record_broadcast", None)
+    if record_broadcast is not None:
+        record_broadcast(sender, receivers, nbytes)
+    else:
+        for receiver in receivers:
+            sink.record(sender, receiver, nbytes)  # type: ignore[attr-defined]
+
+
 @dataclass
 class ChannelStats:
     """Counts of messages and payload bytes per directed channel."""
@@ -27,12 +44,28 @@ class ChannelStats:
     payload_bytes: Dict[Channel, int] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
+    def _record_locked(self, channel: Channel, nbytes: int) -> None:
+        """One message on ``channel``; the caller holds ``_lock``."""
+        self.messages[channel] = self.messages.get(channel, 0) + 1
+        self.payload_bytes[channel] = self.payload_bytes.get(channel, 0) + nbytes
+
     def record(self, sender: Location, receiver: Location, nbytes: int) -> None:
         """Record one message of ``nbytes`` payload bytes from sender to receiver."""
-        channel = (sender, receiver)
         with self._lock:
-            self.messages[channel] = self.messages.get(channel, 0) + 1
-            self.payload_bytes[channel] = self.payload_bytes.get(channel, 0) + nbytes
+            self._record_locked((sender, receiver), nbytes)
+
+    def record_broadcast(
+        self, sender: Location, receivers: Iterable[Location], nbytes: int
+    ) -> None:
+        """Record one ``nbytes`` message from ``sender`` to *each* receiver.
+
+        Equivalent to a loop over :meth:`record` but takes the lock once for
+        the whole broadcast — the accounting analogue of the transports'
+        serialize-once/coalescing batch paths.
+        """
+        with self._lock:
+            for receiver in receivers:
+                self._record_locked((sender, receiver), nbytes)
 
     # -- aggregate views ----------------------------------------------------------
 

@@ -12,16 +12,24 @@ meaningful and endpoints never share mutable state.
 from __future__ import annotations
 
 import abc
+import threading
 from typing import Any, Dict, Iterable, Optional
 
 from ..core.errors import TransportError
 from ..core.locations import Census, Location, LocationsLike, as_census
 from . import wire
-from .stats import ChannelStats
+from .stats import ChannelStats, record_broadcast_on
 
 #: Default number of seconds an endpoint waits for a message before concluding
 #: that the network of projected programs has deadlocked or crashed.
 DEFAULT_TIMEOUT = 30.0
+
+#: Pending-byte high-watermark at which a coalescing endpoint drains a peer's
+#: write buffer on its own, without waiting for an explicit :meth:`flush` or a
+#: blocking receive.  64 KiB keeps buffered latency bounded while still
+#: amortizing one syscall (TCP) or one queue rendezvous (local) over thousands
+#: of small frames.
+FLUSH_WATERMARK = 64 * 1024
 
 
 def serialize(payload: Any) -> bytes:
@@ -47,7 +55,34 @@ def deserialize(data: bytes) -> Any:
 
 
 class TransportEndpoint(abc.ABC):
-    """One location's view of the transport: its own sends and receives."""
+    """One location's view of the transport: its own sends and receives.
+
+    Coalescing contract
+    -------------------
+    Sends are *deferred*: an endpoint may append pre-framed bytes to a
+    per-receiver write buffer instead of delivering immediately.  Buffers
+    drain
+
+    * on an explicit :meth:`flush`,
+    * on their own once a receiver's pending bytes pass
+      :data:`FLUSH_WATERMARK`, and
+    * **always before this endpoint blocks in** :meth:`recv` /
+      :meth:`recv_many` — the *flush-before-block* rule.
+
+    The flush-before-block rule is what makes coalescing deadlock-free: in
+    any cycle of endpoints waiting on each other, every endpoint has flushed
+    its own outgoing buffers before blocking, so the messages that break the
+    cycle are already in flight.  Per-pair FIFO order is preserved because a
+    buffer drains in append order and later sends append after any drain.
+    Choreographic semantics only require per-pair FIFO delivery and treat
+    sends as non-blocking, so deferral never changes what a projected
+    program computes — though it can delay *when* a small message reaches a
+    peer until the sender next flushes, blocks in a receive, or finishes its
+    instance (a sender doing long local computation right after a send keeps
+    that send buffered for the duration).  Code driving endpoints *directly*
+    must call :meth:`flush` after its final send (the engine and runners do
+    this at instance boundaries).
+    """
 
     def __init__(self, location: Location, stats: ChannelStats, timeout: float):
         self.location = location
@@ -56,12 +91,26 @@ class TransportEndpoint(abc.ABC):
 
     @abc.abstractmethod
     def send(self, receiver: Location, payload: Any) -> None:
-        """Deliver ``payload`` to ``receiver``; never blocks indefinitely."""
+        """Deliver ``payload`` to ``receiver``; never blocks indefinitely.
+
+        Delivery may be deferred until the next :meth:`flush` (see the
+        coalescing contract in the class docstring)."""
 
     @abc.abstractmethod
     def recv(self, sender: Location) -> Any:
         """Return the next payload from ``sender``; raises
-        :class:`~repro.core.errors.TransportError` on timeout."""
+        :class:`~repro.core.errors.TransportError` on timeout.
+
+        Implementations flush this endpoint's own write buffers before
+        blocking (the flush-before-block rule)."""
+
+    def flush(self) -> None:
+        """Drain every pending write buffer to its receiver.
+
+        The base implementation is a no-op for transports that deliver
+        eagerly; coalescing transports override it.  Idempotent and cheap
+        when nothing is pending.
+        """
 
     def send_many(self, receivers: Iterable[Location], payload: Any) -> None:
         """Deliver the *same* ``payload`` to every receiver (the broadcast path).
@@ -121,6 +170,15 @@ class TransportEndpoint(abc.ABC):
     def _record(self, receiver: Location, nbytes: int) -> None:
         self._stats.record(self.location, receiver, nbytes)
 
+    def _record_broadcast(self, receivers: Iterable[Location], nbytes: int) -> None:
+        """Record one ``nbytes`` message to each receiver in a single batch.
+
+        Uses the stats sink's ``record_broadcast`` (one lock acquisition for
+        the whole broadcast) when available, falling back to per-receiver
+        ``record`` for minimal sinks.
+        """
+        record_broadcast_on(self._stats, self.location, receivers, nbytes)
+
     def use_stats(self, stats: ChannelStats) -> None:
         """Redirect this endpoint's send-side accounting to ``stats``.
 
@@ -132,6 +190,81 @@ class TransportEndpoint(abc.ABC):
         endpoint may call it.
         """
         self._stats = stats
+
+
+class CoalescingEndpoint(TransportEndpoint):
+    """Shared write-buffer machinery for coalescing endpoints (Local/TCP).
+
+    Subclasses call :meth:`_enqueue` with the opaque buffer items one frame
+    contributes and its byte size, and implement :meth:`_deliver` to move a
+    drained batch to its receiver (one writev, one queue put, ...).  This
+    class owns the per-receiver buffers, the pending-byte watermark, and the
+    drain ordering:
+
+    * ``_out_lock`` guards only the buffer dicts (appends stay cheap);
+    * one drain lock **per receiver** serializes that receiver's
+      pop-and-deliver, so two concurrent drains — e.g. a watermark drain
+      racing an explicit :meth:`flush` from another thread — cannot invert
+      batch order and break per-pair FIFO, while a slow delivery to one
+      receiver (say, a TCP connect) never stalls drains to any other.
+    """
+
+    def __init__(self, location: Location, stats: ChannelStats, timeout: float):
+        super().__init__(location, stats, timeout)
+        self._out_lock = threading.Lock()
+        self._drain_locks: Dict[Location, threading.Lock] = {}
+        self._out_buffers: Dict[Location, list] = {}
+        self._out_pending: Dict[Location, int] = {}
+        self._has_pending = False
+
+    @abc.abstractmethod
+    def _deliver(self, receiver: Location, batch: list) -> None:
+        """Move one drained batch of buffered items to ``receiver``."""
+
+    def _enqueue(self, receiver: Location, items: Iterable[Any], nbytes: int) -> None:
+        """Buffer one frame's ``items``; drain past the watermark."""
+        with self._out_lock:
+            batch = self._out_buffers.get(receiver)
+            if batch is None:
+                batch = self._out_buffers[receiver] = []
+                self._out_pending[receiver] = 0
+            batch.extend(items)
+            pending = self._out_pending[receiver] + nbytes
+            self._out_pending[receiver] = pending
+            self._has_pending = True
+        if pending >= FLUSH_WATERMARK:
+            self._drain_to(receiver)
+
+    def _drain_to(self, receiver: Location) -> None:
+        # Pop-and-deliver is atomic w.r.t. other drains *to this receiver*:
+        # appends are never blocked, batches reach the receiver in pop order,
+        # and a blocking delivery elsewhere cannot stall this channel.
+        with self._out_lock:
+            drain_lock = self._drain_locks.setdefault(receiver, threading.Lock())
+        with drain_lock:
+            with self._out_lock:
+                batch = self._out_buffers.pop(receiver, None)
+                self._out_pending.pop(receiver, None)
+                if not self._out_buffers:
+                    self._has_pending = False
+            if batch:
+                self._deliver(receiver, batch)
+
+    def flush(self) -> None:
+        """Drain every pending write buffer, one batch per receiver."""
+        if not self._has_pending:
+            return
+        with self._out_lock:
+            receivers = list(self._out_buffers)
+        for receiver in receivers:
+            self._drain_to(receiver)
+
+    def _discard_buffers(self) -> None:
+        """Drop everything pending (endpoint shutdown)."""
+        with self._out_lock:
+            self._out_buffers.clear()
+            self._out_pending.clear()
+            self._has_pending = False
 
 
 class Transport(abc.ABC):

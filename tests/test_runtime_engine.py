@@ -191,6 +191,58 @@ class TestPipelinedSubmissions:
             assert result.value_at("bob") == "fresh"
 
 
+class TestStashPurging:
+    """A long-lived session must not accumulate stash entries (memory leak)."""
+
+    def test_racing_failure_leaves_no_stash_entries(self):
+        """a fails instance 0 before sending, so b stashes instance-1 traffic
+        while still blocked in instance 0; after both instances resolve, every
+        worker stash must be empty again.
+
+        The choreography is deliberately one-way (a → b): a's instance-1
+        completion must not depend on b, because b can only leave its doomed
+        instance-0 wait by receive timeout — any a-side wait on b would race
+        that timeout.
+        """
+
+        def flaky(op, boom):
+            def compute(_un):
+                if boom:
+                    raise RuntimeError("boom")
+                return 42
+
+            value = op.locally("a", compute)
+            at_b = op.comm("a", "b", value)
+            return op.locally("b", lambda un: un(at_b))
+
+        with ChoreoEngine(["a", "b"], backend="local", timeout=1.0) as engine:
+            bad = engine.submit(flaky, args=(True,))
+            good = engine.submit(flaky, args=(False,))
+            with pytest.raises(ChoreographyRuntimeError) as err:
+                bad.result(timeout=30.0)
+            assert isinstance(err.value.original, RuntimeError)
+            result = good.result(timeout=30.0)
+            assert result.value_at("b") == 42
+            assert all(stash == {} for stash in engine._stashes.values()), (
+                engine._stashes
+            )
+
+    def test_stale_stash_keys_below_current_are_purged(self):
+        """Regression: entries for completed/failed instances used to linger —
+        the per-instance pop only removed the *current* instance's key, so a
+        key from a skipped instance stayed forever.  Run end now purges every
+        key ≤ the just-finished instance."""
+        from collections import deque
+
+        with ChoreoEngine(CENSUS, backend="local", timeout=5.0) as engine:
+            engine.run(ping_pong, args=("x",))  # instance 0
+            # Plant the leak shape directly: a stash entry whose instance has
+            # already finished and will therefore never consume it.
+            engine._stashes["alice"][0] = {"carol": deque(["dead"])}
+            engine.run(ping_pong, args=("y",))  # instance 1: purge keys <= 1
+            assert engine._stashes["alice"] == {}
+
+
 class TestEngineLifecycle:
     def test_context_manager_closes_owned_transport(self):
         engine = ChoreoEngine(CENSUS, backend="local")
@@ -205,6 +257,7 @@ class TestEngineLifecycle:
         with ChoreoEngine(CENSUS, backend=transport) as engine:
             engine.run(ping_pong, args=("x",))
         transport.endpoint("alice").send("bob", 1)
+        transport.endpoint("alice").flush()
         assert transport.endpoint("bob").recv("alice") == 1
         transport.close()
 

@@ -92,6 +92,7 @@ class TestRunChoreography:
         assert result.stats.snapshot() == transport.stats.snapshot()
         # the transport is still usable afterwards
         transport.endpoint("alice").send("bob", 1)
+        transport.endpoint("alice").flush()
         assert transport.endpoint("bob").recv("alice") == 1
 
     def test_tcp_transport_end_to_end(self):

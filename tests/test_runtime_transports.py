@@ -84,6 +84,7 @@ class TestLocalTransport:
     def test_send_and_receive(self):
         transport = LocalTransport(["a", "b"], timeout=2.0)
         transport.endpoint("a").send("b", {"k": 1})
+        transport.endpoint("a").flush()  # raw endpoint use: drain deferred sends
         assert transport.endpoint("b").recv("a") == {"k": 1}
 
     def test_fifo_per_channel(self):
@@ -91,6 +92,7 @@ class TestLocalTransport:
         sender = transport.endpoint("a")
         sender.send("b", 1)
         sender.send("b", 2)
+        sender.flush()
         receiver = transport.endpoint("b")
         assert receiver.recv("a") == 1
         assert receiver.recv("a") == 2
@@ -99,6 +101,8 @@ class TestLocalTransport:
         transport = LocalTransport(["a", "b"], timeout=2.0)
         transport.endpoint("a").send("b", "from-a")
         transport.endpoint("b").send("a", "from-b")
+        transport.endpoint("a").flush()
+        transport.endpoint("b").flush()
         assert transport.endpoint("a").recv("b") == "from-b"
         assert transport.endpoint("b").recv("a") == "from-a"
 
@@ -106,6 +110,9 @@ class TestLocalTransport:
         transport = LocalTransport(["a", "b"], timeout=2.0)
         original = {"list": [1]}
         transport.endpoint("a").send("b", original)
+        transport.endpoint("a").flush()
+        # mutation after send must not be visible: payloads serialize at send
+        # time, before they ever sit in a write buffer
         original["list"].append(2)
         assert transport.endpoint("b").recv("a") == {"list": [1]}
 
@@ -135,6 +142,7 @@ class TestLocalTransport:
     def test_context_manager(self):
         with LocalTransport(["a", "b"], timeout=1.0) as transport:
             transport.endpoint("a").send("b", 1)
+            transport.endpoint("a").flush()
             assert transport.endpoint("b").recv("a") == 1
 
 
@@ -144,14 +152,17 @@ class TestTCPTransport:
             transport.endpoint("a")
             transport.endpoint("b")
             transport.endpoint("a").send("b", {"payload": [1, 2, 3]})
+            transport.endpoint("a").flush()
             assert transport.endpoint("b").recv("a") == {"payload": [1, 2, 3]}
 
     def test_bidirectional_traffic(self):
         with TCPTransport(["a", "b"], timeout=5.0) as transport:
             a, b = transport.endpoint("a"), transport.endpoint("b")
             a.send("b", "ping")
+            a.flush()
             assert b.recv("a") == "ping"
             b.send("a", "pong")
+            b.flush()
             assert a.recv("b") == "pong"
 
     def test_fifo_per_sender(self):
@@ -159,6 +170,7 @@ class TestTCPTransport:
             a, b = transport.endpoint("a"), transport.endpoint("b")
             for index in range(10):
                 a.send("b", index)
+            a.flush()  # the ten coalesced frames travel as one writev
             assert [b.recv("a") for _ in range(10)] == list(range(10))
 
     def test_three_party_demultiplexing(self):
@@ -166,6 +178,8 @@ class TestTCPTransport:
             endpoints = {name: transport.endpoint(name) for name in "abc"}
             endpoints["a"].send("c", "from-a")
             endpoints["b"].send("c", "from-b")
+            endpoints["a"].flush()
+            endpoints["b"].flush()
             assert endpoints["c"].recv("b") == "from-b"
             assert endpoints["c"].recv("a") == "from-a"
 
@@ -180,6 +194,7 @@ class TestTCPTransport:
             transport.endpoint("a")
             transport.endpoint("b")
             transport.endpoint("a").send("b", "hello")
+            transport.endpoint("a").flush()
             transport.endpoint("b").recv("a")
             assert transport.stats.total_messages == 1
 
@@ -221,13 +236,16 @@ class TestSerializeOnceAccounting:
     def test_local_send_records_exact_serialized_bytes(self):
         transport = LocalTransport(["a", "b"], timeout=2.0)
         transport.endpoint("a").send("b", self.PAYLOAD)
+        # accounting happens at send time, before the deferred flush
         assert transport.stats.payload_bytes[("a", "b")] == len(serialize(self.PAYLOAD))
+        transport.endpoint("a").flush()
         assert transport.endpoint("b").recv("a") == self.PAYLOAD
 
     def test_local_send_many_records_per_receiver(self):
         transport = LocalTransport(self.CENSUS, timeout=2.0)
         receivers = ["b", "c", "d"]
         transport.endpoint("a").send_many(receivers, self.PAYLOAD)
+        transport.endpoint("a").flush()
         expected = len(serialize(self.PAYLOAD))
         for receiver in receivers:
             assert transport.stats.messages[("a", receiver)] == 1
@@ -258,6 +276,7 @@ class TestSerializeOnceAccounting:
             spy = _SpySocket()
             sender._out_sockets["b"] = spy  # intercept the wire
             sender.send("b", self.PAYLOAD)
+            sender.flush()
             origin, instance, payload = _parse_tcp_frame(spy.captured)
             assert origin == "a"
             assert instance == 0  # one-shot sends carry instance 0
@@ -272,6 +291,7 @@ class TestSerializeOnceAccounting:
             spies = {receiver: _SpySocket() for receiver in ["b", "c", "d"]}
             sender._out_sockets.update(spies)
             sender.send_many(["b", "c", "d"], self.PAYLOAD)
+            sender.flush()
             expected = serialize(self.PAYLOAD)
             for receiver, spy in spies.items():
                 origin, _instance, payload = _parse_tcp_frame(spy.captured)
@@ -284,6 +304,7 @@ class TestSerializeOnceAccounting:
             for name in self.CENSUS:
                 transport.endpoint(name)
             transport.endpoint("a").send_many(["b", "c", "d"], self.PAYLOAD)
+            transport.endpoint("a").flush()
             for receiver in ["b", "c", "d"]:
                 assert transport.endpoint(receiver).recv("a") == self.PAYLOAD
 
@@ -296,6 +317,7 @@ class TestSerializeOnceAccounting:
             receiver = transport.endpoint("b")
             sender.send_scoped("b", 7, True)
             sender.send_many_scoped(["b"], 300, self.PAYLOAD)
+            sender.flush()
             assert receiver.recv_scoped("a") == (7, True)
             assert receiver.recv_scoped("a") == (300, self.PAYLOAD)
             assert transport.stats.payload_bytes[("a", "b")] == (
@@ -306,6 +328,7 @@ class TestSerializeOnceAccounting:
         transport = LocalTransport(self.CENSUS, timeout=2.0)
         for sender in ["b", "c", "d"]:
             transport.endpoint(sender).send("a", f"from-{sender}")
+            transport.endpoint(sender).flush()
         received = transport.endpoint("a").recv_many(["b", "c", "d"])
         assert received == {"b": "from-b", "c": "from-c", "d": "from-d"}
 
@@ -316,6 +339,7 @@ class TestLazyChannels:
         transport = LocalTransport(census, timeout=1.0)
         assert len(transport._channels) == 0
         transport.endpoint("n0").send("n1", 1)
+        transport.endpoint("n0").flush()
         assert transport.endpoint("n1").recv("n0") == 1
         # one channel for the touched pair, not 50*49 for the census
         assert len(transport._channels) == 1
@@ -330,5 +354,6 @@ class TestLazyChannels:
             thread.start()
         for thread in threads:
             thread.join()
+        endpoint.flush()
         receiver = transport.endpoint("b")
         assert sorted(receiver.recv("a") for _ in range(8)) == list(range(8))
