@@ -1,0 +1,246 @@
+"""E-cluster — YCSB-style mixed workload over the sharded KVS cluster.
+
+Drives :class:`~repro.cluster.ClusterEngine` with the workload shape YCSB
+made standard: a fixed op count, a configurable read/write ratio (workload A
+is 50/50, workload B is 95/5), and zipfian key skew (a few hot keys take
+most of the traffic).  Three serving shapes are measured:
+
+* **single-shard, per-request** — the pre-cluster deployment PRs 2–3 ship:
+  one replica-group :class:`~repro.runtime.engine.ChoreoEngine`, one
+  ``engine.run`` per request;
+* **cluster, per-request pipelined** — requests routed by key and pipelined
+  as one choreography instance each (``submit_put``/``submit_get``);
+* **cluster, group commit** — requests routed by key and served in batches,
+  one :func:`~repro.protocols.kvs.kvs_serve_batch` instance and
+  ``2 + 2·backups`` messages per touched shard per batch
+  (``submit_batch``).
+
+Acceptance for this PR: the 4-shard cluster must sustain at least **2×** the
+throughput of the single-shard per-request engine on the mixed workload
+(measured 7–13× on the reference container, where the win is group commit:
+the container has one core, so shard *parallelism* contributes nothing there
+— the recorded shard sweep makes that visible, and on multi-core hardware
+the sweep is where the extra headroom comes from).
+
+Every headline number lands in ``BENCH_PR4.json`` via ``report.record``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+import time
+from typing import List, Sequence
+
+import report
+from bench_guard import smoke_scale
+from repro.cluster import ClusterEngine
+from repro.protocols.kvs import Request
+
+#: Replicas per shard (primary + one backup) in every measured shape.
+REPLICATION = 2
+#: Total operations per measured run.
+OPS = smoke_scale(2000, 240)
+#: Distinct keys in the workload.
+KEYS = smoke_scale(200, 40)
+#: Requests handed to ``submit_batch`` per client-side batch window.
+BATCH_WINDOW = smoke_scale(64, 16)
+#: Ops for the (slow) per-request baseline; scaled down so full runs stay short.
+BASELINE_OPS = smoke_scale(400, 80)
+#: Best-of trials per shape.
+TRIALS = smoke_scale(3, 2)
+
+#: YCSB's zipfian constant: ~0.99 concentrates most traffic on few hot keys.
+ZIPF_THETA = 0.99
+
+
+def keyspace(count: int) -> List[str]:
+    """The benchmark's key universe — one naming scheme for load and run phases."""
+    return [f"user{i:06d}" for i in range(count)]
+
+
+class YCSBWorkload:
+    """A YCSB-style request stream: read/write mix plus key-choice skew.
+
+    Args:
+        read_fraction: Probability a request is a Get (YCSB A = 0.5, B = 0.95).
+        keys: Size of the keyspace.
+        skew: ``"zipfian"`` (YCSB's default hot-key distribution) or
+            ``"uniform"``.
+        seed: RNG seed; runs with equal seeds issue identical request streams.
+    """
+
+    def __init__(self, read_fraction: float, keys: int = KEYS,
+                 skew: str = "zipfian", seed: int = 7):
+        self.read_fraction = read_fraction
+        self.keys = keyspace(keys)
+        self.rng = random.Random(seed)
+        if skew == "zipfian":
+            weights = [1.0 / (rank + 1) ** ZIPF_THETA for rank in range(keys)]
+            total = sum(weights)
+            cumulative, acc = [], 0.0
+            for weight in weights:
+                acc += weight / total
+                cumulative.append(acc)
+            # Float rounding can leave the last entry a few ulps under 1.0;
+            # pin it so a draw in that sliver cannot index past the keys.
+            cumulative[-1] = 1.0
+            self._cumulative = cumulative
+        elif skew == "uniform":
+            self._cumulative = None
+        else:
+            raise ValueError(f"unknown skew {skew!r}")
+
+    def _choose_key(self) -> str:
+        if self._cumulative is None:
+            return self.rng.choice(self.keys)
+        return self.keys[bisect.bisect_left(self._cumulative, self.rng.random())]
+
+    def requests(self, ops: int) -> List[Request]:
+        """The next ``ops`` requests of the stream."""
+        out = []
+        for index in range(ops):
+            key = self._choose_key()
+            if self.rng.random() < self.read_fraction:
+                out.append(Request.get(key))
+            else:
+                out.append(Request.put(key, f"v{index}"))
+        return out
+
+
+#: Both workloads draw from the same keyspace, so one load phase fits all.
+ALL_KEYS = keyspace(KEYS)
+
+
+def _load_phase(cluster: ClusterEngine) -> None:
+    """YCSB's load phase: bind every key once so reads hit existing data."""
+    seed_requests = [Request.put(key, "seed") for key in ALL_KEYS]
+    for future in cluster.submit_batch(seed_requests):
+        future.result()
+
+
+def single_shard_per_request(requests: Sequence[Request]) -> float:
+    """The pre-cluster shape: one engine, one blocking ``run`` per request."""
+    with ClusterEngine(1, replication=REPLICATION) as cluster:
+        session = cluster.session("shard0")
+        _load_phase(cluster)
+        started = time.perf_counter()
+        for request in requests:
+            if request.kind.value == "get":
+                session.engine.run(session.get, args=(request.key,))
+            else:
+                session.engine.run(session.put, args=(request.key, request.value))
+        return len(requests) / (time.perf_counter() - started)
+
+
+def cluster_per_request(n_shards: int, requests: Sequence[Request]) -> float:
+    """Requests routed by key, pipelined one instance each."""
+    with ClusterEngine(n_shards, replication=REPLICATION) as cluster:
+        _load_phase(cluster)
+        started = time.perf_counter()
+        futures = [
+            cluster.submit_get(request.key)
+            if request.kind.value == "get"
+            else cluster.submit_put(request.key, request.value)
+            for request in requests
+        ]
+        for future in futures:
+            future.result()
+        return len(requests) / (time.perf_counter() - started)
+
+
+def cluster_group_commit(
+    n_shards: int, requests: Sequence[Request], batch: int = BATCH_WINDOW
+) -> float:
+    """Requests routed by key and served as per-shard group commits."""
+    with ClusterEngine(n_shards, replication=REPLICATION) as cluster:
+        _load_phase(cluster)
+        started = time.perf_counter()
+        futures = []
+        for start in range(0, len(requests), batch):
+            futures.extend(cluster.submit_batch(requests[start:start + batch]))
+        for future in futures:
+            future.result()
+        return len(requests) / (time.perf_counter() - started)
+
+
+WORKLOAD_A = YCSBWorkload(read_fraction=0.5)
+
+
+def _best(shape, *args) -> float:
+    return max(shape(*args) for _ in range(TRIALS))
+
+
+def smoke():
+    """One tiny, untimed iteration for the tier-1 bitrot guard."""
+    workload = YCSBWorkload(read_fraction=0.5, keys=8, seed=3)
+    requests = workload.requests(12)
+    assert cluster_group_commit(2, requests, batch=6) > 0
+    assert cluster_per_request(2, requests[:6]) > 0
+
+
+def test_cluster_scales_past_single_shard_engine(benchmark, report_table):
+    """The acceptance gate: 4-shard cluster ≥2× the single-shard engine."""
+    requests = WORKLOAD_A.requests(OPS)
+    baseline = _best(single_shard_per_request, requests[:BASELINE_OPS])
+    report.record("cluster/ycsb_a", "single_shard_per_request", baseline, "ops/sec")
+
+    rows = [["single shard, per-request engine.run", f"{baseline:,.0f}", "1.0x"]]
+    sweep = {}
+    for n_shards in (1, 2, 4):
+        piped = _best(cluster_per_request, n_shards, requests[:BASELINE_OPS])
+        committed = _best(cluster_group_commit, n_shards, requests)
+        sweep[n_shards] = committed
+        report.record(f"cluster/ycsb_a/shards{n_shards}", "per_request_pipelined",
+                      piped, "ops/sec")
+        report.record(f"cluster/ycsb_a/shards{n_shards}", "group_commit",
+                      committed, "ops/sec")
+        rows.append([f"{n_shards}-shard cluster, per-request pipelined",
+                     f"{piped:,.0f}", f"{piped / baseline:.1f}x"])
+        rows.append([f"{n_shards}-shard cluster, group commit",
+                     f"{committed:,.0f}", f"{committed / baseline:.1f}x"])
+
+    speedup = sweep[4] / baseline
+    report.record("cluster/ycsb_a", "speedup_4shard_vs_single", speedup, "x")
+    report_table(
+        f"Cluster — YCSB A (50/50, zipfian, {OPS} ops, replication {REPLICATION})",
+        ["serving shape", "ops/sec", "vs single-shard engine"],
+        rows,
+    )
+    assert speedup >= 2.0, (
+        f"4-shard cluster only {speedup:.2f}x the single-shard engine"
+    )
+    benchmark.pedantic(
+        cluster_group_commit, args=(4, requests[: min(OPS, 512)]),
+        rounds=2, iterations=1,
+    )
+
+
+def test_cluster_read_heavy_and_message_economy(report_table):
+    """YCSB B (95/5) throughput, plus the group-commit message economy."""
+    workload_b = YCSBWorkload(read_fraction=0.95, seed=11)
+    requests = workload_b.requests(OPS)
+    committed = _best(cluster_group_commit, 4, requests)
+    report.record("cluster/ycsb_b/shards4", "group_commit", committed, "ops/sec")
+
+    # Message economy: group commit sends per-batch, not per-request.
+    with ClusterEngine(4, replication=REPLICATION) as cluster:
+        _load_phase(cluster)
+        loaded = cluster.stats.total_messages
+        for start in range(0, len(requests), BATCH_WINDOW):
+            for future in cluster.submit_batch(requests[start:start + BATCH_WINDOW]):
+                future.result()
+        per_op = (cluster.stats.total_messages - loaded) / len(requests)
+    report.record("cluster/ycsb_b/shards4", "messages_per_op", per_op, "msgs")
+    report_table(
+        "Cluster — YCSB B (95/5 read-heavy, 4 shards)",
+        ["metric", "value"],
+        [
+            ["group-commit throughput", f"{committed:,.0f} ops/sec"],
+            ["messages per op (group commit)", f"{per_op:.2f}"],
+            ["messages per put request (per-request path, for scale)",
+             f"{2 + 2 * (REPLICATION - 1):.2f}"],
+        ],
+    )
+    # One replica-group round per batch must beat one round per request.
+    assert per_op < 1.0, f"group commit still sends {per_op:.2f} msgs/op"

@@ -1,86 +1,91 @@
 #!/usr/bin/env python
-"""The replicated key-value store of the paper's Fig. 2, run as a cluster.
+"""The replicated KVS, grown into a sharded cluster (`repro.cluster`).
 
-A client talks to a primary server; an arbitrary number of additional servers
-maintain replicas.  The protocol is census polymorphic — change ``N_SERVERS``
-and nothing else changes.  Writes are deliberately unreliable (``FAULT_RATE``),
-so the servers' second conclave occasionally detects divergent replicas and
-resynchronises them; the client never sees any of that traffic.
+The paper's Fig. 2 / Appendix B choreographies give one replica group; this
+example runs the service built from them: keys route over a deterministic
+consistent-hash ring to one warm engine per shard, puts replicate inside
+each shard's replica group, reads can demand a replica quorum (with read
+repair), scans merge per-shard answers, mixed batches are served as
+per-shard group commits, and the cluster grows online with ``add_shard``.
 
 Run with::
 
-    python examples/kvs_cluster.py [number-of-servers]
+    python examples/kvs_cluster.py [shards] [replication]
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro import ChoreoEngine
-from repro.analysis import communication_cost
-from repro.baselines.kvs_haschor import kvs_serve_haschor
-from repro.analysis.comm_cost import haschor_communication_cost
-from repro.protocols.kvs import Request, kvs_serve
+from repro.cluster import ClusterClient, ClusterEngine
+from repro.protocols.kvs import Request
 
-N_SERVERS = 4
-FAULT_RATE = 0.3
+N_SHARDS = 3
+REPLICATION = 3
 
 
 def main() -> None:
-    n_servers = int(sys.argv[1]) if len(sys.argv) > 1 else N_SERVERS
-    servers = [f"server{i}" for i in range(1, n_servers + 1)]
-    primary = servers[0]
-    census = ["client"] + servers
+    n_shards = int(sys.argv[1]) if len(sys.argv) > 1 else N_SHARDS
+    replication = int(sys.argv[2]) if len(sys.argv) > 2 else REPLICATION
 
-    requests = [
-        Request.put("alice", "in wonderland"),
-        Request.get("alice"),
-        Request.put("bob", "the builder"),
-        Request.get("bob"),
-        Request.get("nobody"),
-        Request.stop(),
-    ]
+    print(f"running a {n_shards}-shard cluster, {replication} replicas per shard")
+    with ClusterEngine(n_shards, replication=replication) as cluster:
+        kvs = ClusterClient(cluster)
 
-    def session(op):
-        return kvs_serve(op, "client", primary, servers, requests,
-                         fault_rate=FAULT_RATE, seed=2024)
+        # Puts route by key; each lands on one shard's replica group.
+        people = {"alice": "in wonderland", "bob": "the builder",
+                  "carol": "of the bells", "dave": "null"}
+        for key, value in people.items():
+            kvs.put(key, value)
+            print(f"  put {key:6} -> {cluster.shard_for(key)}")
 
-    print(f"running a client + {n_servers}-server replicated KVS")
-    # A long-lived cluster is exactly what ChoreoEngine is for: the transport
-    # and per-location workers are built once and serve session after session.
-    with ChoreoEngine(census, backend="local") as engine:
-        result = engine.run(session)
-        for request, response in zip(requests, result.returns["client"]):
-            print(f"  {request.kind.value:5} {request.key or '':8} -> "
-                  f"{response.kind.value}{': ' + response.value if response.value else ''}")
+        # Reads: primary read, then a quorum read (majority of replicas).
+        print(f"\n  get alice            -> {kvs.get('alice')!r}")
+        print(f"  get alice (quorum)   -> {kvs.get('alice', quorum=True)!r}")
 
-        print(f"\ntotal messages: {result.stats.total_messages}")
-        print(f"client messages (sent+received): "
-              f"{result.stats.messages_involving('client')} "
-              f"(exactly 2 per request — the servers' branching never reaches it)")
+        # Corrupt one backup replica behind the cluster's back; the quorum
+        # outvotes it and read repair re-propagates the primary's store.
+        shard = cluster.session(cluster.shard_for("alice"))
+        if shard.backups:
+            shard.state.facet_for(shard.backups[0])["alice"] = "#corrupted"
+            print(f"  corrupted {shard.backups[0]}'s replica of 'alice'")
+            print(f"  get alice (quorum)   -> {kvs.get('alice', quorum=True)!r}  "
+                  "(outvoted + repaired)")
+            repaired = shard.state.facet_for(shard.backups[0])["alice"]
+            assert repaired == people["alice"], repaired
 
-        # Pipelined sessions: three more client workloads flow through the
-        # same warm cluster concurrently, without interleaving.
-        futures = [engine.submit(session) for _ in range(3)]
-        repeat = [f.result() for f in futures]
-        assert all(r.returns["client"] == result.returns["client"] for r in repeat)
-        print(f"3 pipelined sessions -> {engine.stats.total_messages} messages "
-              f"total on the warm engine")
+        # Scans fan out to every shard and merge the sorted answers.
+        print(f"\n  scan ''              -> {len(kvs.scan())} items across "
+              f"{len(cluster.shards)} shards")
 
-    # Compare against the HasChor-style baseline, whose broadcast-based
-    # Knowledge of Choice drags the client into every conditional.
-    baseline = haschor_communication_cost(
-        lambda op: kvs_serve_haschor(op, "client", primary, servers, requests),
-        census,
-    )
-    ours = communication_cost(
-        lambda op: kvs_serve(op, "client", primary, servers, requests), census
-    )
-    print("\nKnowledge-of-Choice strategy comparison (same workload):")
-    print(f"  conclaves-&-MLVs : {ours.total_messages:4d} messages, "
-          f"{ours.messages_involving('client'):3d} involving the client")
-    print(f"  broadcast KoC    : {baseline.total_messages:4d} messages, "
-          f"{baseline.messages_involving('client'):3d} involving the client")
+        # Group commit: a mixed batch costs one replica-group round per
+        # touched shard, not one per request.
+        batch = [Request.get(k) for k in people] + [
+            Request.put(f"bulk{i}", str(i)) for i in range(20)
+        ]
+        before = cluster.stats.total_messages
+        responses = kvs.batch(batch)
+        spent = cluster.stats.total_messages - before
+        assert [r.value for r in responses[:4]] == [people[k] for k in people]
+        print(f"  batch of {len(batch):2} requests -> {spent} messages "
+              f"({spent / len(batch):.2f} per request, group commit)")
+
+        # Grow the cluster online: only the keys the new shard takes over
+        # move, re-entering through the ordinary replicated-put choreography.
+        all_keys = [key for key, _value in kvs.scan()]
+        keys_before = cluster.router.assignment(all_keys)
+        new_shard = cluster.add_shard()
+        moved = [key for key, shard_id in keys_before.items()
+                 if cluster.shard_for(key) != shard_id]
+        print(f"\n  add_shard() -> {new_shard}, migrated {len(moved)} of "
+              f"{len(keys_before)} keys")
+        assert all(kvs.get(key) is not None for key in keys_before)
+
+        # Observability: per-shard stats roll up into one cluster view.
+        print(f"\n  per-shard messages: "
+              f"{ {s: st.total_messages for s, st in cluster.per_shard_stats().items()} }")
+        print(f"  cluster rollup    : {cluster.stats.total_messages} messages, "
+              f"{cluster.stats.total_bytes} payload bytes")
 
 
 if __name__ == "__main__":

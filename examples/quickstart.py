@@ -87,6 +87,16 @@ def main() -> None:
     one_shot = run_choreography(bookstore, ["buyer", "seller"], args=("SICP",))
     print(f"one-shot  -> {one_shot.returns['buyer']!r}")
 
+    # Where to next: engines compose into a sharded, replicated service —
+    # consistent-hash routing, quorum reads, group-commit batches.  See
+    # examples/kvs_cluster.py and docs/architecture.md.
+    from repro.cluster import ClusterClient
+
+    with ClusterClient(shards=2, replication=2) as kvs:
+        kvs.put("HoTT", "120")
+        print(f"cluster   -> HoTT is {kvs.get('HoTT', quorum=True)!r} "
+              f"(shard {kvs.cluster.shard_for('HoTT')})")
+
 
 if __name__ == "__main__":
     main()

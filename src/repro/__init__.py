@@ -1,24 +1,53 @@
 """repro — census-polymorphic choreographic programming for Python.
 
 A reproduction of "Efficient, Portable, Census-Polymorphic Choreographic
-Programming" (Bates et al., PLDI 2025).  The package provides:
+Programming" (Bates et al., PLDI 2025), grown into a service-shaped system.
+
+The sixty-second tour: write one global program against the ``ChoreoOp``
+operator record, decorate it, and run it on a persistent engine session —
+the same object serves every backend (threads, TCP, simulated, centralized)
+and pipelines independent instances::
+
+    from repro import ChoreoEngine, choreography
+
+    @choreography(census=["buyer", "seller"])
+    def bookstore(op, title):
+        wanted = op.locally("buyer", lambda _un: title)
+        request = op.comm("buyer", "seller", wanted)
+        price = op.locally("seller", lambda un: 80 if un(request) else None)
+        return op.broadcast("seller", price)
+
+    with ChoreoEngine(["buyer", "seller"], backend="tcp") as engine:
+        result = engine.run(bookstore, args=("TAPL",))     # blocking
+        future = engine.submit(bookstore, args=("HoTT",))  # pipelined
+
+(``examples/quickstart.py`` is the runnable version; ``docs/api.md``
+documents the execution surface and ``docs/architecture.md`` the layering.)
+
+The package provides:
 
 * :mod:`repro.core` — locations, censuses, multiply-located values, faceted
   values, quires, and the ``ChoreoOp`` operator record (EPP-as-DI).
 * :mod:`repro.chor` — the ``@choreography`` decorator making choreographies
-  first-class, runnable, checkable objects.
+  first-class, runnable, checkable objects (``.run()``, ``.check()``,
+  ``.cost()``, ``.bind()``).
 * :mod:`repro.runtime` — persistent :class:`ChoreoEngine` sessions, the
-  pluggable backend registry, transports, the one-shot runner, and the
-  centralized reference semantics.
+  pluggable backend registry, coalescing transports, the one-shot runner,
+  and the centralized reference semantics.
+* :mod:`repro.cluster` — the sharded KVS service layer: a consistent-hash
+  :class:`ShardRouter`, a :class:`ClusterEngine` multiplexing one warm
+  engine per shard, and the :class:`ClusterClient` ``put/get/scan`` facade
+  with quorum reads and read repair.
 * :mod:`repro.baselines` — a HasChor-style broadcast-KoC baseline.
 * :mod:`repro.formal` — the λC / λL / λN formal model and property checkers.
-* :mod:`repro.protocols` — the case studies: replicated KVS, DPrio lottery,
-  and the GMW secure-computation protocol.
+* :mod:`repro.protocols` — the case studies: replicated KVS (with quorum
+  reads and scans), DPrio lottery, and the GMW secure-computation protocol.
 * :mod:`repro.analysis` — the pre-run checker, communication-cost model, and
   the Table-1 feature matrix.
 """
 
 from .chor import ChoreographyDef, choreography
+from .cluster import ClusterClient, ClusterEngine, ShardRouter
 from .core import (
     ABSENT,
     Census,
@@ -54,7 +83,7 @@ from .runtime import (
     run_choreography,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ABSENT",
@@ -70,6 +99,8 @@ __all__ = [
     "ChoreographyError",
     "ChoreographyResult",
     "ChoreographyRuntimeError",
+    "ClusterClient",
+    "ClusterEngine",
     "Faceted",
     "LocalTransport",
     "Located",
@@ -78,6 +109,7 @@ __all__ = [
     "PlaceholderError",
     "ProjectedOp",
     "Quire",
+    "ShardRouter",
     "SimulatedNetworkTransport",
     "TCPTransport",
     "TransportError",

@@ -73,6 +73,41 @@ class ChoreographyDef:
             full.require_subset(self.census)
         return full
 
+    def bind(
+        self,
+        *args: Any,
+        name: Optional[str] = None,
+        **kwargs: Any,
+    ) -> "ChoreographyDef":
+        """Pre-apply leading arguments, returning a new first-class choreography.
+
+        The bound arguments are inserted right after ``op``; arguments given
+        at call/run time follow them.  The census contract carries over.  This
+        is how a census-polymorphic protocol is *instantiated* for one
+        concrete deployment — e.g. the cluster layer binds the generic
+        ``shard_put`` choreography to each shard's (client, primary, backups,
+        state) once, then submits only ``(key, value)`` per request.
+
+        Args:
+            *args: Positional arguments bound immediately after ``op``.
+            name: Name for the bound choreography; defaults to the original
+                name (useful to distinguish per-shard instantiations in logs).
+            **kwargs: Keyword arguments bound now; call-time keywords with
+                the same name override them.
+
+        Returns:
+            A new :class:`ChoreographyDef`; the original is unchanged.
+        """
+        bound_args = tuple(args)
+        bound_kwargs = dict(kwargs)
+        fn = self.fn
+
+        def bound(op: Any, *more: Any, **overrides: Any) -> Any:
+            return fn(op, *bound_args, *more, **{**bound_kwargs, **overrides})
+
+        bound.__name__ = name or self.name
+        return ChoreographyDef(bound, name=name or self.name, census=self.census)
+
     # ------------------------------------------------------------ conveniences --
 
     def run(

@@ -1,0 +1,36 @@
+"""Sharded key-value service built from census-polymorphic choreographies.
+
+The paper's primitives — parameterized replica groups
+(:func:`~repro.protocols.kvs.kvs_with_backups`), quorum-style voting, and
+:func:`~repro.protocols.kvs.resynch` repair — are exactly the building blocks
+of a horizontally sharded service.  This package assembles them:
+
+* :class:`~repro.cluster.router.ShardRouter` — a deterministic
+  consistent-hash ring mapping keys to shards (stable under shard
+  addition);
+* :class:`~repro.cluster.engine.ClusterEngine` — one warm
+  :class:`~repro.runtime.engine.ChoreoEngine` per shard, pipelined
+  ``submit_*`` calls multiplexed across them, per-shard
+  :class:`~repro.runtime.stats.ChannelStats` rolled up cluster-wide, and a
+  graceful ``add_shard`` rebalance;
+* :class:`~repro.cluster.client.ClusterClient` — the ``put``/``get``/``scan``
+  facade, with quorum-read and read-repair options.
+
+See ``docs/architecture.md`` for the layer map and the message flow of a
+sharded put, and ``benchmarks/bench_cluster.py`` for the YCSB-style workload
+that measures shard scaling.
+"""
+
+from .client import ClusterClient
+from .engine import ClusterEngine, shard_get, shard_put, shard_scan
+from .router import DEFAULT_VNODES, ShardRouter
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "ClusterClient",
+    "ClusterEngine",
+    "ShardRouter",
+    "shard_get",
+    "shard_put",
+    "shard_scan",
+]

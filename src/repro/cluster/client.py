@@ -1,0 +1,171 @@
+"""The blocking/futures facade over a sharded cluster.
+
+:class:`ClusterEngine` speaks in choreography runs; an application wants a
+key-value API.  :class:`ClusterClient` is that thin layer: ``put``/``get``
+return plain values (blocking), the ``*_async`` variants return Futures of
+:class:`~repro.protocols.kvs.Response` for pipelined traffic, and ``scan``
+issues one per-shard scan choreography and merges the sorted results.
+
+The client either *wraps* an existing :class:`ClusterEngine` (borrowed —
+``close()`` leaves it open) or *builds* one from the same keyword options
+(owned — ``close()`` tears it down)::
+
+    with ClusterClient(shards=4, replication=2) as kvs:
+        kvs.put("user:42", "ada")
+        kvs.get("user:42")            # -> "ada"
+        kvs.get("user:42", quorum=True)
+        kvs.scan("user:")             # -> [("user:42", "ada")]
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..protocols.kvs import Request, Response, ResponseKind
+from ..runtime.engine import ChoreographyResult
+from .engine import ClusterEngine
+from .router import ShardId
+
+
+def _mapped(source: "Future[ChoreographyResult]",
+            transform: Callable[[ChoreographyResult], Any]) -> "Future[Any]":
+    """A Future resolving to ``transform`` of ``source``'s result."""
+    out: "Future[Any]" = Future()
+
+    def _propagate(done: "Future[ChoreographyResult]") -> None:
+        try:
+            out.set_result(transform(done.result()))
+        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+            out.set_exception(exc)
+
+    source.add_done_callback(_propagate)
+    return out
+
+
+class ClusterClient:
+    """``put``/``get``/``scan`` over a sharded, replicated KVS cluster.
+
+    Args:
+        cluster: An existing :class:`ClusterEngine` to borrow.  When omitted,
+            a cluster is built from the remaining keyword options and owned
+            by this client.
+        **cluster_options: Forwarded to :class:`ClusterEngine` when building
+            (``shards=``, ``replication=``, ``backend=``, ...).
+
+    Raises:
+        ValueError: If both a pre-built cluster and build options are given.
+    """
+
+    def __init__(self, cluster: Optional[ClusterEngine] = None, **cluster_options: Any):
+        if cluster is not None and cluster_options:
+            raise ValueError(
+                "pass either a pre-built ClusterEngine or build options, not both"
+            )
+        if cluster is None:
+            cluster = ClusterEngine(**cluster_options)
+            self._owns_cluster = True
+        else:
+            self._owns_cluster = False
+        self.cluster = cluster
+
+    # ------------------------------------------------------------- async surface --
+
+    def put_async(self, key: str, value: str) -> "Future[Response]":
+        """Enqueue a replicated Put; resolve to the server's ack Response."""
+        return _mapped(self.cluster.submit_put(key, value), self.cluster.response_of)
+
+    def get_async(
+        self, key: str, *, quorum: bool = False, read_repair: bool = True
+    ) -> "Future[Response]":
+        """Enqueue a Get; resolve to the (primary or majority) Response."""
+        return _mapped(
+            self.cluster.submit_get(key, quorum=quorum, read_repair=read_repair),
+            self.cluster.response_of,
+        )
+
+    # ---------------------------------------------------------- blocking surface --
+
+    def put(self, key: str, value: str) -> Optional[str]:
+        """Store ``value`` under ``key``, replicated across the shard.
+
+        Returns:
+            The previous value bound to ``key``, or ``None`` for a fresh key.
+        """
+        response = self.put_async(key, value).result()
+        return response.value if response.kind is ResponseKind.FOUND else None
+
+    def get(
+        self, key: str, *, quorum: bool = False, read_repair: bool = True
+    ) -> Optional[str]:
+        """Read ``key`` from its shard.
+
+        Args:
+            key: The key to read.
+            quorum: Ask every replica and take the majority answer instead of
+                trusting the shard primary alone.
+            read_repair: With ``quorum``, resynchronise the replicas from the
+                primary when their answers diverge.
+
+        Returns:
+            The value, or ``None`` when the key is unbound.
+        """
+        response = self.get_async(key, quorum=quorum, read_repair=read_repair).result()
+        return response.value if response.kind is ResponseKind.FOUND else None
+
+    def batch(self, requests: Sequence[Request]) -> List[Response]:
+        """Serve a mixed Put/Get batch, one group-commit round per shard.
+
+        The throughput-shaped entry point: requests are routed by key,
+        grouped, and served by one
+        :func:`~repro.protocols.kvs.kvs_serve_batch` instance per touched
+        shard (see :meth:`ClusterEngine.submit_batch`).  Per-key order within
+        the batch is preserved.
+
+        Args:
+            requests: Any mix of :meth:`Request.put` / :meth:`Request.get`.
+
+        Returns:
+            One :class:`Response` per request, in the order given.
+        """
+        return [future.result() for future in self.cluster.submit_batch(requests)]
+
+    def scan(self, prefix: str = "") -> List[Tuple[str, str]]:
+        """All bindings under ``prefix``, across every shard, in key order.
+
+        One scan choreography runs per shard (they pipeline concurrently);
+        each returns its shard's items pre-sorted, and the per-shard lists
+        are merged here.  Shards partition the keyspace, so the merge needs
+        no deduplication.
+
+        Returns:
+            The matching ``(key, value)`` pairs, sorted by key.
+        """
+        futures = self.cluster.submit_scan(prefix)
+        items: List[Tuple[str, str]] = []
+        for future in futures.values():
+            items.extend(self.cluster.response_of(future.result()))
+        return sorted(items)
+
+    # ------------------------------------------------------------------ plumbing --
+
+    @property
+    def stats(self):
+        """Cluster-wide :class:`~repro.runtime.stats.ChannelStats` rollup."""
+        return self.cluster.stats
+
+    @property
+    def shards(self) -> Tuple[ShardId, ...]:
+        """The live shard ids."""
+        return self.cluster.shards
+
+    def close(self) -> None:
+        """Close the cluster if this client built it; otherwise leave it open."""
+        if self._owns_cluster:
+            self.cluster.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

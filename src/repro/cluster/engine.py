@@ -1,0 +1,465 @@
+"""A sharded cluster of warm choreography sessions.
+
+One :class:`~repro.runtime.engine.ChoreoEngine` serves one census.  A
+service-shaped deployment wants *many* disjoint censuses — one replica group
+per shard — with requests routed by key and pipelined into every group
+concurrently.  :class:`ClusterEngine` is that layer:
+
+* a :class:`~repro.cluster.router.ShardRouter` (consistent-hash ring) maps
+  each key to a shard;
+* every shard owns a **warm engine** over its own census — a shared client
+  location plus ``replication`` replica locations — and a persistent replica
+  store (one facet per replica), so state survives across choreography
+  instances;
+* requests are **pipelined**: ``submit_*`` returns a Future immediately, and
+  ops for different shards run genuinely concurrently while ops for the same
+  shard (hence the same key) execute in submission order — per-key
+  linearizability for free, from the engine's instance ordering;
+* the data plane is pure choreography — puts replicate through
+  :func:`~repro.protocols.kvs.kvs_with_backups`, quorum reads and
+  read-repair through :func:`~repro.protocols.kvs.kvs_quorum_get`, scans
+  through :func:`~repro.protocols.kvs.kvs_scan` — so every message a shard
+  sends is visible in its engine's :class:`~repro.runtime.stats.ChannelStats`,
+  and the cluster-wide rollup is their
+  :meth:`~repro.runtime.stats.ChannelStats.merge_all`.
+
+:class:`~repro.cluster.client.ClusterClient` wraps this with a blocking
+``put/get/scan`` facade; ``benchmarks/bench_cluster.py`` drives it with a
+YCSB-style mixed workload.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..chor import ChoreographyDef, choreography
+from ..core.located import Faceted
+from ..core.locations import Census, Location, as_census
+from ..protocols.kvs import (
+    Request,
+    Response,
+    State,
+    kvs_quorum_get,
+    kvs_scan,
+    kvs_serve_batch,
+    kvs_with_backups,
+)
+from ..runtime.engine import ChoreoEngine, ChoreographyResult
+from ..runtime.stats import ChannelStats
+from ..runtime.transport import DEFAULT_TIMEOUT
+from .router import DEFAULT_VNODES, ShardId, ShardRouter
+
+#: The location name every shard census shares for the requesting side.
+DEFAULT_CLIENT = "client"
+
+
+# -- the per-shard data-plane choreographies ------------------------------------------
+#
+# Census polymorphic over (client, primary, backups); the ClusterEngine binds
+# each to one shard's concrete censuses and state via ChoreographyDef.bind,
+# so a submitted request carries only its own data (key/value/prefix).
+
+
+@choreography(name="shard_put")
+def shard_put(op, client, server, backups, state_refs, key, value):
+    """Replicate one Put through the shard's replica group, ack at the client."""
+    request = op.locally(client, lambda _un: Request.put(key, value))
+    return kvs_with_backups(op, client, server, backups, state_refs, request)
+
+
+@choreography(name="shard_get")
+def shard_get(op, client, server, backups, state_refs, key,
+              quorum=False, read_repair=True):
+    """Read one key: from the primary, or from a replica quorum.
+
+    ``quorum`` and ``read_repair`` are deployment knobs (global knowledge),
+    so branching on them needs no Knowledge-of-Choice traffic.  A quorum
+    read over a replication-1 shard degenerates to a primary read.
+    """
+    if quorum and len(as_census(backups)) > 0:
+        located_key = op.locally(client, lambda _un: key)
+        return kvs_quorum_get(
+            op, client, server, backups, state_refs, located_key,
+            read_repair=read_repair,
+        )
+    request = op.locally(client, lambda _un: Request.get(key))
+    return kvs_with_backups(op, client, server, backups, state_refs, request)
+
+
+@choreography(name="shard_serve")
+def shard_serve(op, client, server, backups, state_refs, requests):
+    """Serve a whole request batch in one replica-group round (group commit).
+
+    The cluster's high-throughput path: one instance and ``2 + 2·backups``
+    messages per batch, however many requests it carries
+    (:func:`~repro.protocols.kvs.kvs_serve_batch`).
+    """
+    located_batch = op.locally(client, lambda _un: list(requests))
+    return kvs_serve_batch(op, client, server, backups, state_refs, located_batch)
+
+
+@choreography(name="shard_scan")
+def shard_scan(op, client, server, state_refs, prefix):
+    """Scan one shard's bindings under ``prefix`` (primary answers alone)."""
+    located_prefix = op.locally(client, lambda _un: prefix)
+    return kvs_scan(op, client, server, state_refs, located_prefix)
+
+
+class _ShardSession:
+    """One shard's worth of warm machinery: census, engine, state, bound ops."""
+
+    __slots__ = (
+        "shard_id", "census", "servers", "primary", "backups", "state",
+        "engine", "put", "get", "scan", "serve",
+    )
+
+    def __init__(
+        self,
+        shard_id: ShardId,
+        client: Location,
+        replication: int,
+        backend: Any,
+        timeout: float,
+        backend_options: Dict[str, Any],
+    ):
+        self.shard_id = shard_id
+        self.servers: List[Location] = [f"{shard_id}.r{i}" for i in range(replication)]
+        self.primary: Location = self.servers[0]
+        self.backups: List[Location] = self.servers[1:]
+        self.census: Census = as_census([client] + self.servers)
+        # The replica stores persist across choreography instances: the engine
+        # keeps one worker thread per location alive for the session, and each
+        # worker only ever unwraps its own facet, so sharing the Faceted
+        # across instances is race-free (per-location instances run in
+        # submission order).
+        self.state: Faceted[State] = Faceted(self.servers, {s: {} for s in self.servers})
+        self.engine = ChoreoEngine(
+            self.census, backend=backend, timeout=timeout, **backend_options
+        )
+        bind_name = lambda op_name: f"{op_name}@{shard_id}"  # noqa: E731
+        self.put: ChoreographyDef = shard_put.bind(
+            client, self.primary, self.backups, self.state, name=bind_name("shard_put")
+        )
+        self.get: ChoreographyDef = shard_get.bind(
+            client, self.primary, self.backups, self.state, name=bind_name("shard_get")
+        )
+        self.scan: ChoreographyDef = shard_scan.bind(
+            client, self.primary, self.state, name=bind_name("shard_scan")
+        )
+        self.serve: ChoreographyDef = shard_serve.bind(
+            client, self.primary, self.backups, self.state, name=bind_name("shard_serve")
+        )
+
+
+class ClusterEngine:
+    """A sharded KVS service: one warm :class:`ChoreoEngine` per shard.
+
+    Args:
+        shards: Shard count (ids default to ``"shard0"`` …) or explicit ids.
+        replication: Replicas per shard (primary + ``replication - 1``
+            backups); must be at least 1.
+        backend: Backend name or factory options understood by
+            :class:`~repro.runtime.engine.ChoreoEngine`; every shard gets its
+            own backend instance, so shard traffic never shares a transport.
+        client: The location name the requesting side uses in every shard
+            census.
+        vnodes: Consistent-hash ring points per shard
+            (:class:`~repro.cluster.router.ShardRouter`).
+        timeout: Per-endpoint receive timeout, forwarded to each engine.
+        **backend_options: Extra backend factory options (e.g. ``latency=``
+            for ``"simulated"``), forwarded to each engine.
+
+    Raises:
+        ValueError: On ``replication < 1`` or an invalid shard spec.
+
+    The engine is a context manager; leaving the ``with`` block closes every
+    shard session.
+    """
+
+    def __init__(
+        self,
+        shards: Union[int, Sequence[ShardId]] = 4,
+        *,
+        replication: int = 2,
+        backend: Any = "local",
+        client: Location = DEFAULT_CLIENT,
+        vnodes: int = DEFAULT_VNODES,
+        timeout: float = DEFAULT_TIMEOUT,
+        **backend_options: Any,
+    ):
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.client = client
+        self.replication = replication
+        self.router = ShardRouter(shards, vnodes=vnodes)
+        self._backend = backend
+        self._timeout = timeout
+        self._backend_options = dict(backend_options)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._sessions: Dict[ShardId, _ShardSession] = {}
+        try:
+            for shard_id in self.router.shards:
+                self._sessions[shard_id] = self._open_session(shard_id)
+        except BaseException:
+            self.close()
+            raise
+
+    def _open_session(self, shard_id: ShardId) -> _ShardSession:
+        return _ShardSession(
+            shard_id, self.client, self.replication,
+            self._backend, self._timeout, self._backend_options,
+        )
+
+    # ---------------------------------------------------------------- routing --
+
+    @property
+    def shards(self) -> Tuple[ShardId, ...]:
+        """The live shard ids, in creation order."""
+        return self.router.shards
+
+    def shard_for(self, key: str) -> ShardId:
+        """The shard serving ``key`` (see :meth:`ShardRouter.shard_for`)."""
+        return self.router.shard_for(key)
+
+    def session(self, shard_id: ShardId) -> _ShardSession:
+        """The warm per-shard session (census, engine, bound choreographies).
+
+        Raises:
+            KeyError: For an unknown shard id.
+        """
+        return self._sessions[shard_id]
+
+    # ------------------------------------------------------------- data plane --
+
+    def _submit(self, shard_id: ShardId, chor: ChoreographyDef,
+                args: Sequence[Any] = (), kwargs: Optional[Dict[str, Any]] = None,
+                ) -> "Future[ChoreographyResult]":
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed ClusterEngine")
+            session = self._sessions[shard_id]
+        return session.engine.submit(chor, args=args, kwargs=kwargs)
+
+    def submit_put(self, key: str, value: str) -> "Future[ChoreographyResult]":
+        """Enqueue a replicated Put on ``key``'s shard; returns immediately.
+
+        Returns:
+            A Future resolving to the shard run's
+            :class:`~repro.runtime.engine.ChoreographyResult`; the client's
+            :class:`~repro.protocols.kvs.Response` is its
+            ``value_at(cluster.client)``.
+        """
+        shard_id = self.shard_for(key)
+        return self._submit(shard_id, self._sessions[shard_id].put, args=(key, value))
+
+    def submit_get(
+        self, key: str, *, quorum: bool = False, read_repair: bool = True
+    ) -> "Future[ChoreographyResult]":
+        """Enqueue a Get on ``key``'s shard.
+
+        Args:
+            key: The key to read.
+            quorum: Read from every replica and answer with the majority
+                instead of trusting the primary alone.
+            read_repair: With ``quorum``, re-propagate the primary's store
+                when the replicas' votes diverge.
+
+        Returns:
+            A Future of the shard run's result (see :meth:`submit_put`).
+        """
+        shard_id = self.shard_for(key)
+        return self._submit(
+            shard_id, self._sessions[shard_id].get,
+            args=(key,), kwargs={"quorum": quorum, "read_repair": read_repair},
+        )
+
+    def submit_batch(self, requests: Sequence[Request]) -> List["Future[Response]"]:
+        """Serve a request batch with one group-commit instance per shard.
+
+        The batch is split by key routing; each shard receives *its* requests
+        in batch order as a single :func:`~repro.protocols.kvs.kvs_serve_batch`
+        instance, so a batch costs ``2 + 2·backups`` messages per touched
+        shard instead of per request.  Per-key ordering is preserved: a key's
+        requests stay in one shard's sub-batch, in order, and batches to the
+        same shard execute in submission order.
+
+        Args:
+            requests: Any mix of Put/Get requests.  Each request routes by
+                its ``key`` (a batch may span every shard).
+
+        Returns:
+            One Future per request, in the order given; each resolves to that
+            request's :class:`~repro.protocols.kvs.Response` (or raises the
+            shard run's error).
+        """
+        per_shard: Dict[ShardId, List[int]] = {}
+        for index, request in enumerate(requests):
+            # Keyless requests (STOP) have no ring position; route them by
+            # the empty key so they deterministically reach one shard and
+            # come back answered ``stopped``, as kvs_serve_batch promises.
+            per_shard.setdefault(self.shard_for(request.key or ""), []).append(index)
+        futures: List["Future[Response]"] = [Future() for _ in requests]
+
+        def _fan_out(done: "Future[ChoreographyResult]", indices: List[int]) -> None:
+            try:
+                responses = self.response_of(done.result())
+            except BaseException as exc:  # noqa: BLE001 - relayed per request
+                for index in indices:
+                    futures[index].set_exception(exc)
+                return
+            for index, response in zip(indices, responses):
+                futures[index].set_result(response)
+
+        for shard_id, indices in per_shard.items():
+            sub_batch = [requests[index] for index in indices]
+            shard_future = self._submit(
+                shard_id, self._sessions[shard_id].serve, args=(sub_batch,)
+            )
+            shard_future.add_done_callback(
+                lambda done, indices=indices: _fan_out(done, indices)
+            )
+        return futures
+
+    def submit_scan(self, prefix: str = "") -> Dict[ShardId, "Future[ChoreographyResult]"]:
+        """Enqueue a prefix scan on *every* shard.
+
+        Returns:
+            One Future per shard; each resolves to a run whose client value
+            is that shard's sorted ``(key, value)`` list.  Merging is the
+            caller's business (:meth:`ClusterClient.scan` does a sorted
+            merge).
+        """
+        return {
+            shard_id: self._submit(shard_id, self._sessions[shard_id].scan, args=(prefix,))
+            for shard_id in self.shards
+        }
+
+    def response_of(self, result: ChoreographyResult) -> Response:
+        """Unwrap the client-side :class:`Response` from a shard run result."""
+        return result.value_at(self.client)
+
+    # ------------------------------------------------------------ observability --
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Cluster-wide message accounting: the merge of every shard's stats.
+
+        Built with :meth:`ChannelStats.merge_all` over the per-shard engines'
+        cumulative stats, so the rollup's totals equal the sum of the
+        per-shard totals (shard censuses are disjoint apart from the shared
+        client location *name*, and channels are keyed by (sender, receiver)
+        names, so the client's channels aggregate across shards by design).
+        """
+        return ChannelStats.merge_all(
+            session.engine.stats for session in self._sessions.values()
+        )
+
+    def per_shard_stats(self) -> Dict[ShardId, ChannelStats]:
+        """Each shard engine's cumulative :class:`ChannelStats`, by shard id."""
+        return {
+            shard_id: session.engine.stats
+            for shard_id, session in self._sessions.items()
+        }
+
+    @property
+    def pending(self) -> int:
+        """In-flight instances across all shard engines (0 = quiescent)."""
+        return sum(session.engine.pending for session in self._sessions.values())
+
+    # ------------------------------------------------------------ control plane --
+
+    def add_shard(self, shard_id: Optional[ShardId] = None) -> ShardId:
+        """Grow the cluster by one shard and migrate the keys it takes over.
+
+        The rebalance is the graceful path: a new warm session is opened, the
+        ring gains the shard's points, and every key whose ring position now
+        falls to the new shard is re-put through the ordinary replicated-put
+        choreography (so the new shard's replicas are populated with the same
+        message discipline as live traffic) and dropped from its old shard's
+        replica stores.  Consistent hashing guarantees the surviving shards
+        exchange nothing.
+
+        The cluster must be quiescent: callers resolve their in-flight
+        Futures first.
+
+        Args:
+            shard_id: Id for the new shard; auto-numbered when omitted.
+
+        Returns:
+            The new shard's id.
+
+        Raises:
+            RuntimeError: If requests are still in flight (``pending != 0``)
+                or the cluster is closed.
+            ValueError: If the shard id is already on the ring.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot rebalance a closed ClusterEngine")
+            if self.pending:
+                raise RuntimeError(
+                    "rebalance requires a quiescent cluster; resolve in-flight "
+                    f"futures first ({self.pending} still pending)"
+                )
+            if shard_id is None:
+                for index in itertools.count(len(self._sessions)):
+                    shard_id = f"shard{index}"
+                    if shard_id not in self._sessions:
+                        break
+            session = self._open_session(shard_id)
+            self.router.add_shard(shard_id)
+            self._sessions[shard_id] = session
+
+            # Migrate: the primary's facet of each old shard is authoritative
+            # for what that shard holds (control-plane read; the data plane is
+            # quiescent).  Moved keys re-enter through the choreographic put.
+            moves: List["Future[ChoreographyResult]"] = []
+            moved_per_session: List["tuple[_ShardSession, List[str]]"] = []
+            for old in self._sessions.values():
+                if old.shard_id == shard_id:
+                    continue
+                primary_state = old.state.facet_for(old.primary)
+                moved = [key for key in primary_state
+                         if self.router.shard_for(key) == shard_id]
+                moved_per_session.append((old, moved))
+                for key in moved:
+                    moves.append(session.engine.submit(session.put,
+                                                       args=(key, primary_state[key])))
+        # Copy-then-delete: the old replicas keep every moved key until the
+        # new shard has acknowledged all of its re-puts, so a failed
+        # migration leaves the data intact at its old home (the ring already
+        # points at the new shard, but nothing has been destroyed).
+        for future in moves:
+            future.result()
+        for old, moved in moved_per_session:
+            for replica in old.servers:
+                replica_state = old.state.facet_for(replica)
+                for key in moved:
+                    replica_state.pop(key, None)
+        return shard_id
+
+    def close(self) -> None:
+        """Close every shard session (idempotent); pending work drains first."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.engine.close()
+
+    def __enter__(self) -> "ClusterEngine":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterEngine(shards={list(self.shards)!r}, "
+            f"replication={self.replication}, client={self.client!r})"
+        )

@@ -16,7 +16,17 @@ study:
   acknowledgements are gathered before the server answers the client.
 
 Both choreographies are census polymorphic: the number of servers/backups is
-whatever the caller passes.
+whatever the caller passes (``kvs_with_backups`` degrades gracefully to a
+single unreplicated server when the backup list is empty).
+
+Two further census-polymorphic choreographies serve the sharded cluster layer
+(:mod:`repro.cluster`), which runs one replica group per shard:
+
+* :func:`kvs_quorum_get` — read the key at *every* replica, gather the votes
+  at the primary, answer with the majority, and (optionally) trigger a
+  :func:`resynch` read-repair when the replicas disagree;
+* :func:`kvs_scan` — a prefix scan answered by the primary alone (no
+  branching on replicated data, hence no conclave and no KoC traffic).
 """
 
 from __future__ import annotations
@@ -118,6 +128,20 @@ def lookup_state(state: State, key: str) -> Response:
     if value is None:
         return Response.not_found()
     return Response.found(value)
+
+
+def scan_state(state: State, prefix: str = "") -> List[Tuple[str, str]]:
+    """All ``(key, value)`` bindings whose key starts with ``prefix``, sorted.
+
+    Args:
+        state: One replica's store.
+        prefix: Key prefix to match; the empty string matches everything.
+
+    Returns:
+        The matching items in ascending key order (a deterministic order, so
+        per-shard scan results merge cleanly across a cluster).
+    """
+    return sorted(item for item in state.items() if item[0].startswith(prefix))
 
 
 def hash_state(state: State) -> int:
@@ -281,6 +305,22 @@ def kvs_with_backups(
     its backups handle it in a conclave, Put requests are replicated to every
     backup and their acknowledgements gathered before the server applies the
     write itself, and the response travels back server → client.
+
+    Args:
+        op: The choreographic operator record; its census must contain the
+            client, the server, and every backup.
+        client: The requesting location.
+        server: The primary replica that answers the client.
+        backups: Zero or more backup replicas.  With an empty list the
+            conclave degenerates to the server alone and a Put touches only
+            the server's store — census polymorphism down to replication
+            factor one, with no protocol change for the client.
+        state_refs: The replicas' stores (a facet per replica; the server's
+            facet must be included).
+        request: The request, located at the client.
+
+    Returns:
+        The server's :class:`Response`, located at the client.
     """
     backup_census = as_census(backups)
     op.census.require_member(client)
@@ -293,6 +333,13 @@ def kvs_with_backups(
     def handle(sub: ChoreoOp) -> Located[Response]:
         incoming = sub.broadcast(server, request_at_server)
         if incoming.kind is RequestKind.PUT:
+            if len(backup_census) == 0:
+                # Replication factor 1: nothing to replicate to, no
+                # acknowledgements to gather — apply the write at the server.
+                return sub.locally(
+                    server,
+                    lambda un: update_state(un(state_refs), incoming.key, incoming.value),
+                )
             outcomes = sub.parallel(
                 backup_census,
                 lambda _backup, un: update_state(un(state_refs), incoming.key, incoming.value),
@@ -313,3 +360,203 @@ def kvs_with_backups(
 
     response_at_server = op.conclave_to(cluster, [server], handle)
     return op.comm(server, client, response_at_server)
+
+
+# -- cluster-serving choreographies (batches, quorum reads, scans) --------------------
+
+
+def kvs_serve_batch(
+    op: ChoreoOp,
+    client: Location,
+    server: Location,
+    backups: LocationsLike,
+    state_refs: Faceted[State],
+    requests: Located[Sequence[Request]],
+) -> Located[List[Response]]:
+    """Serve a whole batch of requests in one replica-group round (group commit).
+
+    Per-request serving pays the full protocol — request comm, KoC
+    multicast, per-backup replication, acknowledgement gather, response comm
+    — for every key touched.  A service under load can do much better: the
+    client ships the *batch*, the server multicasts the batch once (Knowledge
+    of Choice for every request in it), each backup applies all the batch's
+    Puts and acknowledges once, and the response list travels back in one
+    message.  For a batch of B requests over b backups that is
+    ``2 + 2·b`` messages instead of ``B·(2 + 2·b)`` — the protocol-level
+    analogue of the transports' coalescing, and the mechanism behind the
+    cluster benchmark's throughput numbers.
+
+    Replica consistency matches :func:`kvs_with_backups`: backups apply the
+    batch's writes (in batch order) before the server applies them and
+    answers, and a failed acknowledgement downgrades the batch's Puts to
+    ``not_found`` responses.
+
+    Args:
+        op: The operator record; census must contain client, server, backups.
+        client: The requesting location.
+        server: The primary replica.
+        backups: Zero or more backup replicas (empty degrades gracefully to
+            an unreplicated single server, as in :func:`kvs_with_backups`).
+        state_refs: The replicas' stores (one facet per replica).
+        requests: The request batch, located at the client.  ``STOP``
+            requests are answered ``stopped`` but do not interrupt the batch.
+
+    Returns:
+        One :class:`Response` per request, in batch order, located at the
+        client.
+    """
+    backup_census = as_census(backups)
+    op.census.require_member(client)
+    op.census.require_member(server)
+    op.census.require_subset(backup_census)
+    cluster = as_census([server]).union(backup_census)
+
+    batch_at_server = op.comm(client, server, requests)
+
+    def handle(sub: ChoreoOp) -> Located[List[Response]]:
+        incoming = sub.broadcast(server, batch_at_server)
+        puts = [request for request in incoming if request.kind is RequestKind.PUT]
+        gathered = None
+        if puts and len(backup_census) > 0:
+            outcomes = sub.parallel(
+                backup_census,
+                lambda _backup, un: [
+                    update_state(un(state_refs), request.key, request.value)
+                    for request in puts
+                ],
+            )
+            gathered = sub.gather(backup_census, [server], outcomes)
+
+        def finish(un) -> List[Response]:
+            replicated = True
+            if gathered is not None:
+                replicated = all(
+                    ack.kind in (ResponseKind.FOUND, ResponseKind.NOT_FOUND)
+                    for _backup, acks in un(gathered)
+                    for ack in acks
+                )
+            state = un(state_refs)
+            responses: List[Response] = []
+            for request in incoming:
+                if request.kind is RequestKind.PUT:
+                    if replicated:
+                        responses.append(update_state(state, request.key, request.value))
+                    else:
+                        responses.append(Response.not_found())
+                elif request.kind is RequestKind.GET:
+                    responses.append(lookup_state(state, request.key))
+                else:
+                    responses.append(Response.stopped())
+            return responses
+
+        return sub.locally(server, finish)
+
+    response_at_server = op.conclave_to(cluster, [server], handle)
+    return op.comm(server, client, response_at_server)
+
+
+def kvs_quorum_get(
+    op: ChoreoOp,
+    client: Location,
+    server: Location,
+    backups: LocationsLike,
+    state_refs: Faceted[State],
+    key: Located[str],
+    *,
+    read_repair: bool = True,
+) -> Located[Response]:
+    """Answer a Get from a *majority of replicas* instead of the primary alone.
+
+    The key travels client → server; inside the replica conclave the server
+    re-uses the multiply-located key for Knowledge of Choice, every replica
+    (server included) looks the key up in its own store, and the votes are
+    gathered at the server, which answers with the majority response.  When
+    the votes diverge — a replica missed a write or silently corrupted one —
+    the divergence is broadcast *inside the conclave only* and, with
+    ``read_repair``, the primary's store is re-propagated via
+    :func:`resynch`.  The client pays exactly two messages either way; repair
+    traffic never reaches it.
+
+    Args:
+        op: The operator record; census must contain client, server, backups.
+        client: The requesting location.
+        server: The primary replica (tie-breaking authority for repair).
+        backups: The non-primary replicas voting in the quorum.
+        state_refs: The replicas' stores (one facet per replica).
+        key: The key to read, located at the client.
+        read_repair: When True (the default), a divergent vote triggers
+            :func:`resynch` from the primary before the response is returned.
+
+    Returns:
+        The majority :class:`Response` (ties broken by census order), located
+        at the client.
+    """
+    backup_census = as_census(backups)
+    op.census.require_member(client)
+    op.census.require_member(server)
+    op.census.require_subset(backup_census)
+    cluster = as_census([server]).union(backup_census)
+
+    key_at_server = op.comm(client, server, key)
+
+    def read(sub: ChoreoOp) -> Located[Response]:
+        wanted = sub.broadcast(server, key_at_server)
+        votes_faceted = sub.parallel(
+            cluster, lambda _replica, un: lookup_state(un(state_refs), wanted)
+        )
+        votes = sub.gather(cluster, [server], votes_faceted)
+
+        def tally(un) -> Tuple[Response, bool]:
+            ballots = [vote for _replica, vote in un(votes)]
+            counts: Dict[Response, int] = {}
+            for ballot in ballots:
+                counts[ballot] = counts.get(ballot, 0) + 1
+            # max() keeps the first maximal entry, and dict order is insertion
+            # order, so ties resolve to the earliest vote in census order —
+            # deterministic across replicas and processes.
+            winner = max(counts, key=counts.get)
+            return winner, len(counts) > 1
+
+        tallied = sub.locally(server, tally)
+        diverged = sub.broadcast(server, sub.locally(server, lambda un: un(tallied)[1]))
+        if diverged and read_repair:
+            resynch(sub, server, cluster, state_refs)
+        return sub.locally(server, lambda un: un(tallied)[0])
+
+    response_at_server = op.conclave_to(cluster, [server], read)
+    return op.comm(server, client, response_at_server)
+
+
+def kvs_scan(
+    op: ChoreoOp,
+    client: Location,
+    server: Location,
+    state_refs: Faceted[State],
+    prefix: Located[str],
+) -> Located[List[Tuple[str, str]]]:
+    """Return every binding under ``prefix``, answered by the primary alone.
+
+    A scan involves no data-dependent branching, so it needs neither a
+    conclave nor any Knowledge-of-Choice machinery: the prefix travels
+    client → server, the server runs :func:`scan_state` on its own store, and
+    the sorted items travel straight back — two messages total, whatever the
+    replication factor.  A cluster issues one scan per shard and merges the
+    sorted per-shard results.
+
+    Args:
+        op: The operator record; census must contain client and server.
+        client: The requesting location.
+        server: The replica that answers (the shard primary).
+        state_refs: The replicas' stores; only the server's facet is read.
+        prefix: The key prefix, located at the client.
+
+    Returns:
+        The sorted ``(key, value)`` items, located at the client.
+    """
+    op.census.require_member(client)
+    op.census.require_member(server)
+    prefix_at_server = op.comm(client, server, prefix)
+    items = op.locally(
+        server, lambda un: scan_state(un(state_refs), un(prefix_at_server))
+    )
+    return op.comm(server, client, items)

@@ -143,6 +143,7 @@ class _EngineJob:
         "future",
         "submitted",
         "started",
+        "on_resolve",
         "_lock",
         "_remaining",
         "_returns",
@@ -169,6 +170,10 @@ class _EngineJob:
         self.future: "Future[ChoreographyResult]" = Future()
         self.submitted = time.perf_counter()
         self.started: Optional[float] = None
+        #: Called (once) just before the Future is resolved, so bookkeeping
+        #: like the engine's pending count is already settled when a caller
+        #: blocked in ``future.result()`` wakes up.
+        self.on_resolve: Optional[Any] = None
         self._lock = threading.Lock()
         self._remaining = workers
         self._returns: Dict[Location, Any] = {}
@@ -217,6 +222,8 @@ class _EngineJob:
         self._resolve()
 
     def _resolve(self) -> None:
+        if self.on_resolve is not None:
+            self.on_resolve()
         elapsed = time.perf_counter() - (self.started or self.submitted)
         if self._failures:
             # A crash at one endpoint typically makes its peers time out
@@ -386,6 +393,22 @@ class ChoreoEngine:
         """The warm transport backing this engine (``None`` for ``"central"``)."""
         return self._transport
 
+    @property
+    def pending(self) -> int:
+        """The number of submitted instances whose Futures have not resolved.
+
+        Counts both queued and currently-executing instances.  A session is
+        *quiescent* when this is zero — the precondition control-plane
+        operations such as a cluster rebalance
+        (:meth:`repro.cluster.ClusterEngine.add_shard`) check before touching
+        shared state.
+
+        Returns:
+            The in-flight instance count at the moment of the call.
+        """
+        with self._submit_lock:
+            return self._pending
+
     def submit(
         self,
         choreography: Choreography,
@@ -399,9 +422,25 @@ class ChoreoEngine:
         Instances submitted while earlier ones are still running pipeline
         through the same warm session: every location executes instances in
         submission order, and instance-tagged messages keep concurrent
-        instances from interleaving.  The Future resolves to a
-        :class:`ChoreographyResult` or raises
-        :class:`~repro.core.errors.ChoreographyRuntimeError`.
+        instances from interleaving.
+
+        Args:
+            choreography: Any ``chor(op, *args, **kwargs)`` callable
+                (including a :class:`~repro.chor.ChoreographyDef`).
+            args: Positional arguments every location passes after ``op``.
+            kwargs: Keyword arguments every location passes.
+            location_args: Extra positional arguments appended *per
+                location* (only meaningful under projection).
+
+        Returns:
+            A Future resolving to the instance's :class:`ChoreographyResult`,
+            or raising :class:`~repro.core.errors.ChoreographyRuntimeError`
+            with the failing location's root cause.
+
+        Raises:
+            RuntimeError: If the engine is closed.
+            ValueError: If ``location_args`` names a non-member, or is used
+                with the centralized backend.
         """
         return self._submit_job(choreography, args, kwargs, location_args).future
 
@@ -431,7 +470,10 @@ class ChoreoEngine:
                 instance, choreography, args, kwargs, location_args,
                 self.census, workers=len(self._queues),
             )
-            job.future.add_done_callback(self._on_job_done)
+            # Decrement *before* the Future resolves (not in a done
+            # callback): a caller that has seen every result() return must
+            # observe pending == 0, or quiescence checks would flake.
+            job.on_resolve = self._on_job_done
             # Enqueue to every worker under the lock so all locations observe
             # submissions in the same order — the invariant instance tagging
             # relies on.
@@ -439,7 +481,7 @@ class ChoreoEngine:
                 jobs.put(job)
         return job
 
-    def _on_job_done(self, _future: "Future[ChoreographyResult]") -> None:
+    def _on_job_done(self) -> None:
         with self._submit_lock:
             self._pending -= 1
 
@@ -460,6 +502,22 @@ class ChoreoEngine:
         queued ahead, so a healthy pipelined backlog is not misreported as a
         deadlock.  Endpoint receives time out on their own, so this only
         fires for runaway local computation.
+
+        Args:
+            choreography: As for :meth:`submit`.
+            args: As for :meth:`submit`.
+            kwargs: As for :meth:`submit`.
+            location_args: As for :meth:`submit`.
+            wait_timeout: Overall wait budget in seconds; ``None`` uses the
+                backlog-scaled default described above.
+
+        Returns:
+            The instance's :class:`ChoreographyResult`; its ``stats`` are
+            this run's delta, cumulative counts stay on :attr:`stats`.
+
+        Raises:
+            ChoreographyRuntimeError: When any location fails, or the wait
+                budget elapses (naming the locations still running).
         """
         with self._submit_lock:
             backlog = self._pending

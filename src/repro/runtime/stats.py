@@ -107,8 +107,25 @@ class ChannelStats:
 
     def merge(self, other: "ChannelStats") -> "ChannelStats":
         """Return a new ChannelStats combining this one with ``other``."""
-        merged = ChannelStats()
-        for source in (self, other):
+        return ChannelStats.merge_all((self, other))
+
+    @classmethod
+    def merge_all(cls, sources: Iterable["ChannelStats"]) -> "ChannelStats":
+        """Combine any number of ChannelStats into one new instance.
+
+        Each source is read under its own lock, so live stats (e.g. the
+        per-shard engines of a running cluster) can be rolled up safely; the
+        result is a consistent-per-source snapshot, not a global atomic one.
+
+        Args:
+            sources: The stats to combine; may be empty.
+
+        Returns:
+            A new :class:`ChannelStats` whose per-channel counts and byte
+            totals are the sums over all sources.
+        """
+        merged = cls()
+        for source in sources:
             with source._lock:
                 for channel, count in source.messages.items():
                     merged.messages[channel] = merged.messages.get(channel, 0) + count

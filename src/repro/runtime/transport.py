@@ -39,6 +39,16 @@ def serialize(payload: Any) -> bytes:
     shapes outside its fast paths), which plays the role of MultiChor's
     ``Show``/``Read`` constraints: only values that survive a round-trip may
     be communicated.
+
+    Args:
+        payload: The value to encode.
+
+    Returns:
+        The wire bytes; their length is what :class:`ChannelStats` records.
+
+    Raises:
+        TransportError: If the payload cannot be encoded (e.g. an unpicklable
+            object on the fallback path).
     """
     try:
         return wire.encode(payload)
@@ -47,7 +57,17 @@ def serialize(payload: Any) -> bytes:
 
 
 def deserialize(data: bytes) -> Any:
-    """Inverse of :func:`serialize`."""
+    """Inverse of :func:`serialize`.
+
+    Args:
+        data: Bytes produced by :func:`serialize`.
+
+    Returns:
+        The decoded value.
+
+    Raises:
+        TransportError: If the bytes do not decode.
+    """
     try:
         return wire.decode(data)
     except Exception as exc:
@@ -94,15 +114,34 @@ class TransportEndpoint(abc.ABC):
         """Deliver ``payload`` to ``receiver``; never blocks indefinitely.
 
         Delivery may be deferred until the next :meth:`flush` (see the
-        coalescing contract in the class docstring)."""
+        coalescing contract in the class docstring).
+
+        Args:
+            receiver: The destination location (a census member).
+            payload: Any :func:`serialize`-able value.
+
+        Raises:
+            TransportError: If the payload does not serialize or the
+                transport is shut down.
+        """
 
     @abc.abstractmethod
     def recv(self, sender: Location) -> Any:
-        """Return the next payload from ``sender``; raises
-        :class:`~repro.core.errors.TransportError` on timeout.
+        """Return the next payload from ``sender`` (per-pair FIFO order).
 
         Implementations flush this endpoint's own write buffers before
-        blocking (the flush-before-block rule)."""
+        blocking (the flush-before-block rule).
+
+        Args:
+            sender: The location whose next message to take.
+
+        Returns:
+            The deserialized payload.
+
+        Raises:
+            TransportError: On timeout (the configured receive timeout) or
+                transport shutdown.
+        """
 
     def flush(self) -> None:
         """Drain every pending write buffer to its receiver.
@@ -129,6 +168,15 @@ class TransportEndpoint(abc.ABC):
 
         A convenience for gather-style rounds; equivalent to a loop over
         :meth:`recv`.
+
+        Args:
+            senders: The locations to receive from, in order.
+
+        Returns:
+            ``{sender: payload}`` with one entry per sender.
+
+        Raises:
+            TransportError: If any single receive times out.
         """
         return {sender: self.recv(sender) for sender in senders}
 
@@ -154,7 +202,17 @@ class TransportEndpoint(abc.ABC):
         self.send_many(receivers, (instance, payload))
 
     def recv_scoped(self, sender: Location) -> "tuple[int, Any]":
-        """Return ``(instance, payload)``: the counterpart of :meth:`send_scoped`."""
+        """Return ``(instance, payload)``: the counterpart of :meth:`send_scoped`.
+
+        Returns:
+            The instance tag and the payload of the next message from
+            ``sender``.
+
+        Raises:
+            TransportError: On timeout, or when an *untagged* message shows
+                up on an instance-scoped channel (raw sends must not be
+                mixed with engine runs on one transport).
+        """
         message = self.recv(sender)
         if (
             not isinstance(message, tuple)
@@ -284,14 +342,33 @@ class Transport(abc.ABC):
         """Create the endpoint object for ``location``."""
 
     def endpoint(self, location: Location) -> TransportEndpoint:
-        """Return (creating if necessary) the endpoint for ``location``."""
+        """Return (creating if necessary) the endpoint for ``location``.
+
+        Endpoints are cached: every caller for one location shares one
+        endpoint object, which is why a transport can serve at most one live
+        :class:`~repro.runtime.engine.ChoreoEngine` at a time (the engine
+        lease).
+
+        Args:
+            location: A census member.
+
+        Returns:
+            The (possibly newly created) endpoint.
+
+        Raises:
+            CensusError: If ``location`` is not in this transport's census.
+        """
         self.census.require_member(location)
         if location not in self._endpoints:
             self._endpoints[location] = self._make_endpoint(location)
         return self._endpoints[location]
 
     def close(self) -> None:
-        """Release any resources held by the transport (sockets, threads)."""
+        """Release any resources held by the transport (sockets, threads).
+
+        Idempotent.  Payloads still sitting in coalescing write buffers are
+        discarded — flush before closing when they matter.
+        """
 
     def __enter__(self) -> "Transport":
         return self

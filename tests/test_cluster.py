@@ -1,0 +1,336 @@
+"""Tests for the sharded KVS cluster subsystem (`repro.cluster`)."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster import ClusterClient, ClusterEngine, ShardRouter
+from repro.protocols.kvs import Request, Response, ResponseKind
+from repro.runtime.stats import ChannelStats
+
+#: Pinned key → shard assignments for the default 4-shard, 64-vnode ring.
+#: These change only if the ring hash or layout changes — which would strand
+#: every key a deployed cluster already stored.
+GOLDEN_DEFAULT_RING = {
+    "alpha": "shard3",
+    "bravo": "shard0",
+    "charlie": "shard1",
+    "delta": "shard0",
+    "user:0001": "shard2",
+    "user:0002": "shard2",
+    "": "shard1",
+}
+
+
+class TestShardRouter:
+    def test_pinned_assignments_default_ring(self):
+        router = ShardRouter(4)
+        assert {key: router.shard_for(key) for key in GOLDEN_DEFAULT_RING} == (
+            GOLDEN_DEFAULT_RING
+        )
+
+    def test_deterministic_across_processes(self):
+        """A fresh interpreter (different hash salt) routes identically."""
+        keys = sorted(GOLDEN_DEFAULT_RING)
+        script = (
+            "from repro.cluster import ShardRouter\n"
+            f"router = ShardRouter(4)\n"
+            f"print(';'.join(router.shard_for(k) for k in {keys!r}))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "12345"  # a salt the parent is unlikely to share
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in [os.path.join(os.getcwd(), "src"),
+                        env.get("PYTHONPATH", "")] if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            timeout=60, check=True, env=env,
+        ).stdout.strip()
+        assert out.split(";") == [GOLDEN_DEFAULT_RING[k] for k in keys]
+
+    def test_same_config_same_mapping(self):
+        keys = [f"key{i}" for i in range(500)]
+        first = ShardRouter(["a", "b", "c"], vnodes=32).assignment(keys)
+        second = ShardRouter(["a", "b", "c"], vnodes=32).assignment(keys)
+        assert first == second
+
+    def test_all_shards_get_keys(self):
+        router = ShardRouter(4)
+        assignment = router.assignment(f"key{i}" for i in range(1000))
+        assert set(assignment.values()) == set(router.shards)
+
+    def test_ring_stability_on_add(self):
+        """Adding a shard moves only the keys the new shard takes over."""
+        keys = [f"key{i}" for i in range(1000)]
+        router = ShardRouter(4)
+        before = router.assignment(keys)
+        router.add_shard("shard4")
+        after = router.assignment(keys)
+        moved = {key for key in keys if before[key] != after[key]}
+        # Every moved key lands on the new shard; survivors never reshuffle.
+        assert all(after[key] == "shard4" for key in moved)
+        # The new shard takes ≈1/5 of the keyspace, not a full reshuffle.
+        assert 0 < len(moved) < len(keys) * 0.4
+
+    def test_remove_restores_prior_assignment(self):
+        keys = [f"key{i}" for i in range(300)]
+        router = ShardRouter(4)
+        before = router.assignment(keys)
+        router.add_shard("extra")
+        router.remove_shard("extra")
+        assert router.assignment(keys) == before
+
+    def test_membership_errors(self):
+        router = ShardRouter(2)
+        with pytest.raises(ValueError):
+            router.add_shard("shard0")
+        with pytest.raises(ValueError):
+            router.remove_shard("ghost")
+        with pytest.raises(ValueError):
+            ShardRouter([])
+        with pytest.raises(ValueError):
+            ShardRouter(2, vnodes=0)
+        router.remove_shard("shard1")
+        with pytest.raises(ValueError):
+            router.remove_shard("shard0")
+
+
+class TestClusterEngine:
+    def test_put_get_round_trip_across_shards(self):
+        with ClusterEngine(3, replication=2) as cluster:
+            futures = [cluster.submit_put(f"k{i}", str(i)) for i in range(24)]
+            for future in futures:
+                assert isinstance(cluster.response_of(future.result()), Response)
+            reads = [cluster.submit_get(f"k{i}") for i in range(24)]
+            for index, future in enumerate(reads):
+                response = cluster.response_of(future.result())
+                assert response == Response.found(str(index))
+            # The workload spread over more than one shard.
+            touched = {cluster.shard_for(f"k{i}") for i in range(24)}
+            assert len(touched) > 1
+
+    def test_stats_rollup_equals_per_shard_sum(self):
+        with ClusterEngine(4, replication=2) as cluster:
+            futures = [cluster.submit_put(f"k{i}", "v") for i in range(40)]
+            futures += [cluster.submit_get(f"k{i}") for i in range(40)]
+            for future in futures:
+                future.result()
+            rollup = cluster.stats
+            per_shard = cluster.per_shard_stats()
+            assert rollup.total_messages == sum(
+                stats.total_messages for stats in per_shard.values()
+            )
+            assert rollup.total_bytes == sum(
+                stats.total_bytes for stats in per_shard.values()
+            )
+            merged = ChannelStats.merge_all(per_shard.values())
+            assert rollup.snapshot() == merged.snapshot()
+            # Every shard served some traffic.
+            assert all(stats.total_messages > 0 for stats in per_shard.values())
+
+    def test_batch_preserves_order_and_group_commits(self):
+        with ClusterEngine(2, replication=2) as cluster:
+            requests = [
+                Request.put("x", "1"),
+                Request.get("x"),
+                Request.put("x", "2"),
+                Request.get("x"),
+                Request.get("unbound"),
+            ]
+            before = cluster.stats.total_messages
+            responses = [f.result() for f in cluster.submit_batch(requests)]
+            batch_messages = cluster.stats.total_messages - before
+            assert responses[0].kind is ResponseKind.NOT_FOUND
+            assert responses[1] == Response.found("1")
+            assert responses[2] == Response.found("1")
+            assert responses[3] == Response.found("2")
+            assert responses[4].kind is ResponseKind.NOT_FOUND
+            # One replica-group round per touched shard, not per request:
+            # a shard with puts costs 4 messages (replication 2), one with
+            # only gets costs 2.
+            assert batch_messages <= 4 * len({cluster.shard_for("x"),
+                                              cluster.shard_for("unbound")})
+
+    def test_batch_routes_keyless_stop_requests(self):
+        """A STOP in a batch is answered ``stopped``, not a routing crash."""
+        with ClusterEngine(2, replication=2) as cluster:
+            responses = [
+                f.result()
+                for f in cluster.submit_batch(
+                    [Request.put("a", "1"), Request.stop(), Request.get("a")]
+                )
+            ]
+            assert responses[1].kind is ResponseKind.STOPPED
+            assert responses[2] == Response.found("1")
+
+    def test_replication_one_serves_without_backups(self):
+        with ClusterEngine(2, replication=1) as cluster:
+            client = ClusterClient(cluster)
+            assert client.put("solo", "value") is None
+            assert client.get("solo") == "value"
+            # A quorum read over a replication-1 shard degrades to a primary
+            # read rather than failing.
+            assert client.get("solo", quorum=True) == "value"
+
+    def test_pending_counts_in_flight(self):
+        with ClusterEngine(2, replication=2) as cluster:
+            futures = [cluster.submit_put(f"k{i}", "v") for i in range(8)]
+            for future in futures:
+                future.result()
+            # Pending settles *before* a Future resolves, so a caller that
+            # has seen every result() return observes quiescence immediately
+            # (no polling) — the contract add_shard's precondition relies on.
+            assert cluster.pending == 0
+            cluster.add_shard()  # must not flake with "not quiescent"
+
+    def test_add_shard_migrates_only_moved_keys(self):
+        with ClusterEngine(2, replication=2) as cluster:
+            client = ClusterClient(cluster)
+            values = {f"key{i}": str(i) for i in range(60)}
+            for key, value in values.items():
+                client.put(key, value)
+            before = cluster.router.assignment(values)
+            new_shard = cluster.add_shard()
+            after = cluster.router.assignment(values)
+            moved = {key for key in values if before[key] != after[key]}
+            assert moved, "a new shard should take over some keys"
+            assert all(after[key] == new_shard for key in moved)
+            # Every key still readable, wherever it lives now.
+            for key, value in values.items():
+                assert client.get(key) == value, key
+            # The moved keys are gone from their old shards' stores.
+            for key in moved:
+                old = cluster.session(before[key])
+                assert key not in old.state.facet_for(old.primary)
+            # And present in the new shard's primary store.
+            new_session = cluster.session(new_shard)
+            new_store = new_session.state.facet_for(new_session.primary)
+            assert all(key in new_store for key in moved)
+
+    def test_add_shard_requires_quiescence(self):
+        with ClusterEngine(2, replication=2) as cluster:
+            # A healthy backlog: many puts still in flight.
+            futures = [cluster.submit_put(f"k{i}", "v") for i in range(50)]
+            try:
+                with pytest.raises(RuntimeError, match="quiescent"):
+                    cluster.add_shard()
+            finally:
+                for future in futures:
+                    future.result()
+
+    def test_submit_after_close_raises(self):
+        cluster = ClusterEngine(2, replication=1)
+        cluster.close()
+        with pytest.raises(RuntimeError):
+            cluster.submit_put("k", "v")
+        cluster.close()  # idempotent
+
+    def test_invalid_replication(self):
+        with pytest.raises(ValueError):
+            ClusterEngine(2, replication=0)
+
+
+class TestQuorumReads:
+    def test_quorum_agrees_with_primary_when_healthy(self):
+        with ClusterClient(shards=2, replication=3) as client:
+            client.put("k", "v")
+            assert client.get("k", quorum=True) == "v"
+
+    def test_quorum_outvotes_a_corrupt_backup_and_repairs(self):
+        with ClusterEngine(1, replication=3) as cluster:
+            client = ClusterClient(cluster)
+            client.put("k", "good")
+            session = cluster.session("shard0")
+            backup = session.backups[0]
+            session.state.facet_for(backup)["k"] = "corrupt"
+            assert client.get("k", quorum=True) == "good"
+            # Read repair re-propagated the primary's store.
+            assert session.state.facet_for(backup)["k"] == "good"
+
+    def test_quorum_without_read_repair_leaves_divergence(self):
+        with ClusterEngine(1, replication=3) as cluster:
+            client = ClusterClient(cluster)
+            client.put("k", "good")
+            session = cluster.session("shard0")
+            backup = session.backups[0]
+            session.state.facet_for(backup)["k"] = "corrupt"
+            assert client.get("k", quorum=True, read_repair=False) == "good"
+            assert session.state.facet_for(backup)["k"] == "corrupt"
+
+    def test_repair_traffic_never_reaches_the_client(self):
+        with ClusterEngine(1, replication=3) as cluster:
+            client = ClusterClient(cluster)
+            client.put("k", "good")
+            session = cluster.session("shard0")
+
+            def client_messages():
+                stats = cluster.stats
+                return stats.messages_involving(cluster.client)
+
+            before = client_messages()
+            assert client.get("k", quorum=True) == "good"
+            healthy_cost = client_messages() - before
+
+            session.state.facet_for(session.backups[0])["k"] = "corrupt"
+            before = client_messages()
+            assert client.get("k", quorum=True) == "good"
+            repair_cost = client_messages() - before
+            # Divergence and repair are conclave-internal: the client pays
+            # exactly its two messages (one sent, one received) either way.
+            assert healthy_cost == repair_cost == 2
+
+
+class TestClusterClient:
+    def test_put_returns_previous_value(self):
+        with ClusterClient(shards=2, replication=2) as client:
+            assert client.put("k", "1") is None
+            assert client.put("k", "2") == "1"
+            assert client.get("k") == "2"
+            assert client.get("missing") is None
+
+    def test_scan_merges_sorted_across_shards(self):
+        with ClusterClient(shards=3, replication=2) as client:
+            expected = []
+            for i in range(30):
+                client.put(f"user:{i:03d}", str(i))
+                expected.append((f"user:{i:03d}", str(i)))
+            client.put("other", "x")
+            assert client.scan("user:") == sorted(expected)
+            all_items = client.scan()
+            assert ("other", "x") in all_items
+            assert len(all_items) == 31
+            assert all_items == sorted(all_items)
+
+    def test_async_surface_pipelines(self):
+        with ClusterClient(shards=2, replication=2) as client:
+            puts = [client.put_async(f"k{i}", str(i)) for i in range(16)]
+            for future in puts:
+                assert future.result().kind in (
+                    ResponseKind.FOUND, ResponseKind.NOT_FOUND
+                )
+            gets = [client.get_async(f"k{i}") for i in range(16)]
+            assert [f.result().value for f in gets] == [str(i) for i in range(16)]
+
+    def test_borrowed_cluster_left_open(self):
+        with ClusterEngine(2, replication=1) as cluster:
+            with ClusterClient(cluster) as client:
+                client.put("k", "v")
+            # The client borrowed the cluster: it must still serve.
+            assert ClusterClient(cluster).get("k") == "v"
+
+    def test_build_options_and_prebuilt_are_exclusive(self):
+        with ClusterEngine(2, replication=1) as cluster:
+            with pytest.raises(ValueError):
+                ClusterClient(cluster, shards=4)
+
+    def test_works_on_every_backend(self):
+        for backend in ["local", "tcp"]:
+            with ClusterClient(shards=2, replication=2, backend=backend) as client:
+                assert client.put("k", backend) is None
+                assert client.get("k") == backend
+                assert client.get("k", quorum=True) == backend
