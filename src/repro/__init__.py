@@ -36,8 +36,14 @@ The package provides:
   and the centralized reference semantics.
 * :mod:`repro.cluster` — the sharded KVS service layer: a consistent-hash
   :class:`ShardRouter`, a :class:`ClusterEngine` multiplexing one warm
-  engine per shard, and the :class:`ClusterClient` ``put/get/scan`` facade
-  with quorum reads and read repair.
+  engine per shard — with dead-backup detection, demotion-based failover,
+  and ``health()``/``probe()`` — and the :class:`ClusterClient`
+  ``put/get/scan`` facade with quorum reads, read repair, and retrying
+  idempotent reads.
+* :mod:`repro.faults` — deterministic fault injection: a seedable
+  :class:`FaultPlan` DSL (delay jitter, bounded cross-channel reorder,
+  crashes, transient connect failures) behind the ``faults=`` backend
+  option, reproducing identical message schedules from identical seeds.
 * :mod:`repro.baselines` — a HasChor-style broadcast-KoC baseline.
 * :mod:`repro.formal` — the λC / λL / λN formal model and property checkers.
 * :mod:`repro.protocols` — the case studies: replicated KVS (with quorum
@@ -47,7 +53,7 @@ The package provides:
 """
 
 from .chor import ChoreographyDef, choreography
-from .cluster import ClusterClient, ClusterEngine, ShardRouter
+from .cluster import ClusterClient, ClusterEngine, ShardHealth, ShardRouter
 from .core import (
     ABSENT,
     Census,
@@ -56,6 +62,7 @@ from .core import (
     Choreography,
     ChoreographyError,
     ChoreographyRuntimeError,
+    ChoreoTimeout,
     Faceted,
     Located,
     Location,
@@ -68,6 +75,7 @@ from .core import (
     project,
     single,
 )
+from .faults import FaultPlan
 from .runtime import (
     CentralBackend,
     CentralOp,
@@ -83,7 +91,7 @@ from .runtime import (
     run_choreography,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ABSENT",
@@ -94,6 +102,7 @@ __all__ = [
     "ChannelStats",
     "ChoreoEngine",
     "ChoreoOp",
+    "ChoreoTimeout",
     "Choreography",
     "ChoreographyDef",
     "ChoreographyError",
@@ -102,6 +111,7 @@ __all__ = [
     "ClusterClient",
     "ClusterEngine",
     "Faceted",
+    "FaultPlan",
     "LocalTransport",
     "Located",
     "Location",
@@ -109,6 +119,7 @@ __all__ = [
     "PlaceholderError",
     "ProjectedOp",
     "Quire",
+    "ShardHealth",
     "ShardRouter",
     "SimulatedNetworkTransport",
     "TCPTransport",

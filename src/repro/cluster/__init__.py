@@ -14,23 +14,37 @@ of a horizontally sharded service.  This package assembles them:
   :class:`~repro.runtime.stats.ChannelStats` rolled up cluster-wide, and a
   graceful ``add_shard`` rebalance;
 * :class:`~repro.cluster.client.ClusterClient` — the ``put``/``get``/``scan``
-  facade, with quorum-read and read-repair options.
+  facade, with quorum-read and read-repair options and retrying idempotent
+  reads.
+
+The cluster degrades rather than dies: a backup that stops answering is
+detected (through typed receive timeouts or an active
+:meth:`~repro.cluster.engine.ClusterEngine.probe`), demoted, and routed
+around via the zero-backup degradation path of
+:func:`~repro.protocols.kvs.kvs_with_backups`, with in-flight submits
+replayed against the shrunken replica group;
+:meth:`~repro.cluster.engine.ClusterEngine.health` reports per-replica
+up/down state.  ``tests/test_cluster_failover.py`` chaos-tests all of this
+under seeded :class:`~repro.faults.FaultPlan` schedules.
 
 See ``docs/architecture.md`` for the layer map and the message flow of a
-sharded put, and ``benchmarks/bench_cluster.py`` for the YCSB-style workload
-that measures shard scaling.
+sharded put, ``docs/testing.md`` for the chaos-testing guide, and
+``benchmarks/bench_cluster.py`` for the YCSB-style workload that measures
+shard scaling.
 """
 
 from .client import ClusterClient
-from .engine import ClusterEngine, shard_get, shard_put, shard_scan
+from .engine import ClusterEngine, ShardHealth, shard_get, shard_ping, shard_put, shard_scan
 from .router import DEFAULT_VNODES, ShardRouter
 
 __all__ = [
     "DEFAULT_VNODES",
     "ClusterClient",
     "ClusterEngine",
+    "ShardHealth",
     "ShardRouter",
     "shard_get",
+    "shard_ping",
     "shard_put",
     "shard_scan",
 ]

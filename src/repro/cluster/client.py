@@ -15,16 +15,27 @@ The client either *wraps* an existing :class:`ClusterEngine` (borrowed —
         kvs.get("user:42")            # -> "ada"
         kvs.get("user:42", quorum=True)
         kvs.scan("user:")             # -> [("user:42", "ada")]
+
+The blocking read paths are **retrying**: ``get`` and ``scan`` are
+idempotent, so when a shard run fails under them — a transient connect
+failure, a replica dying mid-read before the cluster's failover has demoted
+it — the client simply re-issues the request (``retries`` times) against the
+possibly-degraded shard rather than surfacing a failure the next attempt
+would not reproduce.  ``put`` and ``batch`` are *not* retried here: the
+cluster layer already replays writes whose failure is attributable to a dead
+backup, and blindly re-running a write that failed for any other reason
+could double-apply it.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import Future
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.errors import ChoreographyRuntimeError
 from ..protocols.kvs import Request, Response, ResponseKind
 from ..runtime.engine import ChoreographyResult
-from .engine import ClusterEngine
+from .engine import ClusterEngine, ShardHealth
 from .router import ShardId
 
 
@@ -50,24 +61,41 @@ class ClusterClient:
         cluster: An existing :class:`ClusterEngine` to borrow.  When omitted,
             a cluster is built from the remaining keyword options and owned
             by this client.
+        retries: How many times the blocking ``get``/``scan`` paths re-issue
+            an idempotent read whose shard run failed (see the module
+            docstring); ``0`` disables client-side retry.
         **cluster_options: Forwarded to :class:`ClusterEngine` when building
             (``shards=``, ``replication=``, ``backend=``, ...).
 
     Raises:
-        ValueError: If both a pre-built cluster and build options are given.
+        ValueError: If both a pre-built cluster and build options are given,
+            or ``retries`` is negative.
     """
 
-    def __init__(self, cluster: Optional[ClusterEngine] = None, **cluster_options: Any):
+    def __init__(self, cluster: Optional[ClusterEngine] = None, *,
+                 retries: int = 2, **cluster_options: Any):
         if cluster is not None and cluster_options:
             raise ValueError(
                 "pass either a pre-built ClusterEngine or build options, not both"
             )
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries!r}")
         if cluster is None:
             cluster = ClusterEngine(**cluster_options)
             self._owns_cluster = True
         else:
             self._owns_cluster = False
         self.cluster = cluster
+        self.retries = retries
+
+    def _retrying_read(self, attempt: Callable[[], Any]) -> Any:
+        """Run an idempotent read, re-issuing it on choreography failure."""
+        for _ in range(self.retries):
+            try:
+                return attempt()
+            except ChoreographyRuntimeError:
+                continue
+        return attempt()
 
     # ------------------------------------------------------------- async surface --
 
@@ -109,8 +137,14 @@ class ClusterClient:
 
         Returns:
             The value, or ``None`` when the key is unbound.
+
+        A failed shard run is transparently re-issued up to ``retries``
+        times (reads are idempotent); the final attempt's failure, if any,
+        propagates.
         """
-        response = self.get_async(key, quorum=quorum, read_repair=read_repair).result()
+        response = self._retrying_read(
+            lambda: self.get_async(key, quorum=quorum, read_repair=read_repair).result()
+        )
         return response.value if response.kind is ResponseKind.FOUND else None
 
     def batch(self, requests: Sequence[Request]) -> List[Response]:
@@ -140,12 +174,19 @@ class ClusterClient:
 
         Returns:
             The matching ``(key, value)`` pairs, sorted by key.
+
+        Like ``get``, a scan is idempotent and re-issued (whole) up to
+        ``retries`` times when any shard's run fails.
         """
-        futures = self.cluster.submit_scan(prefix)
-        items: List[Tuple[str, str]] = []
-        for future in futures.values():
-            items.extend(self.cluster.response_of(future.result()))
-        return sorted(items)
+
+        def attempt() -> List[Tuple[str, str]]:
+            futures = self.cluster.submit_scan(prefix)
+            items: List[Tuple[str, str]] = []
+            for future in futures.values():
+                items.extend(self.cluster.response_of(future.result()))
+            return sorted(items)
+
+        return self._retrying_read(attempt)
 
     # ------------------------------------------------------------------ plumbing --
 
@@ -158,6 +199,10 @@ class ClusterClient:
     def shards(self) -> Tuple[ShardId, ...]:
         """The live shard ids."""
         return self.cluster.shards
+
+    def health(self) -> Dict[ShardId, ShardHealth]:
+        """Per-shard replica liveness (see :meth:`ClusterEngine.health`)."""
+        return self.cluster.health()
 
     def close(self) -> None:
         """Close the cluster if this client built it; otherwise leave it open."""

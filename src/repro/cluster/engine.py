@@ -23,6 +23,28 @@ concurrently.  :class:`ClusterEngine` is that layer:
   and the cluster-wide rollup is their
   :meth:`~repro.runtime.stats.ChannelStats.merge_all`.
 
+The cluster also owns the **degradation story** a production deployment
+needs when a replica dies mid-traffic:
+
+* a failed shard run is attributed to a culprit by following the chain of
+  typed receive-timeout blames (:class:`~repro.core.errors.ChoreoTimeout`
+  records who waited on whom) across the instance's per-location failures;
+* a culprit that is a *backup* is marked down and the shard's choreographies
+  are re-bound through :func:`~repro.protocols.kvs.kvs_with_backups`'s
+  zero-backup degradation path — census polymorphism is the failover
+  mechanism, no new protocol is needed;
+* the failed submit (and any other in-flight submit the dead backup takes
+  down) is **replayed** against the degraded binding, so callers' Futures
+  resolve with real results instead of the crash;
+* :meth:`ClusterEngine.health` reports per-replica up/down state, and
+  :meth:`ClusterEngine.probe` actively checks liveness with the two-message
+  :func:`~repro.protocols.kvs.kvs_ping` choreography.
+
+A dead *primary* is reported loudly (the failure, with its blame bundle,
+reaches the caller) but not failed over — promoting a backup to primary is
+future work; see ``docs/testing.md`` for the chaos suite that pins all of
+this down.
+
 :class:`~repro.cluster.client.ClusterClient` wraps this with a blocking
 ``put/get/scan`` facade; ``benchmarks/bench_cluster.py`` drives it with a
 YCSB-style mixed workload.
@@ -33,15 +55,18 @@ from __future__ import annotations
 import itertools
 import threading
 from concurrent.futures import Future
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..chor import ChoreographyDef, choreography
+from ..core.errors import ChoreographyRuntimeError, ChoreoTimeout
 from ..core.located import Faceted
 from ..core.locations import Census, Location, as_census
 from ..protocols.kvs import (
     Request,
     Response,
     State,
+    kvs_ping,
     kvs_quorum_get,
     kvs_scan,
     kvs_serve_batch,
@@ -108,12 +133,42 @@ def shard_scan(op, client, server, state_refs, prefix):
     return kvs_scan(op, client, server, state_refs, located_prefix)
 
 
+@choreography(name="shard_ping")
+def shard_ping(op, client, replica, token):
+    """Probe one replica's liveness (two messages, state untouched)."""
+    located_token = op.locally(client, lambda _un: token)
+    return kvs_ping(op, client, replica, located_token)
+
+
+@dataclass(frozen=True)
+class ShardHealth:
+    """One shard's replica liveness, as the cluster currently believes it.
+
+    ``replicas`` maps every replica the shard was *created* with — including
+    demoted ones — to ``"up"`` or ``"down"``.  A shard is ``degraded`` when
+    any replica is down; it keeps serving through the remaining replicas
+    (down to an unreplicated primary) the whole time.
+    """
+
+    shard_id: ShardId
+    primary: Location
+    replicas: Mapping[Location, str]
+    #: Backups detected dead and demoted out of the replica group, in
+    #: detection order.
+    down: Tuple[Location, ...] = field(default=())
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one replica has been marked down."""
+        return any(status != "up" for status in self.replicas.values())
+
+
 class _ShardSession:
     """One shard's worth of warm machinery: census, engine, state, bound ops."""
 
     __slots__ = (
-        "shard_id", "census", "servers", "primary", "backups", "state",
-        "engine", "put", "get", "scan", "serve",
+        "shard_id", "client", "census", "servers", "primary", "backups", "down",
+        "state", "engine", "put", "get", "scan", "serve", "pings",
     )
 
     def __init__(
@@ -126,9 +181,12 @@ class _ShardSession:
         backend_options: Dict[str, Any],
     ):
         self.shard_id = shard_id
+        self.client = client
         self.servers: List[Location] = [f"{shard_id}.r{i}" for i in range(replication)]
         self.primary: Location = self.servers[0]
         self.backups: List[Location] = self.servers[1:]
+        #: Backups demoted out of the replica group, in detection order.
+        self.down: List[Location] = []
         self.census: Census = as_census([client] + self.servers)
         # The replica stores persist across choreography instances: the engine
         # keeps one worker thread per location alive for the session, and each
@@ -139,18 +197,58 @@ class _ShardSession:
         self.engine = ChoreoEngine(
             self.census, backend=backend, timeout=timeout, **backend_options
         )
-        bind_name = lambda op_name: f"{op_name}@{shard_id}"  # noqa: E731
+        self.pings: Dict[Location, ChoreographyDef] = {
+            replica: shard_ping.bind(
+                client, replica, name=f"shard_ping@{shard_id}:{replica}"
+            )
+            for replica in self.servers
+        }
+        self._bind_data_plane()
+
+    def _bind_data_plane(self) -> None:
+        """(Re-)bind the data-plane choreographies to the live replica set.
+
+        Called at session open and again after each demotion: the *same*
+        census-polymorphic choreographies are simply re-instantiated with a
+        shorter backup list — :func:`~repro.protocols.kvs.kvs_with_backups`
+        and friends degrade gracefully down to an unreplicated primary, so
+        failover needs no protocol of its own.  The engine census never
+        changes; a demoted location's worker stays alive but the degraded
+        bindings give it nothing to do, so even a crashed endpoint completes
+        every later instance vacuously.
+        """
+        client = self.client
+        bind_name = lambda op_name: f"{op_name}@{self.shard_id}"  # noqa: E731
         self.put: ChoreographyDef = shard_put.bind(
-            client, self.primary, self.backups, self.state, name=bind_name("shard_put")
+            client, self.primary, list(self.backups), self.state,
+            name=bind_name("shard_put"),
         )
         self.get: ChoreographyDef = shard_get.bind(
-            client, self.primary, self.backups, self.state, name=bind_name("shard_get")
+            client, self.primary, list(self.backups), self.state,
+            name=bind_name("shard_get"),
         )
         self.scan: ChoreographyDef = shard_scan.bind(
             client, self.primary, self.state, name=bind_name("shard_scan")
         )
         self.serve: ChoreographyDef = shard_serve.bind(
-            client, self.primary, self.backups, self.state, name=bind_name("shard_serve")
+            client, self.primary, list(self.backups), self.state,
+            name=bind_name("shard_serve"),
+        )
+
+    def demote_backup(self, replica: Location) -> None:
+        """Drop a dead backup from the replica group and re-bind around it."""
+        self.backups.remove(replica)
+        self.down.append(replica)
+        self._bind_data_plane()
+
+    def health(self) -> ShardHealth:
+        """This shard's current :class:`ShardHealth` snapshot."""
+        return ShardHealth(
+            self.shard_id,
+            self.primary,
+            {replica: ("down" if replica in self.down else "up")
+             for replica in self.servers},
+            down=tuple(self.down),
         )
 
 
@@ -200,6 +298,9 @@ class ClusterEngine:
         self._backend_options = dict(backend_options)
         self._lock = threading.Lock()
         self._closed = False
+        #: Every demotion performed, as ``(shard_id, replica)`` in detection
+        #: order — the cluster's failover audit trail (guarded by ``_lock``).
+        self.failovers: List[Tuple[ShardId, Location]] = []
         self._sessions: Dict[ShardId, _ShardSession] = {}
         try:
             for shard_id in self.router.shards:
@@ -235,14 +336,132 @@ class ClusterEngine:
 
     # ------------------------------------------------------------- data plane --
 
-    def _submit(self, shard_id: ShardId, chor: ChoreographyDef,
+    def _submit(self, shard_id: ShardId, op_name: str,
                 args: Sequence[Any] = (), kwargs: Optional[Dict[str, Any]] = None,
                 ) -> "Future[ChoreographyResult]":
+        """Dispatch one shard operation, with dead-backup failover built in.
+
+        ``op_name`` names a :class:`_ShardSession` choreography attribute
+        (``"put"``/``"get"``/``"scan"``/``"serve"``) rather than a bound
+        object, because failover *re-binds* those attributes: a replay after
+        a demotion must pick up the degraded binding, not the one the request
+        was first dispatched with.  The returned Future resolves with the
+        final (possibly replayed) run, or with the original failure when no
+        replay is warranted.
+
+        Replay is **at-least-once and re-enqueued at failure time**, which
+        bounds the ordering guarantee during a failover: a replayed write
+        lands *behind* anything submitted between its failure and its
+        replay.  A caller that awaits each write before issuing the next on
+        the same key (the blocking :class:`ClusterClient` paths do) keeps
+        strict per-key order across failovers; a caller that pipelines
+        multiple unacknowledged writes to one key concurrently with a
+        replica crash may observe the replayed (older) write re-applied
+        after a newer one.  ``docs/testing.md`` spells out the contract.
+        """
+        outer: "Future[ChoreographyResult]" = Future()
+        # Allow one replay per demotable backup: each attempt that fails on a
+        # *newly confirmed* dead backup shrinks the replica group, so the
+        # chain terminates at an unreplicated primary.
+        self._dispatch(
+            shard_id, op_name, tuple(args), dict(kwargs or {}), outer,
+            replays_left=max(0, self.replication - 1),
+        )
+        return outer
+
+    def _dispatch(self, shard_id: ShardId, op_name: str, args: tuple,
+                  kwargs: Dict[str, Any], outer: "Future[ChoreographyResult]",
+                  replays_left: int) -> None:
         with self._lock:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed ClusterEngine")
             session = self._sessions[shard_id]
-        return session.engine.submit(chor, args=args, kwargs=kwargs)
+            chor = getattr(session, op_name)
+        inner = session.engine.submit(chor, args=args, kwargs=kwargs)
+        inner.add_done_callback(
+            lambda done: self._settle(
+                done, shard_id, op_name, args, kwargs, outer, replays_left
+            )
+        )
+
+    def _settle(self, done: "Future[ChoreographyResult]", shard_id: ShardId,
+                op_name: str, args: tuple, kwargs: Dict[str, Any],
+                outer: "Future[ChoreographyResult]", replays_left: int) -> None:
+        """Resolve ``outer`` from a finished shard run, failing over if due."""
+        try:
+            outer.set_result(done.result())
+            return
+        except ChoreographyRuntimeError as exc:
+            error: BaseException = exc
+        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+            outer.set_exception(exc)
+            return
+        try:
+            suspect = self._suspect_backup(shard_id, error)
+            if (
+                suspect is not None
+                and replays_left > 0
+                and self._mark_backup_down(shard_id, suspect)
+            ):
+                self._dispatch(
+                    shard_id, op_name, args, kwargs, outer, replays_left - 1
+                )
+                return
+        except BaseException:  # noqa: BLE001 - replay plumbing failed
+            pass  # fall through: the original failure is the honest answer
+        outer.set_exception(error)
+
+    def _suspect_backup(self, shard_id: ShardId,
+                        error: ChoreographyRuntimeError) -> Optional[Location]:
+        """The shard replica a failed run points at, or ``None``.
+
+        Walks the chain of receive-timeout blames: every
+        :class:`~repro.core.errors.ChoreoTimeout` in the failure bundle says
+        *who* gave up waiting on *whom*, and the chain's sink — the location
+        everyone else is transitively waiting on, which itself blames nobody
+        — is the one that actually went silent.  A crashed location that
+        failed outright (a non-timeout error) is its own sink: the engine
+        already reports it as the root cause.
+
+        Only a *backup* (current or already demoted) of the shard is ever
+        returned: a silent primary or client is a failure this layer does not
+        mask.
+        """
+        failures = getattr(error, "failures", None) or {error.location: error.original}
+        blames = {
+            waiter: exc.peer
+            for waiter, exc in failures.items()
+            if isinstance(exc, ChoreoTimeout) and exc.peer is not None
+        }
+        sink = error.location
+        visited = {sink}
+        while sink in blames:
+            sink = blames[sink]
+            if sink in visited:  # a genuine wait cycle: nobody is "the" culprit
+                return None
+            visited.add(sink)
+        with self._lock:
+            session = self._sessions.get(shard_id)
+            if session is not None and (sink in session.backups or sink in session.down):
+                return sink
+        return None
+
+    def _mark_backup_down(self, shard_id: ShardId, replica: Location) -> bool:
+        """Record ``replica`` as dead; True when it is (now) confirmed down.
+
+        Idempotent under concurrency: many in-flight runs typically fail on
+        the same dead backup at once, and each of them should *replay* —
+        only the first one performs the demotion and logs the failover.
+        """
+        with self._lock:
+            session = self._sessions[shard_id]
+            if replica in session.down:
+                return True
+            if replica not in session.backups:
+                return False
+            session.demote_backup(replica)
+            self.failovers.append((shard_id, replica))
+            return True
 
     def submit_put(self, key: str, value: str) -> "Future[ChoreographyResult]":
         """Enqueue a replicated Put on ``key``'s shard; returns immediately.
@@ -251,10 +470,12 @@ class ClusterEngine:
             A Future resolving to the shard run's
             :class:`~repro.runtime.engine.ChoreographyResult`; the client's
             :class:`~repro.protocols.kvs.Response` is its
-            ``value_at(cluster.client)``.
+            ``value_at(cluster.client)``.  If the run fails on a backup that
+            is (or is then confirmed) dead, the Put is replayed against the
+            demoted replica group and the Future resolves with the replay.
         """
         shard_id = self.shard_for(key)
-        return self._submit(shard_id, self._sessions[shard_id].put, args=(key, value))
+        return self._submit(shard_id, "put", args=(key, value))
 
     def submit_get(
         self, key: str, *, quorum: bool = False, read_repair: bool = True
@@ -269,11 +490,12 @@ class ClusterEngine:
                 when the replicas' votes diverge.
 
         Returns:
-            A Future of the shard run's result (see :meth:`submit_put`).
+            A Future of the shard run's result (see :meth:`submit_put`);
+            dead-backup failures are replayed like Puts.
         """
         shard_id = self.shard_for(key)
         return self._submit(
-            shard_id, self._sessions[shard_id].get,
+            shard_id, "get",
             args=(key,), kwargs={"quorum": quorum, "read_repair": read_repair},
         )
 
@@ -316,9 +538,7 @@ class ClusterEngine:
 
         for shard_id, indices in per_shard.items():
             sub_batch = [requests[index] for index in indices]
-            shard_future = self._submit(
-                shard_id, self._sessions[shard_id].serve, args=(sub_batch,)
-            )
+            shard_future = self._submit(shard_id, "serve", args=(sub_batch,))
             shard_future.add_done_callback(
                 lambda done, indices=indices: _fan_out(done, indices)
             )
@@ -334,7 +554,7 @@ class ClusterEngine:
             merge).
         """
         return {
-            shard_id: self._submit(shard_id, self._sessions[shard_id].scan, args=(prefix,))
+            shard_id: self._submit(shard_id, "scan", args=(prefix,))
             for shard_id in self.shards
         }
 
@@ -369,6 +589,75 @@ class ClusterEngine:
     def pending(self) -> int:
         """In-flight instances across all shard engines (0 = quiescent)."""
         return sum(session.engine.pending for session in self._sessions.values())
+
+    def health(self) -> Dict[ShardId, ShardHealth]:
+        """Every shard's replica liveness, as currently believed.
+
+        Passive: reports what traffic-driven detection (and any
+        :meth:`probe` calls) have established so far, without sending a
+        message.  A replica the cluster has never seen fail is ``"up"``.
+
+        Returns:
+            ``{shard_id: ShardHealth}`` for every live shard; a shard with a
+            demoted backup has ``health()[shard_id].degraded == True``.
+        """
+        with self._lock:
+            return {
+                shard_id: session.health()
+                for shard_id, session in self._sessions.items()
+            }
+
+    def probe(self, shard_id: Optional[ShardId] = None, *,
+              demote: bool = True) -> Dict[ShardId, Dict[Location, bool]]:
+        """Actively check replica liveness with per-replica ping choreographies.
+
+        Each configured replica (demoted ones included — a probe is how an
+        operator would notice a recovery-in-place, even though rejoin is not
+        automated) is sent one two-message
+        :func:`~repro.protocols.kvs.kvs_ping`.  A replica that fails or
+        times out is reported dead; probing a dead replica costs one receive
+        timeout, so point ``shard_id`` at the shard you care about when the
+        cluster is large.
+
+        Args:
+            shard_id: Probe only this shard; every shard when ``None``.
+            demote: Also demote newly-confirmed-dead *backups* (the same
+                path traffic-driven detection takes).  Primaries are never
+                demoted, only reported.
+
+        Returns:
+            ``{shard_id: {replica: alive}}`` for the probed shards.
+
+        ``alive=False`` means "unreachable from the client", which is not
+        proof the replica itself is dead — the failure could sit on the
+        client's side of the channel.  Demotion therefore reuses the same
+        blame-chain attribution as traffic-driven detection
+        (:meth:`_suspect_backup`): only a failure whose blame chain sinks at
+        the probed backup demotes it, so a flaky *client* link reports the
+        replica unreachable without kicking a healthy backup out of the
+        replica group.
+        """
+        with self._lock:
+            if shard_id is None:
+                targets = list(self._sessions.values())
+            else:
+                targets = [self._sessions[shard_id]]
+        report: Dict[ShardId, Dict[Location, bool]] = {}
+        for session in targets:
+            alive: Dict[Location, bool] = {}
+            for replica in session.servers:
+                token = f"ping:{session.shard_id}:{replica}"
+                culprit: Optional[Location] = None
+                try:
+                    result = session.engine.run(session.pings[replica], args=(token,))
+                    alive[replica] = result.value_at(self.client) == token
+                except ChoreographyRuntimeError as failure:
+                    alive[replica] = False
+                    culprit = self._suspect_backup(session.shard_id, failure)
+                if demote and culprit == replica and replica != session.primary:
+                    self._mark_backup_down(session.shard_id, replica)
+            report[session.shard_id] = alive
+        return report
 
     # ------------------------------------------------------------ control plane --
 

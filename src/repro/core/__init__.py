@@ -10,6 +10,7 @@ from .errors import (
     CensusError,
     ChoreographyError,
     ChoreographyRuntimeError,
+    ChoreoTimeout,
     EmptyCensusError,
     MultiplyLocatedInvariantError,
     OwnershipError,
@@ -30,6 +31,7 @@ __all__ = [
     "Choreography",
     "ChoreographyError",
     "ChoreographyRuntimeError",
+    "ChoreoTimeout",
     "EmptyCensusError",
     "Endpoint",
     "Faceted",

@@ -60,16 +60,49 @@ class TransportError(ChoreographyError):
     """A message could not be sent or received by the transport layer."""
 
 
+class ChoreoTimeout(TransportError):
+    """A receive timed out: ``waiter`` gave up waiting on ``peer``.
+
+    The typed form of a transport receive timeout, carrying the structured
+    fields a failure handler needs: who was waiting, which peer never
+    delivered, and how long the waiter held on.  Timeouts are the raw signal
+    behind failure detection — :class:`repro.cluster.ClusterEngine` follows
+    the chain of ``waiter → peer`` blames across a failed instance to find
+    the replica that actually went silent — so they must be distinguishable
+    from other transport failures without parsing message text.
+    """
+
+    def __init__(self, waiter: str, peer: str, seconds: float):
+        self.waiter = waiter
+        self.peer = peer
+        self.seconds = seconds
+        super().__init__(
+            f"{waiter!r} timed out after {seconds}s waiting for a message from {peer!r}"
+        )
+
+
 class ChoreographyRuntimeError(ChoreographyError):
     """A projected endpoint raised an exception while executing its role.
 
     Wraps the original exception and records which location failed so the
     runner can report a single coherent failure for the whole execution.
+    ``failures`` holds *every* location's failure (location → exception) when
+    several endpoints of one instance failed together — the usual shape of a
+    crash, where the crashed location's error and its peers' induced
+    :class:`ChoreoTimeout` s arrive as one bundle.
     """
 
-    def __init__(self, location: str, original: BaseException):
+    def __init__(
+        self,
+        location: str,
+        original: BaseException,
+        failures: "dict[str, BaseException] | None" = None,
+    ):
         self.location = location
         self.original = original
+        self.failures: "dict[str, BaseException]" = dict(
+            failures if failures is not None else {location: original}
+        )
         super().__init__(
             f"endpoint {location!r} failed: {type(original).__name__}: {original}"
         )

@@ -1,0 +1,52 @@
+"""Deterministic fault injection for chaos-testing choreographies.
+
+The paper proves choreographies deadlock-free *by construction*; this package
+is how the repository tests what construction cannot promise — crashed
+replicas, jittery links, transient connect failures — without giving up
+reproducibility.  A :class:`FaultPlan` describes the faults as pure functions
+of a seed and per-channel message indices; a transport built with
+``faults=plan`` wraps every endpoint in a :class:`FaultyEndpoint` and logs
+each injection to a :class:`FaultSession`, whose canonical
+:meth:`~FaultSession.schedule` lets a test assert that the same seed
+reproduces the same message schedule, run after run.
+
+Plugs in behind the ``faults=`` backend option::
+
+    from repro import ChoreoEngine
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(seed=7).delay(jitter=0.5, rate=0.3).crash("bob", after_ops=40)
+    engine = ChoreoEngine(["alice", "bob"], backend="simulated", faults=plan)
+
+On the ``simulated`` backend delays are charged to the virtual clock (no real
+sleeping) and the whole schedule is deterministic; on ``tcp`` the same plan
+injects real sleeps and socket-level flakiness.  ``docs/testing.md`` is the
+guide: the DSL, the seed discipline, and how the cluster failover suite uses
+all of it.
+"""
+
+from .inject import FaultyEndpoint
+from .plan import (
+    ANY,
+    CrashFault,
+    CrashRule,
+    DelayRule,
+    FaultEvent,
+    FaultPlan,
+    FaultSession,
+    FlakyRule,
+    ReorderRule,
+)
+
+__all__ = [
+    "ANY",
+    "CrashFault",
+    "CrashRule",
+    "DelayRule",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSession",
+    "FaultyEndpoint",
+    "FlakyRule",
+    "ReorderRule",
+]

@@ -26,7 +26,10 @@ Two further census-polymorphic choreographies serve the sharded cluster layer
   at the primary, answer with the majority, and (optionally) trigger a
   :func:`resynch` read-repair when the replicas disagree;
 * :func:`kvs_scan` — a prefix scan answered by the primary alone (no
-  branching on replicated data, hence no conclave and no KoC traffic).
+  branching on replicated data, hence no conclave and no KoC traffic);
+* :func:`kvs_ping` — a two-message liveness probe; a silent replica surfaces
+  as a typed receive timeout, the raw signal behind the cluster's failure
+  detector and its backup-demotion failover path.
 """
 
 from __future__ import annotations
@@ -525,6 +528,38 @@ def kvs_quorum_get(
 
     response_at_server = op.conclave_to(cluster, [server], read)
     return op.comm(server, client, response_at_server)
+
+
+def kvs_ping(
+    op: ChoreoOp,
+    client: Location,
+    replica: Location,
+    token: Located[str],
+) -> Located[str]:
+    """Liveness probe: the client's token travels to ``replica`` and back.
+
+    Two messages, no state touched.  A replica that answers is alive and
+    reachable; one that does not shows up as a
+    :class:`~repro.core.errors.ChoreoTimeout` at the client, which is exactly
+    the signal :meth:`repro.cluster.ClusterEngine.probe` uses to mark a
+    backup down and re-bind the shard's choreographies through the
+    zero-backup degradation path of :func:`kvs_with_backups`.
+
+    Args:
+        op: The operator record; census must contain client and replica.
+        client: The probing location.
+        replica: The replica whose liveness is being checked.
+        token: The probe token, located at the client; it is echoed verbatim
+            so the caller can tell a fresh answer from a stale one.
+
+    Returns:
+        The echoed token, located at the client.
+    """
+    op.census.require_member(client)
+    op.census.require_member(replica)
+    at_replica = op.comm(client, replica, token)
+    echo = op.locally(replica, lambda un: un(at_replica))
+    return op.comm(replica, client, echo)
 
 
 def kvs_scan(

@@ -228,13 +228,15 @@ class _EngineJob:
         if self._failures:
             # A crash at one endpoint typically makes its peers time out
             # waiting for messages; report the root cause, not the induced
-            # timeouts.
+            # timeouts.  The full per-location failure bundle rides along so
+            # failure handlers (e.g. cluster failover) can follow the chain
+            # of timeout blames themselves.
             def root_cause_first(item):
                 location, exc = item
                 return (isinstance(exc, TransportError), location)
 
             location, original = sorted(self._failures.items(), key=root_cause_first)[0]
-            outcome = ChoreographyRuntimeError(location, original)
+            outcome = ChoreographyRuntimeError(location, original, failures=self._failures)
             result = None
         else:
             outcome = None
@@ -278,7 +280,9 @@ class ChoreoEngine:
         Seconds an endpoint waits on a receive before declaring failure.
     **backend_options:
         Extra keyword arguments forwarded to the backend factory (e.g.
-        ``latency=`` / ``bandwidth=`` for ``"simulated"``).
+        ``latency=`` / ``bandwidth=`` for ``"simulated"``, or a
+        ``faults=``:class:`~repro.faults.FaultPlan` for the ``"simulated"``
+        and ``"tcp"`` backends — see ``docs/testing.md``).
 
     The engine is a context manager; leaving the ``with`` block shuts down
     the workers and closes an engine-owned backend.
@@ -584,38 +588,47 @@ class ChoreoEngine:
             if job is None:
                 return
             job.mark_started()
-            scoped = InstanceScopedEndpoint(endpoint, job.instance, stash)
-            if redirects:
-                endpoint.use_stats(_TeeStats(base_stats, job.stats))
+            # The worker must report exactly one outcome per job, whatever
+            # happens: a Future that never resolves strands every caller
+            # blocked on it, so even a failure in the bookkeeping below (the
+            # stats-tee restore, the stash purge) is converted into a
+            # fail_location rather than allowed to kill the worker thread.
+            outcome, payload = "error", None
             try:
-                program = project(job.choreography, self.census, location, scoped)
-                value = program(*job.args_for(location), **job.kwargs)
-                # Instance-boundary flush: a coalescing endpoint may still
-                # hold this instance's trailing sends; they are part of the
-                # run, so a failed drain fails the run, and flushing before
-                # the stats tee is restored keeps the per-run ChannelStats
-                # delta exact.
-                if flush is not None:
-                    flush()
-            except BaseException as exc:  # noqa: BLE001 - reported via the Future
-                if flush is not None:
-                    try:
-                        flush()  # best-effort: peers may be blocked on these
-                    except BaseException:  # noqa: BLE001 - original error wins
-                        pass
-                outcome, payload = "error", exc
-            else:
-                outcome, payload = "ok", value
-            finally:
+                scoped = InstanceScopedEndpoint(endpoint, job.instance, stash)
                 if redirects:
-                    endpoint.use_stats(base_stats)
-                # Unconsumed messages of instances up to and including this
-                # one must not linger (a long-lived session would otherwise
-                # grow without bound): tags ≤ the just-finished instance are
-                # dead by construction — later instances drop them on arrival
-                # — so purge every such stash key, not just the current one.
-                for stale in [key for key in stash if key <= job.instance]:
-                    del stash[stale]
+                    endpoint.use_stats(_TeeStats(base_stats, job.stats))
+                try:
+                    program = project(job.choreography, self.census, location, scoped)
+                    value = program(*job.args_for(location), **job.kwargs)
+                    # Instance-boundary flush: a coalescing endpoint may still
+                    # hold this instance's trailing sends; they are part of the
+                    # run, so a failed drain fails the run, and flushing before
+                    # the stats tee is restored keeps the per-run ChannelStats
+                    # delta exact.
+                    if flush is not None:
+                        flush()
+                except BaseException as exc:  # noqa: BLE001 - reported via the Future
+                    if flush is not None:
+                        try:
+                            flush()  # best-effort: peers may be blocked on these
+                        except BaseException:  # noqa: BLE001 - original error wins
+                            pass
+                    outcome, payload = "error", exc
+                else:
+                    outcome, payload = "ok", value
+                finally:
+                    if redirects:
+                        endpoint.use_stats(base_stats)
+                    # Unconsumed messages of instances up to and including this
+                    # one must not linger (a long-lived session would otherwise
+                    # grow without bound): tags ≤ the just-finished instance are
+                    # dead by construction — later instances drop them on arrival
+                    # — so purge every such stash key, not just the current one.
+                    for stale in [key for key in stash if key <= job.instance]:
+                        del stash[stale]
+            except BaseException as exc:  # noqa: BLE001 - bookkeeping failed
+                outcome, payload = "error", exc
             if outcome == "ok":
                 job.finish_location(location, payload)
             else:

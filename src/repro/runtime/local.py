@@ -29,7 +29,7 @@ import threading
 from collections import deque
 from typing import Any, Deque, Dict, Iterable, List, Tuple
 
-from ..core.errors import TransportError
+from ..core.errors import ChoreoTimeout, TransportError
 from ..core.locations import Location, LocationsLike
 from .transport import (
     DEFAULT_TIMEOUT,
@@ -112,10 +112,7 @@ class _QueueEndpoint(CoalescingEndpoint):
         try:
             batch = self._transport.channel(sender, self.location).get(timeout=self._timeout)
         except queue.Empty:
-            raise TransportError(
-                f"{self.location!r} timed out after {self._timeout}s waiting for a "
-                f"message from {sender!r}"
-            ) from None
+            raise ChoreoTimeout(self.location, sender, self._timeout) from None
         if len(batch) == 1:
             return batch[0]
         items = self._pending_in.setdefault(sender, deque())

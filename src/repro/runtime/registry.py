@@ -13,6 +13,11 @@ every entry point.
 A factory is any callable ``factory(census, timeout=..., **options)``
 returning a ``Transport`` or ``CentralBackend``; extra keyword options are
 forwarded verbatim (e.g. ``latency=`` / ``bandwidth=`` for ``"simulated"``).
+Fault injection rides the same seam: the ``"simulated"`` and ``"tcp"``
+factories accept ``faults=``, a :class:`repro.faults.FaultPlan`, so
+``ChoreoEngine(census, backend="simulated", faults=plan)`` — or any backend a
+user registers whose factory takes the option — runs its choreographies under
+an injected, seed-reproducible fault schedule (see ``docs/testing.md``).
 """
 
 from __future__ import annotations

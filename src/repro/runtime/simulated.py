@@ -126,6 +126,15 @@ class SimulatedNetworkTransport(Transport):
         Virtual seconds added to every message (propagation + handshake).
     bandwidth:
         Virtual bytes per virtual second (serialisation cost of large payloads).
+    faults:
+        An optional :class:`repro.faults.FaultPlan`.  Every endpoint is then
+        wrapped in a :class:`repro.faults.FaultyEndpoint` injecting the
+        plan's delays, reorders, crashes, and connect flakes.  Injected
+        delays are charged to the sender's *virtual* clock (no real sleep),
+        and crash-at-time rules read the virtual clock, so a seeded plan
+        reproduces the identical message schedule on every run — this is the
+        deterministic chaos-testing backend (see ``docs/testing.md``).  The
+        live :class:`repro.faults.FaultSession` is exposed as :attr:`faults`.
     """
 
     def __init__(
@@ -135,6 +144,7 @@ class SimulatedNetworkTransport(Transport):
         latency: float = 1.0,
         bandwidth: float = 1_000_000.0,
         timeout: float = DEFAULT_TIMEOUT,
+        faults: "Any | None" = None,
     ):
         super().__init__(census, timeout)
         if latency < 0 or bandwidth <= 0:
@@ -144,6 +154,7 @@ class SimulatedNetworkTransport(Transport):
         self._inner = LocalTransport(census, timeout=timeout)
         self._clocks: Dict[Location, float] = {location: 0.0 for location in self.census}
         self._clock_lock = threading.Lock()
+        self.faults = faults.session() if faults is not None else None
 
     # -- virtual time ----------------------------------------------------------------
 
@@ -171,7 +182,19 @@ class SimulatedNetworkTransport(Transport):
     # -- transport plumbing ----------------------------------------------------------
 
     def _make_endpoint(self, location: Location) -> TransportEndpoint:
-        return _SimulatedEndpoint(self._inner.endpoint(location), self)
+        endpoint: TransportEndpoint = _SimulatedEndpoint(self._inner.endpoint(location), self)
+        if self.faults is not None:
+            # Injected delays advance the sender's virtual clock instead of
+            # sleeping, so the next stamped send time carries the jitter;
+            # crash-at-time rules read the same clock.
+            endpoint = self.faults.wrap(
+                endpoint,
+                delay_fn=lambda seconds, loc=location: self.advance_clock(
+                    loc, self.clock_of(loc) + seconds
+                ),
+                clock_fn=lambda loc=location: self.clock_of(loc),
+            )
+        return endpoint
 
     def close(self) -> None:
         self._inner.close()

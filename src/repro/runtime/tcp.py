@@ -50,7 +50,7 @@ import struct
 import threading
 from typing import Any, Dict, Iterable, List, Tuple
 
-from ..core.errors import TransportError
+from ..core.errors import ChoreoTimeout, TransportError
 from ..core.locations import Location, LocationsLike
 from . import wire
 from .transport import (
@@ -265,10 +265,7 @@ class _TCPEndpoint(CoalescingEndpoint):
         try:
             return self._inboxes[sender].get(timeout=self._timeout)
         except queue.Empty:
-            raise TransportError(
-                f"{self.location!r} timed out after {self._timeout}s waiting for a "
-                f"message from {sender!r}"
-            ) from None
+            raise ChoreoTimeout(self.location, sender, self._timeout) from None
 
     def recv(self, sender: Location) -> Any:
         _instance, data = self._recv_serialized(sender)
@@ -300,13 +297,29 @@ class TCPTransport(Transport):
     All endpoints must be created (via :meth:`endpoint`) before any of them
     sends, so that every listener's port is known; :func:`repro.runtime.runner.
     run_choreography` does this automatically.
+
+    ``faults`` takes a :class:`repro.faults.FaultPlan`: every endpoint is
+    then wrapped in a :class:`repro.faults.FaultyEndpoint` injecting the
+    plan's delays, reorders, crashes, and connect flakes (real ``time.sleep``
+    delays on this backend).  The live :class:`repro.faults.FaultSession` is
+    exposed as :attr:`faults`.
     """
 
-    def __init__(self, census: LocationsLike, timeout: float = DEFAULT_TIMEOUT):
+    def __init__(
+        self,
+        census: LocationsLike,
+        timeout: float = DEFAULT_TIMEOUT,
+        *,
+        faults: "Any | None" = None,
+    ):
         super().__init__(census, timeout)
+        self.faults = faults.session() if faults is not None else None
 
     def _make_endpoint(self, location: Location) -> TransportEndpoint:
-        return _TCPEndpoint(location, self, self.timeout)
+        endpoint: TransportEndpoint = _TCPEndpoint(location, self, self.timeout)
+        if self.faults is not None:
+            endpoint = self.faults.wrap(endpoint)
+        return endpoint
 
     def port_of(self, location: Location) -> int:
         """The loopback port ``location`` listens on."""

@@ -139,8 +139,9 @@ class TransportEndpoint(abc.ABC):
             The deserialized payload.
 
         Raises:
-            TransportError: On timeout (the configured receive timeout) or
-                transport shutdown.
+            TransportError: On transport shutdown, or — as the typed
+                :class:`~repro.core.errors.ChoreoTimeout` subclass — when the
+                configured receive timeout elapses with no message.
         """
 
     def flush(self) -> None:
@@ -248,6 +249,63 @@ class TransportEndpoint(abc.ABC):
         endpoint may call it.
         """
         self._stats = stats
+
+
+class ForwardingEndpoint(TransportEndpoint):
+    """An endpoint wrapper that delegates everything to an inner endpoint.
+
+    The base class of the tee/wrapper pattern: layers that decorate an
+    endpoint's behaviour — virtual-clock stamping, fault injection
+    (:class:`repro.faults.FaultyEndpoint`), instrumentation — subclass this
+    and override only the methods they intercept.  Everything else, including
+    attributes this base does not know about (a TCP endpoint's ``port``, its
+    ``close``), forwards to the wrapped endpoint, so a wrapper can stand in
+    for the inner endpoint anywhere the transport or engine passes one
+    around.
+
+    ``use_stats`` forwards *and* mirrors the sink locally, so both layers
+    agree on where send-side accounting goes when the engine installs its
+    per-run stats tee.
+    """
+
+    def __init__(self, inner: TransportEndpoint):
+        self._inner = inner
+        super().__init__(inner.location, inner._stats, inner._timeout)
+
+    def send(self, receiver: Location, payload: Any) -> None:
+        self._inner.send(receiver, payload)
+
+    def recv(self, sender: Location) -> Any:
+        return self._inner.recv(sender)
+
+    def send_many(self, receivers: Iterable[Location], payload: Any) -> None:
+        self._inner.send_many(receivers, payload)
+
+    def recv_many(self, senders: Iterable[Location]) -> Dict[Location, Any]:
+        return {sender: self.recv(sender) for sender in senders}
+
+    def send_scoped(self, receiver: Location, instance: int, payload: Any) -> None:
+        self._inner.send_scoped(receiver, instance, payload)
+
+    def send_many_scoped(
+        self, receivers: Iterable[Location], instance: int, payload: Any
+    ) -> None:
+        self._inner.send_many_scoped(receivers, instance, payload)
+
+    def recv_scoped(self, sender: Location) -> "tuple[int, Any]":
+        return self._inner.recv_scoped(sender)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def use_stats(self, stats: ChannelStats) -> None:
+        self._inner.use_stats(stats)
+        self._stats = stats
+
+    def __getattr__(self, name: str) -> Any:
+        if name == "_inner":  # guard: never recurse while half-constructed
+            raise AttributeError(name)
+        return getattr(self._inner, name)
 
 
 class CoalescingEndpoint(TransportEndpoint):
