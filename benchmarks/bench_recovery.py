@@ -1,0 +1,153 @@
+"""F-recovery — crash-restart-rejoin recovery time and the fsync trade-off.
+
+PR 6's durability layer has two costs worth tracking across PRs:
+
+* **recovery time** — when a demoted backup is re-admitted with
+  :meth:`~repro.cluster.ClusterEngine.rejoin_backup`, how long does the
+  disk replay take (snapshot + WAL suffix) and how long the hash-verified
+  catch-up choreography?  Both halves come straight from the
+  :class:`~repro.cluster.RejoinReport` the call returns, measured for the
+  cheap path (a WAL *delta* transfer) and the expensive one (a *full*
+  transfer, forced here by compacting the primary's WAL past the
+  rejoiner's high-water mark);
+* **the fsync tax** — what each ``fsync=`` policy (``never`` → ``batch`` →
+  ``always``) costs in put throughput against the ephemeral in-memory
+  baseline, which is the number an operator needs to pick a policy
+  (``docs/durability.md`` reproduces the table).
+
+Every headline number lands in ``BENCH_PR6.json`` via ``report.record``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+import report
+from bench_guard import smoke_scale
+from repro import ClusterClient, FaultPlan
+from repro.cluster import ClusterEngine
+from repro.storage import Durability
+
+#: Replicas per shard (primary + one backup) in every measured shape.
+REPLICATION = 2
+#: Recovery scenarios run on the deterministic simulated backend.
+BACKEND = "simulated"
+TIMEOUT = 0.3
+
+#: Transport ops the doomed backup completes before dying — this bounds the
+#: WAL the restart replays.
+PRE_CRASH_OPS = smoke_scale(400, 24)
+#: Acknowledged puts while the shard runs degraded (the catch-up gap).
+GAP_OPS = smoke_scale(200, 12)
+#: Puts per fsync-policy throughput measurement.
+FSYNC_OPS = smoke_scale(400, 32)
+#: Best-of trials for the throughput shapes.
+TRIALS = smoke_scale(3, 1)
+
+#: A snapshot interval no scenario reaches: the primary keeps its whole WAL,
+#: so the catch-up can ship a delta.
+NO_COMPACTION = 1 << 20
+#: An interval the degraded window crosses several times: the primary's WAL
+#: is compacted past the rejoiner's high-water mark, forcing a full transfer.
+EAGER_COMPACTION = 32
+
+
+def rejoin_once(root: str, *, snapshot_every: int,
+                pre_ops: int = PRE_CRASH_OPS, gap_ops: int = GAP_OPS):
+    """One crash → degrade → rejoin cycle; returns (RejoinReport, wall secs)."""
+    plan = FaultPlan(seed=7).crash("shard0.r1", after_ops=pre_ops)
+    config = Durability(root=root, fsync="batch", snapshot_every=snapshot_every)
+    with ClusterEngine(1, replication=REPLICATION, backend=BACKEND,
+                       timeout=TIMEOUT, faults=plan, durability=config) as cluster:
+        kvs = ClusterClient(cluster)
+        index = 0
+        while not cluster.failovers:
+            kvs.put(f"user{index % 64:04d}", f"v{index}")
+            index += 1
+            assert index < 100 * (pre_ops + 1), "planned crash never detected"
+        for gap in range(gap_ops):
+            kvs.put(f"gap{gap:04d}", f"g{gap}")
+        started = time.perf_counter()
+        rejoin = cluster.rejoin_backup("shard0", "shard0.r1")
+        wall = time.perf_counter() - started
+        assert not cluster.health()["shard0"].degraded
+        return rejoin, wall
+
+
+def put_throughput(durability) -> float:
+    """Blocking put throughput for one durability configuration."""
+    with ClusterEngine(1, replication=REPLICATION, durability=durability) as cluster:
+        kvs = ClusterClient(cluster)
+        started = time.perf_counter()
+        for index in range(FSYNC_OPS):
+            kvs.put(f"user{index % 64:04d}", f"v{index}")
+        return FSYNC_OPS / (time.perf_counter() - started)
+
+
+def smoke():
+    """One tiny, untimed iteration for the tier-1 bitrot guard."""
+    with tempfile.TemporaryDirectory() as root:
+        rejoin, _wall = rejoin_once(
+            root, snapshot_every=NO_COMPACTION, pre_ops=12, gap_ops=4
+        )
+        assert rejoin.replica == "shard0.r1"
+    with tempfile.TemporaryDirectory() as root:
+        assert put_throughput(Durability(root=root, fsync="never")) > 0
+
+
+def test_recovery_time(report_table):
+    """Recovery cost of both catch-up modes, from the RejoinReport itself."""
+    rows = []
+    for label, snapshot_every in (
+        ("delta", NO_COMPACTION),
+        ("full", EAGER_COMPACTION),
+    ):
+        with tempfile.TemporaryDirectory() as root:
+            rejoin, wall = rejoin_once(root, snapshot_every=snapshot_every)
+        name = f"recovery/rejoin_{label}"
+        report.record(name, "replayed_records", rejoin.replayed_records, "records")
+        report.record(name, "replay_seconds", rejoin.replay_seconds, "s")
+        report.record(name, "catchup_seconds", rejoin.catchup_seconds, "s")
+        report.record(name, "rejoin_wall_seconds", wall, "s")
+        report.record(name, "fell_back", float(rejoin.fell_back), "bool")
+        rows.append([
+            f"{label} transfer (snapshot_every={snapshot_every})",
+            rejoin.mode,
+            f"{rejoin.replayed_records}",
+            f"{rejoin.replay_seconds * 1e3:.1f} ms",
+            f"{rejoin.catchup_seconds * 1e3:.1f} ms",
+            f"{wall * 1e3:.1f} ms",
+        ])
+    report_table(
+        f"Recovery — crash-restart-rejoin ({GAP_OPS}-op degraded window, "
+        f"replication {REPLICATION})",
+        ["scenario", "mode", "replayed", "replay", "catch-up", "rejoin wall"],
+        rows,
+    )
+
+
+def test_fsync_policy_tax(report_table):
+    """Put throughput under each fsync policy vs the ephemeral baseline."""
+    baseline = max(put_throughput(None) for _ in range(TRIALS))
+    report.record("recovery/fsync", "ephemeral", baseline, "ops/sec")
+    rows = [["ephemeral (no durability)", f"{baseline:,.0f}", "1.00x"]]
+    for policy in ("never", "batch", "always"):
+        best = 0.0
+        for _ in range(TRIALS):
+            with tempfile.TemporaryDirectory() as root:
+                best = max(
+                    best, put_throughput(Durability(root=root, fsync=policy))
+                )
+        report.record("recovery/fsync", policy, best, "ops/sec")
+        rows.append([f"durability, fsync={policy}", f"{best:,.0f}",
+                     f"{best / baseline:.2f}x"])
+    report_table(
+        f"Durability — fsync policy tax ({FSYNC_OPS} blocking puts, "
+        f"replication {REPLICATION})",
+        ["configuration", "puts/sec", "vs ephemeral"],
+        rows,
+    )
+    # The WAL must not cripple the engine: the relaxed policies stay within
+    # an order of magnitude of the in-memory store.
+    assert rows[1][1] != "0"

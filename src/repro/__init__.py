@@ -37,13 +37,19 @@ The package provides:
 * :mod:`repro.cluster` — the sharded KVS service layer: a consistent-hash
   :class:`ShardRouter`, a :class:`ClusterEngine` multiplexing one warm
   engine per shard — with dead-backup detection, demotion-based failover,
-  and ``health()``/``probe()`` — and the :class:`ClusterClient`
+  crash-restart replica re-join (:func:`rejoin_backup`), and
+  ``health()``/``probe()`` — and the :class:`ClusterClient`
   ``put/get/scan`` facade with quorum reads, read repair, and retrying
   idempotent reads.
+* :mod:`repro.storage` — per-replica persistence: the checksum-framed
+  :class:`WriteAheadLog` with torn-tail repair and fsync policies, atomic
+  :class:`SnapshotStore` checkpoints, and the :class:`~repro.storage.DurableState`
+  store behind ``ClusterEngine(durability=...)``.
 * :mod:`repro.faults` — deterministic fault injection: a seedable
   :class:`FaultPlan` DSL (delay jitter, bounded cross-channel reorder,
-  crashes, transient connect failures) behind the ``faults=`` backend
-  option, reproducing identical message schedules from identical seeds.
+  crashes — now with restart/revive for recovery testing — and transient
+  connect failures) behind the ``faults=`` backend option, reproducing
+  identical message schedules from identical seeds.
 * :mod:`repro.baselines` — a HasChor-style broadcast-KoC baseline.
 * :mod:`repro.formal` — the λC / λL / λN formal model and property checkers.
 * :mod:`repro.protocols` — the case studies: replicated KVS (with quorum
@@ -53,7 +59,17 @@ The package provides:
 """
 
 from .chor import ChoreographyDef, choreography
-from .cluster import ClusterClient, ClusterEngine, ShardHealth, ShardRouter
+from .cluster import (
+    ClusterClient,
+    ClusterClosed,
+    ClusterEngine,
+    ClusterRebalancing,
+    RejoinError,
+    RejoinReport,
+    ShardHealth,
+    ShardRouter,
+    rejoin_backup,
+)
 from .core import (
     ABSENT,
     Census,
@@ -76,6 +92,7 @@ from .core import (
     single,
 )
 from .faults import FaultPlan
+from .storage import Durability, DurableState, SnapshotStore, WriteAheadLog
 from .runtime import (
     CentralBackend,
     CentralOp,
@@ -91,7 +108,7 @@ from .runtime import (
     run_choreography,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ABSENT",
@@ -109,7 +126,11 @@ __all__ = [
     "ChoreographyResult",
     "ChoreographyRuntimeError",
     "ClusterClient",
+    "ClusterClosed",
     "ClusterEngine",
+    "ClusterRebalancing",
+    "Durability",
+    "DurableState",
     "Faceted",
     "FaultPlan",
     "LocalTransport",
@@ -119,16 +140,21 @@ __all__ = [
     "PlaceholderError",
     "ProjectedOp",
     "Quire",
+    "RejoinError",
+    "RejoinReport",
     "ShardHealth",
     "ShardRouter",
     "SimulatedNetworkTransport",
+    "SnapshotStore",
     "TCPTransport",
     "TransportError",
+    "WriteAheadLog",
     "as_census",
     "backend_names",
     "choreography",
     "project",
     "register_backend",
+    "rejoin_backup",
     "run_centralized",
     "run_choreography",
     "single",

@@ -17,32 +17,59 @@ of a horizontally sharded service.  This package assembles them:
   facade, with quorum-read and read-repair options and retrying idempotent
   reads.
 
-The cluster degrades rather than dies: a backup that stops answering is
-detected (through typed receive timeouts or an active
+The cluster degrades rather than dies — and heals.  A backup that stops
+answering is detected (through typed receive timeouts or an active
 :meth:`~repro.cluster.engine.ClusterEngine.probe`), demoted, and routed
 around via the zero-backup degradation path of
 :func:`~repro.protocols.kvs.kvs_with_backups`, with in-flight submits
-replayed against the shrunken replica group;
-:meth:`~repro.cluster.engine.ClusterEngine.health` reports per-replica
-up/down state.  ``tests/test_cluster_failover.py`` chaos-tests all of this
-under seeded :class:`~repro.faults.FaultPlan` schedules.
+replayed against the shrunken replica group.  With a ``durability=``
+configuration (:class:`~repro.storage.Durability`) every replica store is
+write-ahead logged and snapshotted, and
+:meth:`~repro.cluster.engine.ClusterEngine.rejoin_backup` re-admits a
+crashed, restarted replica: WAL replay, a hash-verified
+:func:`~repro.protocols.kvs.kvs_catchup` transfer, and a re-bind with the
+restored membership.  :meth:`~repro.cluster.engine.ClusterEngine.health`
+reports per-replica ``up``/``down``/``rejoining`` state.
+``tests/test_cluster_failover.py`` and ``tests/test_cluster_recovery.py``
+chaos-test all of this under seeded :class:`~repro.faults.FaultPlan`
+schedules.
 
 See ``docs/architecture.md`` for the layer map and the message flow of a
-sharded put, ``docs/testing.md`` for the chaos-testing guide, and
+sharded put, ``docs/durability.md`` for the persistence and recovery
+walkthrough, ``docs/testing.md`` for the chaos-testing guide, and
 ``benchmarks/bench_cluster.py`` for the YCSB-style workload that measures
 shard scaling.
 """
 
 from .client import ClusterClient
-from .engine import ClusterEngine, ShardHealth, shard_get, shard_ping, shard_put, shard_scan
+from .engine import (
+    ClusterClosed,
+    ClusterEngine,
+    ClusterRebalancing,
+    RejoinError,
+    RejoinReport,
+    ShardHealth,
+    rejoin_backup,
+    shard_catchup,
+    shard_get,
+    shard_ping,
+    shard_put,
+    shard_scan,
+)
 from .router import DEFAULT_VNODES, ShardRouter
 
 __all__ = [
     "DEFAULT_VNODES",
     "ClusterClient",
+    "ClusterClosed",
     "ClusterEngine",
+    "ClusterRebalancing",
+    "RejoinError",
+    "RejoinReport",
     "ShardHealth",
     "ShardRouter",
+    "rejoin_backup",
+    "shard_catchup",
     "shard_get",
     "shard_ping",
     "shard_put",

@@ -40,10 +40,22 @@ needs when a replica dies mid-traffic:
   :meth:`ClusterEngine.probe` actively checks liveness with the two-message
   :func:`~repro.protocols.kvs.kvs_ping` choreography.
 
-A dead *primary* is reported loudly (the failure, with its blame bundle,
-reaches the caller) but not failed over — promoting a backup to primary is
-future work; see ``docs/testing.md`` for the chaos suite that pins all of
-this down.
+Demotion is no longer forever.  With a ``durability=`` configuration every
+replica's store is a :class:`~repro.storage.DurableState` — mutations are
+write-ahead logged and periodically snapshotted (``docs/durability.md``) —
+and a crashed backup can come all the way back:
+:meth:`ClusterEngine.rejoin_backup` restarts the replica's store from disk
+(snapshot + WAL-suffix replay), closes the gap to the primary with the
+hash-verified :func:`~repro.protocols.kvs.kvs_catchup` choreography, and
+re-binds the shard with the restored membership — the replica's
+:class:`ShardHealth` status walks ``down → rejoining → up``.  Re-join works
+without durability too (the catch-up degrades to a full transfer), so the
+same control-plane call heals ephemeral clusters.
+
+A dead *primary* is still reported loudly (the failure, with its blame
+bundle, reaches the caller) but not failed over — promoting a backup to
+primary remains future work; see ``docs/testing.md`` for the chaos suite
+that pins all of this down.
 
 :class:`~repro.cluster.client.ClusterClient` wraps this with a blocking
 ``put/get/scan`` facade; ``benchmarks/bench_cluster.py`` drives it with a
@@ -53,7 +65,9 @@ YCSB-style mixed workload.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -63,9 +77,11 @@ from ..core.errors import ChoreographyRuntimeError, ChoreoTimeout
 from ..core.located import Faceted
 from ..core.locations import Census, Location, as_census
 from ..protocols.kvs import (
+    CatchupReport,
     Request,
     Response,
     State,
+    kvs_catchup,
     kvs_ping,
     kvs_quorum_get,
     kvs_scan,
@@ -75,10 +91,34 @@ from ..protocols.kvs import (
 from ..runtime.engine import ChoreoEngine, ChoreographyResult
 from ..runtime.stats import ChannelStats
 from ..runtime.transport import DEFAULT_TIMEOUT
+from ..storage import Durability, DurableState
 from .router import DEFAULT_VNODES, ShardId, ShardRouter
 
 #: The location name every shard census shares for the requesting side.
 DEFAULT_CLIENT = "client"
+
+
+class ClusterClosed(RuntimeError):
+    """Submitted to (or asked control-plane work of) a closed cluster.
+
+    A :class:`RuntimeError` subclass so pre-existing callers that caught the
+    untyped error keep working; new code should catch the type.
+    """
+
+
+class ClusterRebalancing(RuntimeError):
+    """Submitted while a control-plane operation owns the cluster.
+
+    Raised instead of accepting the submit: a request dispatched mid-
+    rebalance (or mid-rejoin) could route through a half-migrated ring or a
+    half-bound replica group, and its Future might never resolve.  Callers
+    should drain their in-flight work, let the control-plane call finish, and
+    resubmit.
+    """
+
+
+class RejoinError(RuntimeError):
+    """A replica re-join could not run or could not be verified."""
 
 
 # -- the per-shard data-plane choreographies ------------------------------------------
@@ -140,14 +180,29 @@ def shard_ping(op, client, replica, token):
     return kvs_ping(op, client, replica, located_token)
 
 
+@choreography(name="shard_catchup")
+def shard_catchup(op, client, server, rejoiner, state_refs):
+    """Bring a restarted replica to parity with the primary before re-join.
+
+    The transfer itself runs in a primary/rejoiner conclave
+    (:func:`~repro.protocols.kvs.kvs_catchup`); the other replicas complete
+    the instance vacuously, and the client receives the verified
+    :class:`~repro.protocols.kvs.CatchupReport`.
+    """
+    return kvs_catchup(op, client, server, rejoiner, state_refs)
+
+
 @dataclass(frozen=True)
 class ShardHealth:
     """One shard's replica liveness, as the cluster currently believes it.
 
     ``replicas`` maps every replica the shard was *created* with — including
-    demoted ones — to ``"up"`` or ``"down"``.  A shard is ``degraded`` when
-    any replica is down; it keeps serving through the remaining replicas
-    (down to an unreplicated primary) the whole time.
+    demoted ones — to ``"up"``, ``"down"``, or ``"rejoining"`` (mid
+    re-admission: restarted and catching up, not yet serving).  A shard is
+    ``degraded`` whenever any replica is not ``"up"``; it keeps serving
+    through the remaining replicas (down to an unreplicated primary) the
+    whole time, and a successful :meth:`ClusterEngine.rejoin_backup` walks a
+    replica ``down → rejoining → up`` and the shard back to healthy.
     """
 
     shard_id: ShardId
@@ -159,8 +214,27 @@ class ShardHealth:
 
     @property
     def degraded(self) -> bool:
-        """True when at least one replica has been marked down."""
+        """True when at least one replica is not serving (down or rejoining)."""
         return any(status != "up" for status in self.replicas.values())
+
+
+@dataclass(frozen=True)
+class RejoinReport:
+    """What one successful :meth:`ClusterEngine.rejoin_backup` did and cost."""
+
+    shard_id: ShardId
+    replica: Location
+    #: WAL records the restart replayed from disk (0 for ephemeral stores).
+    replayed_records: int
+    #: Wall-clock seconds spent reopening + replaying the on-disk state.
+    replay_seconds: float
+    #: Wall-clock seconds spent in the catch-up choreography.
+    catchup_seconds: float
+    #: The catch-up transfer mode that stuck: ``"delta"`` or ``"full"``.
+    mode: str
+    #: True when a delta transfer failed hash verification and the
+    #: full-transfer fallback ran instead.
+    fell_back: bool
 
 
 class _ShardSession:
@@ -168,7 +242,8 @@ class _ShardSession:
 
     __slots__ = (
         "shard_id", "client", "census", "servers", "primary", "backups", "down",
-        "state", "engine", "put", "get", "scan", "serve", "pings",
+        "rejoining", "durability", "state", "engine",
+        "put", "get", "scan", "serve", "pings",
     )
 
     def __init__(
@@ -179,6 +254,7 @@ class _ShardSession:
         backend: Any,
         timeout: float,
         backend_options: Dict[str, Any],
+        durability: Optional[Durability] = None,
     ):
         self.shard_id = shard_id
         self.client = client
@@ -187,13 +263,19 @@ class _ShardSession:
         self.backups: List[Location] = self.servers[1:]
         #: Backups demoted out of the replica group, in detection order.
         self.down: List[Location] = []
+        #: Demoted backups currently being re-admitted (restart + catch-up).
+        self.rejoining: List[Location] = []
+        self.durability = durability
         self.census: Census = as_census([client] + self.servers)
         # The replica stores persist across choreography instances: the engine
         # keeps one worker thread per location alive for the session, and each
         # worker only ever unwraps its own facet, so sharing the Faceted
         # across instances is race-free (per-location instances run in
-        # submission order).
-        self.state: Faceted[State] = Faceted(self.servers, {s: {} for s in self.servers})
+        # submission order).  With durability, each facet is a DurableState
+        # whose construction is the recovery path: snapshot + WAL replay.
+        self.state: Faceted[State] = Faceted(
+            self.servers, {s: self._open_store(s) for s in self.servers}
+        )
         self.engine = ChoreoEngine(
             self.census, backend=backend, timeout=timeout, **backend_options
         )
@@ -235,19 +317,87 @@ class _ShardSession:
             name=bind_name("shard_serve"),
         )
 
+    def _open_store(self, replica: Location) -> State:
+        """One replica's store: durable (recovered from disk) or ephemeral."""
+        if self.durability is None:
+            return {}
+        return self.durability.open_state(self.shard_id, replica)
+
     def demote_backup(self, replica: Location) -> None:
         """Drop a dead backup from the replica group and re-bind around it."""
         self.backups.remove(replica)
         self.down.append(replica)
         self._bind_data_plane()
 
+    # ------------------------------------------------------------------- rejoin --
+
+    def restart_replica_state(self, replica: Location) -> State:
+        """Model the replica's process restart: rebuild its store from disk.
+
+        The in-memory facet is discarded — whatever a dead process held in
+        RAM is gone — and replaced by a freshly opened store, whose
+        construction *is* the recovery replay (snapshot + WAL suffix) when
+        the shard is durable, and an empty dict when it is not.  The other
+        replicas' facet objects are untouched; only the Faceted wrapper is
+        rebuilt, so the caller must re-bind any choreography that should see
+        the new facet.
+        """
+        facets = dict(self.state.visible_facets())
+        old = facets.get(replica)
+        if isinstance(old, DurableState):
+            old.close()
+        fresh = self._open_store(replica)
+        facets[replica] = fresh
+        self.state = Faceted(self.servers, facets)
+        return fresh
+
+    def begin_rejoin(self, replica: Location) -> None:
+        """Move ``replica`` from the demoted list into the rejoining state."""
+        self.down.remove(replica)
+        self.rejoining.append(replica)
+
+    def abort_rejoin(self, replica: Location) -> None:
+        """A re-join failed: the replica goes back to plain demoted."""
+        if replica in self.rejoining:
+            self.rejoining.remove(replica)
+        if replica not in self.down:
+            self.down.append(replica)
+
+    def finish_rejoin(self, replica: Location) -> None:
+        """Re-admit ``replica``: restore membership and re-bind the shard.
+
+        The backup list is rebuilt in census order (not append order), so a
+        shard that loses and regains replicas converges to the same binding
+        it started with — bindings stay deterministic across failure
+        histories.
+        """
+        self.rejoining.remove(replica)
+        self.backups = [
+            server for server in self.servers[1:]
+            if server not in self.down and server not in self.rejoining
+        ]
+        self._bind_data_plane()
+
+    def close_storage(self) -> None:
+        """Flush and close every durable facet (no-op for ephemeral shards)."""
+        for facet in self.state.visible_facets().values():
+            if isinstance(facet, DurableState):
+                facet.close()
+
     def health(self) -> ShardHealth:
         """This shard's current :class:`ShardHealth` snapshot."""
+
+        def status(replica: Location) -> str:
+            if replica in self.down:
+                return "down"
+            if replica in self.rejoining:
+                return "rejoining"
+            return "up"
+
         return ShardHealth(
             self.shard_id,
             self.primary,
-            {replica: ("down" if replica in self.down else "up")
-             for replica in self.servers},
+            {replica: status(replica) for replica in self.servers},
             down=tuple(self.down),
         )
 
@@ -267,6 +417,13 @@ class ClusterEngine:
         vnodes: Consistent-hash ring points per shard
             (:class:`~repro.cluster.router.ShardRouter`).
         timeout: Per-endpoint receive timeout, forwarded to each engine.
+        durability: ``None`` (ephemeral stores, the default), a directory
+            path, or a full :class:`~repro.storage.Durability` configuration.
+            With durability on, every replica store is a
+            :class:`~repro.storage.DurableState` rooted at
+            ``<root>/<shard_id>/<replica>/`` — opening the cluster *is*
+            crash recovery (snapshot + WAL replay), and
+            :meth:`rejoin_backup` can re-admit a crashed, restarted backup.
         **backend_options: Extra backend factory options (e.g. ``latency=``
             for ``"simulated"``), forwarded to each engine.
 
@@ -286,6 +443,7 @@ class ClusterEngine:
         client: Location = DEFAULT_CLIENT,
         vnodes: int = DEFAULT_VNODES,
         timeout: float = DEFAULT_TIMEOUT,
+        durability: "Union[None, str, os.PathLike, Durability]" = None,
         **backend_options: Any,
     ):
         if replication < 1:
@@ -293,14 +451,23 @@ class ClusterEngine:
         self.client = client
         self.replication = replication
         self.router = ShardRouter(shards, vnodes=vnodes)
+        if durability is not None and not isinstance(durability, Durability):
+            durability = Durability(root=os.fspath(durability))
+        self.durability: Optional[Durability] = durability
         self._backend = backend
         self._timeout = timeout
         self._backend_options = dict(backend_options)
         self._lock = threading.Lock()
         self._closed = False
+        #: The control-plane operation currently owning the cluster (a short
+        #: description, or ``None``); submits are refused while set.
+        self._control_op: Optional[str] = None
         #: Every demotion performed, as ``(shard_id, replica)`` in detection
         #: order — the cluster's failover audit trail (guarded by ``_lock``).
         self.failovers: List[Tuple[ShardId, Location]] = []
+        #: Every successful re-join, in completion order — the recovery side
+        #: of the audit trail (guarded by ``_lock``).
+        self.rejoins: List[RejoinReport] = []
         self._sessions: Dict[ShardId, _ShardSession] = {}
         try:
             for shard_id in self.router.shards:
@@ -313,6 +480,7 @@ class ClusterEngine:
         return _ShardSession(
             shard_id, self.client, self.replication,
             self._backend, self._timeout, self._backend_options,
+            durability=self.durability,
         )
 
     # ---------------------------------------------------------------- routing --
@@ -374,7 +542,12 @@ class ClusterEngine:
                   replays_left: int) -> None:
         with self._lock:
             if self._closed:
-                raise RuntimeError("cannot submit to a closed ClusterEngine")
+                raise ClusterClosed("cannot submit to a closed ClusterEngine")
+            if self._control_op is not None:
+                raise ClusterRebalancing(
+                    f"cannot submit while the cluster is busy with "
+                    f"{self._control_op}; drain in-flight futures and retry"
+                )
             session = self._sessions[shard_id]
             chor = getattr(session, op_name)
         inner = session.engine.submit(chor, args=args, kwargs=kwargs)
@@ -611,9 +784,9 @@ class ClusterEngine:
               demote: bool = True) -> Dict[ShardId, Dict[Location, bool]]:
         """Actively check replica liveness with per-replica ping choreographies.
 
-        Each configured replica (demoted ones included — a probe is how an
-        operator would notice a recovery-in-place, even though rejoin is not
-        automated) is sent one two-message
+        Each configured replica (demoted ones included — a probe answering
+        from a demoted replica is the operator's cue that the process is back
+        and :meth:`rejoin_backup` can re-admit it) is sent one two-message
         :func:`~repro.protocols.kvs.kvs_ping`.  A replica that fails or
         times out is reported dead; probing a dead replica costs one receive
         timeout, so point ``shard_id`` at the shard you care about when the
@@ -682,18 +855,36 @@ class ClusterEngine:
             The new shard's id.
 
         Raises:
-            RuntimeError: If requests are still in flight (``pending != 0``)
-                or the cluster is closed.
+            ClusterClosed: If the cluster is closed.
+            ClusterRebalancing: If another control-plane operation owns the
+                cluster.  While *this* rebalance runs, racing submits get the
+                same typed error instead of a Future that interleaves with
+                (or hangs on) the migration.
+            RuntimeError: If requests are still in flight (``pending != 0``).
             ValueError: If the shard id is already on the ring.
         """
         with self._lock:
             if self._closed:
-                raise RuntimeError("cannot rebalance a closed ClusterEngine")
+                raise ClusterClosed("cannot rebalance a closed ClusterEngine")
+            if self._control_op is not None:
+                raise ClusterRebalancing(
+                    f"cluster is already busy with {self._control_op}"
+                )
             if self.pending:
                 raise RuntimeError(
                     "rebalance requires a quiescent cluster; resolve in-flight "
                     f"futures first ({self.pending} still pending)"
                 )
+            self._control_op = "a shard rebalance"
+        try:
+            return self._rebalance(shard_id)
+        finally:
+            with self._lock:
+                self._control_op = None
+
+    def _rebalance(self, shard_id: Optional[ShardId]) -> ShardId:
+        """The body of :meth:`add_shard`, run with ``_control_op`` held."""
+        with self._lock:
             if shard_id is None:
                 for index in itertools.count(len(self._sessions)):
                     shard_id = f"shard{index}"
@@ -731,8 +922,129 @@ class ClusterEngine:
                     replica_state.pop(key, None)
         return shard_id
 
+    def rejoin_backup(self, shard_id: ShardId, replica: Location) -> RejoinReport:
+        """Re-admit a demoted backup: restart, replay, catch up, re-bind.
+
+        The recovery half of the failover story.  The replica must currently
+        be demoted (``health()[shard_id].replicas[replica] == "down"``); the
+        call then:
+
+        1. **restarts** the replica's process model — on a fault-injected
+           backend its crashed transport endpoints are revived
+           (:meth:`~repro.faults.FaultSession.revive`), and its in-memory
+           store is discarded and reopened from disk, which replays the
+           snapshot + WAL suffix when the cluster is durable;
+        2. **catches up** to the primary with the hash-verified
+           :func:`~repro.protocols.kvs.kvs_catchup` choreography (a WAL
+           delta when possible, a full transfer otherwise);
+        3. **re-binds** the shard's data-plane choreographies with the
+           restored membership — the same census-polymorphic re-binding
+           demotion uses, run in reverse.
+
+        The replica's :class:`ShardHealth` status walks ``down → rejoining →
+        up``; on any failure it returns to ``down`` and the shard keeps
+        serving degraded, exactly as before the attempt.
+
+        Like :meth:`add_shard`, this is a quiescent-cluster control-plane
+        operation: in-flight Futures must be resolved first, and submits
+        racing the re-join are refused with :class:`ClusterRebalancing`.
+
+        Args:
+            shard_id: The shard whose replica group is being healed.
+            replica: The demoted backup to re-admit.
+
+        Returns:
+            A :class:`RejoinReport` with the replay/catch-up costs — the
+            recovery-time metrics ``benchmarks/bench_recovery.py`` tracks.
+
+        Raises:
+            ClusterClosed: If the cluster is closed.
+            ClusterRebalancing: If another control-plane operation owns the
+                cluster.
+            RejoinError: If the replica is the primary or is not demoted, or
+                the catch-up transfer could not be verified against the
+                primary's store.
+            RuntimeError: If requests are still in flight.
+        """
+        with self._lock:
+            if self._closed:
+                raise ClusterClosed("cannot rejoin on a closed ClusterEngine")
+            if self._control_op is not None:
+                raise ClusterRebalancing(
+                    f"cluster is already busy with {self._control_op}"
+                )
+            session = self._sessions[shard_id]
+            if replica == session.primary:
+                raise RejoinError(
+                    f"{replica!r} is the primary of {shard_id!r}; only demoted "
+                    "backups can rejoin"
+                )
+            if replica not in session.down:
+                raise RejoinError(
+                    f"replica {replica!r} of shard {shard_id!r} is not demoted; "
+                    "nothing to rejoin"
+                )
+            if self.pending:
+                raise RuntimeError(
+                    "rejoin requires a quiescent cluster; resolve in-flight "
+                    f"futures first ({self.pending} still pending)"
+                )
+            self._control_op = f"rejoining {replica} into {shard_id}"
+            session.begin_rejoin(replica)
+        try:
+            # 1. The dead process comes back: revive its crashed transport
+            # endpoints (fault-injected backends) and recover its store from
+            # disk.  Opening the DurableState *is* the replay.
+            faults = getattr(session.engine.transport, "faults", None)
+            if faults is not None:
+                faults.revive(replica)
+            started = time.perf_counter()
+            fresh = session.restart_replica_state(replica)
+            replayed = getattr(fresh, "replayed_records", 0)
+            replay_seconds = time.perf_counter() - started
+
+            # 2. Close the gap to the primary, hash-verified end to end.
+            started = time.perf_counter()
+            catchup = shard_catchup.bind(
+                self.client, session.primary, replica, session.state,
+                name=f"shard_catchup@{shard_id}:{replica}",
+            )
+            report: CatchupReport = session.engine.run(catchup).value_at(self.client)
+            catchup_seconds = time.perf_counter() - started
+            if not report.verified:
+                raise RejoinError(
+                    f"catch-up for {replica!r} could not be verified against "
+                    f"the primary ({report.mode} transfer, "
+                    f"fell_back={report.fell_back})"
+                )
+
+            # 3. Restore membership; the shard serves replicated again.
+            with self._lock:
+                session.finish_rejoin(replica)
+                rejoin = RejoinReport(
+                    shard_id=shard_id, replica=replica,
+                    replayed_records=replayed, replay_seconds=replay_seconds,
+                    catchup_seconds=catchup_seconds, mode=report.mode,
+                    fell_back=report.fell_back,
+                )
+                self.rejoins.append(rejoin)
+            return rejoin
+        except BaseException:
+            with self._lock:
+                session.abort_rejoin(replica)
+            raise
+        finally:
+            with self._lock:
+                self._control_op = None
+
     def close(self) -> None:
-        """Close every shard session (idempotent); pending work drains first."""
+        """Close every shard session (idempotent); pending work drains first.
+
+        Racing submits that arrive once the flag is set get a typed
+        :class:`ClusterClosed` instead of a Future enqueued on a dying
+        engine.  Durable stores are flushed and closed *after* their engine
+        has drained, so the WAL holds every acknowledged mutation.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -740,6 +1052,7 @@ class ClusterEngine:
             sessions = list(self._sessions.values())
         for session in sessions:
             session.engine.close()
+            session.close_storage()
 
     def __enter__(self) -> "ClusterEngine":
         return self
@@ -752,3 +1065,17 @@ class ClusterEngine:
             f"ClusterEngine(shards={list(self.shards)!r}, "
             f"replication={self.replication}, client={self.client!r})"
         )
+
+
+def rejoin_backup(
+    cluster: ClusterEngine, shard_id: ShardId, replica: Location
+) -> RejoinReport:
+    """Re-admit a demoted backup into ``cluster``'s replica group.
+
+    A free-function spelling of :meth:`ClusterEngine.rejoin_backup`, exported
+    at the package top level for operator scripts::
+
+        from repro import rejoin_backup
+        report = rejoin_backup(cluster, "shard0", "shard0.r1")
+    """
+    return cluster.rejoin_backup(shard_id, replica)

@@ -238,3 +238,29 @@ class FaultyEndpoint(ForwardingEndpoint):
     def crashed(self) -> bool:
         """Whether this endpoint's crash rule has fired."""
         return self._crashed_at is not None
+
+    def restart(self) -> bool:
+        """Clear a fired crash, as a restarted process re-opening its sockets.
+
+        The crash rule is consumed: a restarted location is not re-killed by
+        the rule that killed it (a plan that wants repeated deaths schedules
+        them on separate locations).  Held frames were already discarded at
+        crash time — a dead process's buffered writes stay lost — and the
+        operation counter keeps running, so later per-channel fault decisions
+        remain the pure seeded functions they were before the crash.
+
+        Call this only while the endpoint's worker is quiescent (nothing
+        in flight for its location): the counters are single-threaded by the
+        one-worker-per-endpoint invariant, and a restart races with nothing
+        only when the location has no instance running.
+
+        Returns:
+            True when a crash was actually cleared; False when the endpoint
+            was alive (the call is then a no-op).
+        """
+        if self._crashed_at is None:
+            return False
+        self._crashed_at = None
+        self._crash_rule = None
+        self._session.record("restart", self.location, None, self._step)
+        return True

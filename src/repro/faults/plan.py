@@ -120,7 +120,7 @@ class FaultEvent:
     interleave — which is what makes two same-seed runs comparable.
     """
 
-    kind: str  #: "delay" | "reorder" | "crash" | "connect-fail"
+    kind: str  #: "delay" | "reorder" | "crash" | "connect-fail" | "restart"
     location: Location  #: the endpoint the fault fired at
     #: The channel's other end: one location for unicast faults, the tuple
     #: of receivers for a broadcast delay, ``None`` for crashes.
@@ -319,6 +319,7 @@ class FaultSession:
         self.plan = plan
         self._lock = threading.Lock()
         self._events: List[FaultEvent] = []
+        self._wrapped: List[Any] = []
 
     def record(
         self,
@@ -381,7 +382,30 @@ class FaultSession:
         """
         from .inject import FaultyEndpoint
 
-        return FaultyEndpoint(endpoint, self, delay_fn=delay_fn, clock_fn=clock_fn)
+        wrapper = FaultyEndpoint(endpoint, self, delay_fn=delay_fn, clock_fn=clock_fn)
+        with self._lock:
+            self._wrapped.append(wrapper)
+        return wrapper
+
+    def revive(self, location: Location) -> int:
+        """Restart every crashed endpoint wrapper at ``location``.
+
+        The recovery half of :meth:`FaultPlan.crash`: the cluster's
+        :meth:`~repro.cluster.ClusterEngine.rejoin_backup` calls this before
+        running the catch-up choreography, modelling the dead process coming
+        back up and re-opening its sockets.  Each restart is logged as a
+        ``"restart"`` event, so a crash→restart pair is visible (and
+        schedule-comparable) in the session log.  Call only while the
+        location is quiescent — see :meth:`FaultyEndpoint.restart`.
+
+        Returns:
+            How many endpoints actually transitioned from crashed to alive.
+        """
+        with self._lock:
+            targets = [
+                wrapper for wrapper in self._wrapped if wrapper.location == location
+            ]
+        return sum(1 for wrapper in targets if wrapper.restart())
 
     def __repr__(self) -> str:
         return f"FaultSession(plan={self.plan!r}, events={len(self.events)})"

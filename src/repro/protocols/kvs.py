@@ -29,7 +29,13 @@ Two further census-polymorphic choreographies serve the sharded cluster layer
   branching on replicated data, hence no conclave and no KoC traffic);
 * :func:`kvs_ping` — a two-message liveness probe; a silent replica surfaces
   as a typed receive timeout, the raw signal behind the cluster's failure
-  detector and its backup-demotion failover path.
+  detector and its backup-demotion failover path;
+* :func:`kvs_catchup` — bring a restarted replica back to state parity with
+  the primary before it re-enters the replica group: the rejoiner reports the
+  high-water mark its WAL replay reached, the primary streams either the
+  delta since that mark or (when the delta was compacted away, or on a hash
+  mismatch) its full store, and the transfer is verified with
+  :func:`hash_state` before the re-join is allowed to proceed.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..core.located import Faceted, Located
 from ..core.locations import Census, Location, LocationsLike, as_census
 from ..core.ops import ChoreoOp
+from ..storage import apply_catchup, delta_since, high_water_of
 from . import crypto
 
 
@@ -595,3 +602,138 @@ def kvs_scan(
         server, lambda un: scan_state(un(state_refs), un(prefix_at_server))
     )
     return op.comm(server, client, items)
+
+
+# -- replica re-join: the catch-up transfer -------------------------------------------
+
+
+@dataclass(frozen=True)
+class CatchupReport:
+    """The rejoiner's account of one :func:`kvs_catchup` transfer."""
+
+    #: ``"delta"`` (WAL suffix) or ``"full"`` (complete store).
+    mode: str
+    #: Whether the rejoiner's post-transfer :func:`hash_state` matched the
+    #: primary's.  ``False`` means even the full-transfer fallback diverged —
+    #: the caller must not re-admit the replica.
+    verified: bool
+    #: Records (delta) or entries (full) applied by the transfer that stuck.
+    applied: int
+    #: The primary's high-water mark the rejoiner was sealed to (0 for
+    #: ephemeral stores).
+    target_seq: int
+    #: True when a delta transfer failed verification and the full-transfer
+    #: fallback ran.
+    fell_back: bool
+
+
+def kvs_catchup(
+    op: ChoreoOp,
+    client: Location,
+    server: Location,
+    rejoiner: Location,
+    state_refs: Faceted[State],
+) -> Located[CatchupReport]:
+    """Bring ``rejoiner``'s store back to parity with ``server``'s.
+
+    The re-join protocol of the durable cluster (``docs/durability.md``): a
+    crashed replica restarts, replays its WAL to a *recovered* state, and
+    must close the gap to the primary before re-entering the replica group.
+    The transfer runs in a two-member conclave — the rest of the census
+    (client included) pays no Knowledge-of-Choice traffic — and goes:
+
+    1. the rejoiner reports its replayed high-water mark to the primary;
+    2. the primary answers with either the WAL **delta** since that mark or,
+       when its own log has compacted past it (or the store is ephemeral and
+       has no log at all), its **full** store — plus the target sequence
+       number and a :func:`hash_state` digest;
+    3. the rejoiner applies the transfer and checks the digest.  A delta can
+       legitimately fail here: replay-at-failure-time means the primary's
+       mutation stream since the crash need not extend the crashed replica's
+       (a replayed write lands *behind* later traffic), so matching sequence
+       numbers do not imply matching stores.  The hash check is what makes
+       the delta path safe to attempt at all;
+    4. on a mismatch the verdict is broadcast inside the conclave and the
+       primary falls back to a full transfer, which is re-verified.
+
+    Args:
+        op: The operator record; census must contain all three locations.
+        client: Where the report is delivered (the cluster control plane).
+        server: The shard primary, the authoritative store.
+        rejoiner: The restarted replica being brought back.
+        state_refs: The replicas' stores; the server's and rejoiner's facets
+            are used (durable or plain — plain stores always take the full
+            path).
+
+    Returns:
+        The :class:`CatchupReport`, located at the client.
+    """
+    op.census.require_member(client)
+    op.census.require_member(server)
+    op.census.require_member(rejoiner)
+    pair = as_census([server, rejoiner])
+
+    def transfer(sub: ChoreoOp) -> Located[CatchupReport]:
+        mark_at_rejoiner = sub.locally(
+            rejoiner, lambda un: high_water_of(un(state_refs))
+        )
+        mark = sub.comm(rejoiner, server, mark_at_rejoiner)
+
+        def build(un) -> Tuple[str, Any, int, int]:
+            state = un(state_refs)
+            target = high_water_of(state)
+            digest = hash_state(state)
+            delta = delta_since(state, un(mark))
+            if delta is None:
+                return ("full", dict(state), target, digest)
+            return ("delta", delta, target, digest)
+
+        package = sub.comm(server, rejoiner, sub.locally(server, build))
+
+        def apply_package(un) -> Tuple[str, int, int, bool]:
+            mode, data, target, digest = un(package)
+            state = un(state_refs)
+            applied = apply_catchup(state, mode, data, target)
+            return (mode, applied, target, hash_state(state) == digest)
+
+        first = sub.locally(rejoiner, apply_package)
+        verified = sub.broadcast(
+            rejoiner, sub.locally(rejoiner, lambda un: un(first)[3])
+        )
+        if verified:
+            return sub.locally(
+                rejoiner,
+                lambda un: CatchupReport(
+                    mode=un(first)[0], verified=True, applied=un(first)[1],
+                    target_seq=un(first)[2], fell_back=False,
+                ),
+            )
+
+        # Delta replay produced a divergent store (or the full transfer hit
+        # bit-rot): re-send the whole store and re-verify.
+        fallback = sub.comm(
+            server,
+            rejoiner,
+            sub.locally(
+                server,
+                lambda un: (
+                    dict(un(state_refs)),
+                    high_water_of(un(state_refs)),
+                    hash_state(un(state_refs)),
+                ),
+            ),
+        )
+
+        def apply_fallback(un) -> CatchupReport:
+            contents, target, digest = un(fallback)
+            state = un(state_refs)
+            applied = apply_catchup(state, "full", contents, target)
+            return CatchupReport(
+                mode="full", verified=hash_state(state) == digest,
+                applied=applied, target_seq=target, fell_back=True,
+            )
+
+        return sub.locally(rejoiner, apply_fallback)
+
+    report_at_rejoiner = op.conclave_to(pair, [rejoiner], transfer)
+    return op.comm(rejoiner, client, report_at_rejoiner)

@@ -1,0 +1,46 @@
+"""Per-replica persistence: write-ahead log, snapshots, durable stores.
+
+This package is the disk half of the cluster's recovery story
+(``docs/durability.md``):
+
+* :class:`WriteAheadLog` — append-only, checksum-framed mutation log with
+  torn-tail repair and an ``always | batch | never`` fsync policy knob.
+* :class:`SnapshotStore` — atomic write-then-rename checkpoints that bound
+  WAL growth and restart replay time.
+* :class:`DurableState` — a ``dict`` subclass that write-ahead-logs every
+  mutation, so the KVS choreographies gain persistence without changing a
+  single protocol call site.
+* :class:`Durability` — the cluster-level configuration
+  (``ClusterEngine(..., durability=...)``) mapping shards and replicas to
+  on-disk directories.
+
+The catch-up bridge (:func:`high_water_of`, :func:`delta_since`,
+:func:`apply_catchup`) is what the ``kvs_catchup`` choreography calls on
+both sides of a replica re-join; it degrades to full transfers for
+ephemeral (plain-dict) stores so re-join works with durability off, too.
+"""
+
+from .durable import (
+    Durability,
+    DurableState,
+    apply_catchup,
+    apply_op,
+    delta_since,
+    high_water_of,
+)
+from .snapshot import SnapshotStore
+from .wal import FSYNC_POLICIES, WalCorruption, WalRecord, WriteAheadLog
+
+__all__ = [
+    "Durability",
+    "DurableState",
+    "FSYNC_POLICIES",
+    "SnapshotStore",
+    "WalCorruption",
+    "WalRecord",
+    "WriteAheadLog",
+    "apply_catchup",
+    "apply_op",
+    "delta_since",
+    "high_water_of",
+]

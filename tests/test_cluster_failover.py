@@ -56,9 +56,14 @@ def ycsb_a(op_count: int, *, seed: int, keys: int = 64):
     return ops
 
 
-def drive(client: ClusterClient, ops) -> dict:
-    """Run an op stream through the blocking client, tracking a model dict."""
-    model = {}
+def drive(client: ClusterClient, ops, model: "dict | None" = None) -> dict:
+    """Run an op stream through the blocking client, tracking a model dict.
+
+    Pass ``model`` to resume a run mid-stream (the recovery suite pauses a
+    workload to re-join a replica, then drives the second half).
+    """
+    if model is None:
+        model = {}
     for op in ops:
         if op[0] == "put":
             _kind, key, value = op

@@ -25,6 +25,7 @@ LINKED_DOCS = sorted(REPO_ROOT.glob("docs/*.md")) + [REPO_ROOT / "ROADMAP.md"]
 DOCTESTED_DOCS = [
     REPO_ROOT / "docs" / "api.md",
     REPO_ROOT / "docs" / "architecture.md",
+    REPO_ROOT / "docs" / "durability.md",
     REPO_ROOT / "docs" / "testing.md",
 ]
 
@@ -63,7 +64,8 @@ def test_intra_repo_markdown_links_resolve(path):
 
 def test_docs_contain_expected_files():
     """The documentation set this repo promises actually exists."""
-    for name in ["api.md", "architecture.md", "benchmarks.md", "performance.md", "testing.md"]:
+    for name in ["api.md", "architecture.md", "benchmarks.md", "durability.md",
+                 "performance.md", "testing.md"]:
         assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
 
 

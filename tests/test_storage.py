@@ -1,0 +1,367 @@
+"""The storage subsystem: WAL framing and repair, snapshots, durable stores.
+
+Everything here runs against real files in pytest's ``tmp_path`` — the
+torn-tail and corruption tests damage the bytes on disk exactly the way a
+crash or bit-rot would, then check that reopening recovers (or refuses)
+correctly.
+"""
+
+import os
+
+import pytest
+
+from repro.storage import (
+    Durability,
+    DurableState,
+    SnapshotStore,
+    WalCorruption,
+    WriteAheadLog,
+    apply_catchup,
+    apply_op,
+    delta_since,
+    high_water_of,
+)
+from repro.storage import snapshot as snapshot_mod
+from repro.storage import wal as wal_mod
+
+
+# -- WriteAheadLog --------------------------------------------------------------------
+
+
+class TestWriteAheadLog:
+    def test_append_and_read_back(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "wal.bin")
+        assert log.append(("put", "a", "1")) == 1
+        assert log.append(("del", "a")) == 2
+        assert log.append(("clear",)) == 3
+        assert list(log.records()) == [
+            (1, ("put", "a", "1")), (2, ("del", "a")), (3, ("clear",)),
+        ]
+        assert list(log.records(since=2)) == [(3, ("clear",))]
+        log.close()
+
+    def test_reopen_restores_counters(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.bin") as log:
+            for i in range(5):
+                log.append(("put", f"k{i}", str(i)))
+        reopened = WriteAheadLog(tmp_path / "wal.bin")
+        assert reopened.last_seq == 5
+        assert reopened.record_count == 5
+        assert reopened.append(("put", "next", "x")) == 6
+        reopened.close()
+
+    def test_explicit_seq_jump_and_monotonicity(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "wal.bin")
+        log.append(("put", "a", "1"))
+        assert log.append(("seal",), seq=10) == 10
+        assert log.append(("put", "b", "2")) == 11
+        with pytest.raises(ValueError, match="not after"):
+            log.append(("put", "c", "3"), seq=5)
+        log.close()
+
+    @pytest.mark.parametrize("chop", [1, 3, 5])
+    def test_torn_tail_is_truncated(self, tmp_path, chop):
+        path = tmp_path / "wal.bin"
+        with WriteAheadLog(path) as log:
+            log.append(("put", "a", "1"))
+            log.append(("put", "b", "longer-value-to-chop"))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - chop)
+        reopened = WriteAheadLog(path)
+        assert reopened.record_count == 1
+        assert list(reopened.records()) == [(1, ("put", "a", "1"))]
+        # The torn bytes are gone from disk; appending continues cleanly.
+        assert reopened.append(("put", "c", "3")) == 2
+        reopened.close()
+        final = WriteAheadLog(path)
+        assert list(final.records()) == [(1, ("put", "a", "1")), (2, ("put", "c", "3"))]
+        final.close()
+
+    def test_tail_checksum_damage_is_truncated(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        with WriteAheadLog(path) as log:
+            log.append(("put", "a", "1"))
+            log.append(("put", "b", "2"))
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the last record
+        path.write_bytes(bytes(data))
+        reopened = WriteAheadLog(path)
+        assert list(reopened.records()) == [(1, ("put", "a", "1"))]
+        reopened.close()
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        with WriteAheadLog(path) as log:
+            first_end = None
+            log.append(("put", "a", "1"))
+            log.sync()
+            first_end = os.path.getsize(path)
+            log.append(("put", "b", "2"))
+        data = bytearray(path.read_bytes())
+        data[first_end - 1] ^= 0xFF  # damage the FIRST record, intact data follows
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruption):
+            WriteAheadLog(path)
+
+    def test_bad_magic_refused(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        path.write_bytes(b"NOTAWAL!" + b"\x00" * 16)
+        with pytest.raises(WalCorruption, match="magic"):
+            WriteAheadLog(path)
+
+    def test_truncated_magic_restarts_fresh(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        path.write_bytes(wal_mod.MAGIC[:4])  # crash while writing the header
+        log = WriteAheadLog(path)
+        assert log.record_count == 0
+        assert log.append(("put", "a", "1")) == 1
+        log.close()
+
+    def test_fsync_policy_validation(self, tmp_path):
+        for policy in ("always", "batch", "never"):
+            WriteAheadLog(tmp_path / f"{policy}.bin", fsync=policy).close()
+        with pytest.raises(ValueError, match="fsync policy"):
+            WriteAheadLog(tmp_path / "bad.bin", fsync="sometimes")
+
+    def test_reset_keeps_sequence_numbers(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "wal.bin")
+        for i in range(4):
+            log.append(("put", f"k{i}", str(i)))
+        log.reset(log.last_seq)
+        assert log.record_count == 0
+        assert list(log.records()) == []
+        assert log.append(("put", "later", "x")) == 5
+        log.close()
+
+    def test_append_after_close_raises(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "wal.bin")
+        log.close()
+        log.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            log.append(("put", "a", "1"))
+
+
+# -- SnapshotStore --------------------------------------------------------------------
+
+
+class TestSnapshotStore:
+    def test_roundtrip_and_overwrite(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        assert store.load() == (0, {})
+        store.save(7, {"a": "1", "b": "2"})
+        assert store.load() == (7, {"a": "1", "b": "2"})
+        store.save(12, {"c": "3"})
+        assert store.load() == (12, {"c": "3"})
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(1, {"a": "1"})
+        assert not os.path.exists(store.path + ".tmp")
+        assert os.path.exists(store.path)
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(3, {"a": "1"})
+        data = bytearray(open(store.path, "rb").read())
+        data[-1] ^= 0xFF
+        open(store.path, "wb").write(bytes(data))
+        with pytest.raises(WalCorruption, match="checksum"):
+            store.load()
+
+    def test_bad_magic_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        open(store.path, "wb").write(b"garbage-here")
+        with pytest.raises(WalCorruption, match="magic"):
+            store.load()
+
+    def test_truncated_payload_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(3, {"a": "1"})
+        data = open(store.path, "rb").read()
+        open(store.path, "wb").write(data[:-2])
+        with pytest.raises(WalCorruption, match="truncated"):
+            store.load()
+
+    def test_magic_is_distinct_from_wal(self):
+        assert snapshot_mod.MAGIC != wal_mod.MAGIC
+
+
+# -- DurableState ---------------------------------------------------------------------
+
+
+class TestDurableState:
+    def test_reopen_equals_original(self, tmp_path):
+        state = DurableState(tmp_path / "r0")
+        state["a"] = "1"
+        state["b"] = "2"
+        del state["a"]
+        state.update({"c": "3", "d": "4"})
+        state.pop("d")
+        state.setdefault("e", "5")
+        state.setdefault("e", "IGNORED")
+        expected = dict(state)
+        state.close()
+        reopened = DurableState(tmp_path / "r0")
+        assert dict(reopened) == expected == {"b": "2", "c": "3", "e": "5"}
+        assert reopened.replayed_records == 7
+        assert reopened.high_water == 7
+        reopened.close()
+
+    def test_missing_key_paths_do_not_log(self, tmp_path):
+        state = DurableState(tmp_path / "r0")
+        with pytest.raises(KeyError):
+            del state["absent"]
+        with pytest.raises(KeyError):
+            state.pop("absent")
+        assert state.pop("absent", "dflt") == "dflt"
+        with pytest.raises(KeyError):
+            state.popitem()
+        assert state.high_water == 0  # nothing was written to the WAL
+        state.close()
+
+    def test_clear_and_popitem_replay(self, tmp_path):
+        state = DurableState(tmp_path / "r0")
+        state.update({"a": "1", "b": "2", "c": "3"})
+        state.clear()
+        state["x"] = "9"
+        state["y"] = "8"
+        assert state.popitem() == ("y", "8")
+        state.close()
+        reopened = DurableState(tmp_path / "r0")
+        assert dict(reopened) == {"x": "9"}
+        reopened.close()
+
+    def test_snapshot_compaction_bounds_replay(self, tmp_path):
+        state = DurableState(tmp_path / "r0", snapshot_every=10)
+        for i in range(35):
+            state[f"k{i}"] = str(i)
+        assert state.wal.record_count < 10  # compaction ran
+        expected = dict(state)
+        state.close()
+        reopened = DurableState(tmp_path / "r0", snapshot_every=10)
+        assert dict(reopened) == expected
+        assert reopened.replayed_records < 10  # replay is the suffix only
+        assert reopened.high_water == 35
+        reopened.close()
+
+    def test_torn_tail_loses_only_unsynced_suffix(self, tmp_path):
+        state = DurableState(tmp_path / "r0")
+        state["kept"] = "yes"
+        state["torn"] = "this-record-gets-chopped"
+        state.close()
+        wal_path = tmp_path / "r0" / "wal.bin"
+        size = os.path.getsize(wal_path)
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(size - 4)
+        reopened = DurableState(tmp_path / "r0")
+        assert dict(reopened) == {"kept": "yes"}
+        assert reopened.high_water == 1
+        reopened.close()
+
+    def test_ops_since_and_compaction_fallback(self, tmp_path):
+        state = DurableState(tmp_path / "r0", snapshot_every=1000)
+        state["a"] = "1"
+        mark = state.high_water
+        state["b"] = "2"
+        state["c"] = "3"
+        delta = state.ops_since(mark)
+        assert delta == [(2, ("put", "b", "2")), (3, ("put", "c", "3"))]
+        state.snapshot()  # compacts the whole log
+        assert state.ops_since(mark) is None  # range folded into the snapshot
+        assert state.ops_since(state.high_water) == []
+        state.close()
+
+    def test_apply_record_is_idempotent(self, tmp_path):
+        state = DurableState(tmp_path / "r0")
+        state["a"] = "1"
+        state.apply_record(1, ("put", "a", "SKIPPED"))  # at high-water: ignored
+        assert state["a"] == "1"
+        state.apply_record(5, ("put", "b", "2"))
+        assert state.high_water == 5 and state["b"] == "2"
+        state.seal(9)
+        assert state.high_water == 9
+        state.seal(4)  # behind: no-op
+        assert state.high_water == 9
+        state.close()
+
+    def test_install_replaces_store_atomically(self, tmp_path):
+        state = DurableState(tmp_path / "r0")
+        state["old"] = "gone"
+        state.install({"new": "here"}, 42)
+        assert dict(state) == {"new": "here"}
+        assert state.high_water == 42
+        state.close()
+        reopened = DurableState(tmp_path / "r0")
+        assert dict(reopened) == {"new": "here"}
+        assert reopened.high_water == 42
+        assert reopened.replayed_records == 0  # install is a snapshot, not a log
+        reopened.close()
+
+
+# -- the catch-up bridge --------------------------------------------------------------
+
+
+class TestCatchupBridge:
+    def test_plain_dict_degrades_to_full(self):
+        plain = {"a": "1"}
+        assert high_water_of(plain) == 0
+        assert delta_since(plain, 0) is None
+        applied = apply_catchup(plain, "full", {"b": "2"}, 10)
+        assert plain == {"b": "2"} and applied == 1
+
+    def test_delta_between_durable_stores(self, tmp_path):
+        primary = DurableState(tmp_path / "p")
+        follower = DurableState(tmp_path / "f")
+        primary.update({"a": "1", "b": "2"})
+        apply_catchup(follower, "full", dict(primary), primary.high_water)
+        assert follower.high_water == primary.high_water
+        primary["c"] = "3"
+        del primary["a"]
+        delta = delta_since(primary, follower.high_water)
+        applied = apply_catchup(follower, "delta", delta, primary.high_water)
+        assert applied == 2
+        assert dict(follower) == dict(primary)
+        assert follower.high_water == primary.high_water
+        primary.close()
+        follower.close()
+
+    def test_apply_op_shapes(self):
+        store = {}
+        apply_op(store, ("put", "a", "1"))
+        apply_op(store, ("seal",))
+        assert store == {"a": "1"}
+        apply_op(store, ("del", "a"))
+        apply_op(store, ("del", "a"))  # deleting a missing key is tolerated
+        apply_op(store, ("put", "b", "2"))
+        apply_op(store, ("clear",))
+        assert store == {}
+        with pytest.raises(ValueError, match="unknown"):
+            apply_op(store, ("frobnicate",))
+
+    def test_unknown_catchup_mode_raises(self):
+        with pytest.raises(ValueError, match="mode"):
+            apply_catchup({}, "partial", [], 0)
+
+
+# -- Durability configuration ---------------------------------------------------------
+
+
+class TestDurability:
+    def test_layout_and_open(self, tmp_path):
+        config = Durability(root=str(tmp_path), fsync="never", snapshot_every=8)
+        assert config.state_dir("shard0", "shard0.r1") == str(
+            tmp_path / "shard0" / "shard0.r1"
+        )
+        state = config.open_state("shard0", "shard0.r1")
+        state["k"] = "v"
+        state.close()
+        reopened = config.open_state("shard0", "shard0.r1")
+        assert dict(reopened) == {"k": "v"}
+        reopened.close()
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync"):
+            Durability(root=str(tmp_path), fsync="bogus")
+        with pytest.raises(ValueError, match="snapshot_every"):
+            Durability(root=str(tmp_path), snapshot_every=0)
