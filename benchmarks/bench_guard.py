@@ -66,3 +66,4 @@ def test_benchmark_smoke_iterations():
     # The hot-path benches must always carry a smoke entry point.
     assert "bench_message_throughput" in exercised
     assert "bench_gmw" in exercised
+    assert "bench_gateway" in exercised

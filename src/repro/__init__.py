@@ -39,8 +39,13 @@ The package provides:
   engine per shard — with dead-backup detection, demotion-based failover,
   crash-restart replica re-join (:func:`rejoin_backup`), and
   ``health()``/``probe()`` — and the :class:`ClusterClient`
-  ``put/get/scan`` facade with quorum reads, read repair, and retrying
-  idempotent reads.
+  ``put/get/delete/scan`` facade with quorum reads, read repair, and
+  retrying idempotent reads.
+* :mod:`repro.gateway` — the network front door: a RESP-like TCP protocol
+  served by :class:`~repro.gateway.GatewayServer` over the cluster, with
+  per-connection backpressure, cluster-wide ``BUSY`` admission shedding,
+  structured JSON error frames, graceful drain, and the
+  :class:`~repro.gateway.GatewayClient` wire client.
 * :mod:`repro.storage` — per-replica persistence: the checksum-framed
   :class:`WriteAheadLog` with torn-tail repair and fsync policies, atomic
   :class:`SnapshotStore` checkpoints, and the :class:`~repro.storage.DurableState`
@@ -92,6 +97,7 @@ from .core import (
     single,
 )
 from .faults import FaultPlan
+from .gateway import GatewayClient, GatewayError, GatewayServer, GatewaySettings
 from .storage import Durability, DurableState, SnapshotStore, WriteAheadLog
 from .runtime import (
     CentralBackend,
@@ -108,7 +114,7 @@ from .runtime import (
     run_choreography,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ABSENT",
@@ -133,6 +139,10 @@ __all__ = [
     "DurableState",
     "Faceted",
     "FaultPlan",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayServer",
+    "GatewaySettings",
     "LocalTransport",
     "Located",
     "Location",

@@ -51,6 +51,7 @@ from .engine import (
     ShardHealth,
     rejoin_backup,
     shard_catchup,
+    shard_delete,
     shard_get,
     shard_ping,
     shard_put,
@@ -70,6 +71,7 @@ __all__ = [
     "ShardRouter",
     "rejoin_backup",
     "shard_catchup",
+    "shard_delete",
     "shard_get",
     "shard_ping",
     "shard_put",

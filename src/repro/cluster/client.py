@@ -112,6 +112,10 @@ class ClusterClient:
             self.cluster.response_of,
         )
 
+    def delete_async(self, key: str) -> "Future[Response]":
+        """Enqueue a replicated Delete; resolve to the server's Response."""
+        return _mapped(self.cluster.submit_delete(key), self.cluster.response_of)
+
     # ---------------------------------------------------------- blocking surface --
 
     def put(self, key: str, value: str) -> Optional[str]:
@@ -147,6 +151,19 @@ class ClusterClient:
         )
         return response.value if response.kind is ResponseKind.FOUND else None
 
+    def delete(self, key: str) -> Optional[str]:
+        """Unbind ``key`` across its shard's replica group.
+
+        A write, so it is not retried here (see the module docstring); the
+        cluster layer's dead-backup replay still applies.
+
+        Returns:
+            The value that was bound to ``key``, or ``None`` when the key
+            was already absent.
+        """
+        response = self.delete_async(key).result()
+        return response.value if response.kind is ResponseKind.FOUND else None
+
     def batch(self, requests: Sequence[Request]) -> List[Response]:
         """Serve a mixed Put/Get batch, one group-commit round per shard.
 
@@ -157,7 +174,8 @@ class ClusterClient:
         the batch is preserved.
 
         Args:
-            requests: Any mix of :meth:`Request.put` / :meth:`Request.get`.
+            requests: Any mix of :meth:`Request.put` / :meth:`Request.get` /
+                :meth:`Request.delete`.
 
         Returns:
             One :class:`Response` per request, in the order given.

@@ -82,6 +82,7 @@ from ..protocols.kvs import (
     Response,
     State,
     kvs_catchup,
+    kvs_delete,
     kvs_ping,
     kvs_quorum_get,
     kvs_scan,
@@ -154,6 +155,13 @@ def shard_get(op, client, server, backups, state_refs, key,
     return kvs_with_backups(op, client, server, backups, state_refs, request)
 
 
+@choreography(name="shard_delete")
+def shard_delete(op, client, server, backups, state_refs, key):
+    """Unbind one key across the shard's replica group, ack at the client."""
+    located_key = op.locally(client, lambda _un: key)
+    return kvs_delete(op, client, server, backups, state_refs, located_key)
+
+
 @choreography(name="shard_serve")
 def shard_serve(op, client, server, backups, state_refs, requests):
     """Serve a whole request batch in one replica-group round (group commit).
@@ -211,6 +219,13 @@ class ShardHealth:
     #: Backups detected dead and demoted out of the replica group, in
     #: detection order.
     down: Tuple[Location, ...] = field(default=())
+    #: The shard engine's in-flight instance count at snapshot time — the
+    #: per-shard queue depth behind :attr:`ClusterEngine.pending`.  This is
+    #: the signal an admission controller keys off (the gateway sheds load
+    #: once the cluster-wide sum passes its high-water mark) and the number
+    #: that tells an operator *where* a backlog sits, not just that one
+    #: exists.
+    pending: int = field(default=0)
 
     @property
     def degraded(self) -> bool:
@@ -243,7 +258,7 @@ class _ShardSession:
     __slots__ = (
         "shard_id", "client", "census", "servers", "primary", "backups", "down",
         "rejoining", "durability", "state", "engine",
-        "put", "get", "scan", "serve", "pings",
+        "put", "get", "delete", "scan", "serve", "pings",
     )
 
     def __init__(
@@ -308,6 +323,10 @@ class _ShardSession:
         self.get: ChoreographyDef = shard_get.bind(
             client, self.primary, list(self.backups), self.state,
             name=bind_name("shard_get"),
+        )
+        self.delete: ChoreographyDef = shard_delete.bind(
+            client, self.primary, list(self.backups), self.state,
+            name=bind_name("shard_delete"),
         )
         self.scan: ChoreographyDef = shard_scan.bind(
             client, self.primary, self.state, name=bind_name("shard_scan")
@@ -399,6 +418,7 @@ class _ShardSession:
             self.primary,
             {replica: status(replica) for replica in self.servers},
             down=tuple(self.down),
+            pending=self.engine.pending,
         )
 
 
@@ -672,6 +692,24 @@ class ClusterEngine:
             args=(key,), kwargs={"quorum": quorum, "read_repair": read_repair},
         )
 
+    def submit_delete(self, key: str) -> "Future[ChoreographyResult]":
+        """Enqueue a replicated Delete on ``key``'s shard; returns immediately.
+
+        Deletion is a write: it replicates through
+        :func:`~repro.protocols.kvs.kvs_delete` with the same
+        ack-before-apply discipline (and the same dead-backup replay) as a
+        Put, and on durable shards the ``("del", key)`` record hits each
+        replica's WAL before memory, so an acknowledged delete survives
+        crash-restart replay.
+
+        Returns:
+            A Future of the shard run's result (see :meth:`submit_put`); the
+            client-side :class:`~repro.protocols.kvs.Response` holds the
+            previous binding (``found``) or ``not_found`` for an absent key.
+        """
+        shard_id = self.shard_for(key)
+        return self._submit(shard_id, "delete", args=(key,))
+
     def submit_batch(self, requests: Sequence[Request]) -> List["Future[Response]"]:
         """Serve a request batch with one group-commit instance per shard.
 
@@ -683,8 +721,8 @@ class ClusterEngine:
         same shard execute in submission order.
 
         Args:
-            requests: Any mix of Put/Get requests.  Each request routes by
-                its ``key`` (a batch may span every shard).
+            requests: Any mix of Put/Get/Delete requests.  Each request
+                routes by its ``key`` (a batch may span every shard).
 
         Returns:
             One Future per request, in the order given; each resolves to that

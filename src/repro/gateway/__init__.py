@@ -1,0 +1,92 @@
+"""The network front door: a TCP gateway over the sharded cluster.
+
+Everything below this package sits *in process*: choreographies, warm
+engines, the sharded :class:`~repro.cluster.ClusterEngine`, the
+:class:`~repro.cluster.ClusterClient` facade.  This package puts a wire on
+the front:
+
+* :mod:`~repro.gateway.protocol` — a RESP-like framing (array-of-bulk
+  requests, typed replies, single-line JSON error frames with stable
+  ``code``/``message``/``detail`` schema) with incremental parsers;
+* :class:`~repro.gateway.settings.GatewaySettings` — env-overridable
+  operational knobs (``GATEWAY_PORT=...``, caps, high-water marks);
+* :class:`~repro.gateway.server.GatewayServer` — the threaded accept loop
+  with per-connection **backpressure** (an in-flight budget enforced via
+  TCP flow control) and cluster-wide **admission control** (retryable
+  ``BUSY`` shedding past the ``pending`` high-water mark), plus graceful
+  drain-then-close;
+* :class:`~repro.gateway.client.GatewayClient` — the blocking/pipelined
+  client the tests and ``benchmarks/bench_gateway.py`` drive load through.
+
+See ``docs/gateway.md`` for the wire grammar, the error-code table, and a
+saturation walkthrough.
+"""
+
+from .client import GatewayClient, GatewayError
+from .protocol import (
+    ERR_BADREQUEST,
+    ERR_BUSY,
+    ERR_DRAINING,
+    ERR_FAILED,
+    ERR_INTERNAL,
+    ERR_MAXCONN,
+    ERR_REBALANCING,
+    ERR_TIMEOUT,
+    ERR_TOOBIG,
+    ERR_UNAVAILABLE,
+    RETRYABLE_CODES,
+    ArrayReply,
+    BulkReply,
+    Command,
+    CommandError,
+    ErrorReply,
+    IntReply,
+    ProtocolError,
+    Reply,
+    SimpleReply,
+    command_from_args,
+    encode_command,
+    encode_reply,
+    error_reply,
+    parse_command,
+    parse_reply,
+    reply_for_exception,
+    reply_for_response,
+)
+from .server import GatewayServer
+from .settings import GatewaySettings
+
+__all__ = [
+    "ERR_BADREQUEST",
+    "ERR_BUSY",
+    "ERR_DRAINING",
+    "ERR_FAILED",
+    "ERR_INTERNAL",
+    "ERR_MAXCONN",
+    "ERR_REBALANCING",
+    "ERR_TIMEOUT",
+    "ERR_TOOBIG",
+    "ERR_UNAVAILABLE",
+    "RETRYABLE_CODES",
+    "ArrayReply",
+    "BulkReply",
+    "Command",
+    "CommandError",
+    "ErrorReply",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayServer",
+    "GatewaySettings",
+    "IntReply",
+    "ProtocolError",
+    "Reply",
+    "SimpleReply",
+    "command_from_args",
+    "encode_command",
+    "encode_reply",
+    "error_reply",
+    "parse_command",
+    "parse_reply",
+    "reply_for_exception",
+    "reply_for_response",
+]

@@ -1,0 +1,209 @@
+"""A small blocking client for the gateway's wire protocol.
+
+:class:`GatewayClient` is what the tests and the load-generator benchmark
+speak through: it owns one TCP connection, encodes commands in array form,
+and parses reply frames incrementally.  The surface mirrors
+:class:`~repro.cluster.ClusterClient` where it can (``put``/``get``/
+``delete``/``scan``/``batch``) plus the gateway-only control commands
+(``ping``/``health``/``stats``).
+
+Two calling styles:
+
+* **blocking** — each method sends one command and waits for its reply;
+  a structured error frame raises :class:`GatewayError` carrying the
+  stable ``code`` and ``retryable`` flag.
+* **pipelined** — ``send(...)`` fires a command without waiting and
+  ``drain(n)`` collects ``n`` raw replies in order.  The benchmark uses
+  this to keep many commands in flight per connection, which is exactly
+  the shape the server's per-connection in-flight budget paces.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..protocols.kvs import Request, RequestKind
+from .protocol import (
+    ArrayReply,
+    BulkReply,
+    ErrorReply,
+    ProtocolError,
+    Reply,
+    SimpleReply,
+    encode_command,
+    parse_reply,
+)
+
+_RECV_SIZE = 65536
+
+
+class GatewayError(Exception):
+    """A structured error frame, re-raised client-side.
+
+    Attributes:
+        code: The stable ``ERR_*`` code (``BUSY``, ``TIMEOUT``, ...).
+        detail: The machine-readable detail mapping from the frame.
+    """
+
+    def __init__(self, reply: ErrorReply):
+        super().__init__(f"[{reply.code}] {reply.message}")
+        self.code = reply.code
+        self.message = reply.message
+        self.detail: Dict[str, Any] = dict(reply.detail)
+
+    @property
+    def retryable(self) -> bool:
+        """Whether resending the same command later can succeed."""
+        return bool(self.detail.get("retryable", False))
+
+
+class GatewayClient:
+    """One TCP connection to a :class:`~repro.gateway.server.GatewayServer`.
+
+    Args:
+        host: Gateway host.
+        port: Gateway port.
+        timeout: Socket timeout in seconds for connect and receive; ``None``
+            blocks forever.
+
+    Usable as a context manager; ``close()`` is idempotent.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: Optional[float] = 10.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._buffer = bytearray()
+        self._start = 0
+        self._closed = False
+
+    # ------------------------------------------------------------ raw pipeline --
+
+    def send(self, *args: str) -> None:
+        """Fire one command (array form) without waiting for its reply."""
+        self.sock.sendall(encode_command(args))
+
+    def recv_reply(self) -> Reply:
+        """Block until the next reply frame arrives, and return it raw."""
+        while True:
+            reply, self._start = parse_reply(bytes(self._buffer), self._start)
+            if reply is not None:
+                if self._start:
+                    del self._buffer[: self._start]
+                    self._start = 0
+                return reply
+            chunk = self.sock.recv(_RECV_SIZE)
+            if not chunk:
+                raise ConnectionError("gateway closed the connection")
+            self._buffer.extend(chunk)
+
+    def drain(self, count: int) -> List[Reply]:
+        """Collect ``count`` raw replies, in order.  Errors stay frames."""
+        return [self.recv_reply() for _ in range(count)]
+
+    def call(self, *args: str) -> Reply:
+        """Send one command and wait for its reply, raising on error frames."""
+        self.send(*args)
+        reply = self.recv_reply()
+        if isinstance(reply, ErrorReply):
+            raise GatewayError(reply)
+        return reply
+
+    # --------------------------------------------------------- blocking surface --
+
+    def ping(self, token: Optional[str] = None) -> str:
+        """Round-trip liveness check; echoes ``token`` when given."""
+        reply = self.call("PING", token) if token is not None else self.call("PING")
+        if isinstance(reply, SimpleReply):
+            return reply.text
+        if isinstance(reply, BulkReply) and reply.value is not None:
+            return reply.value
+        raise ProtocolError(f"unexpected PING reply: {reply!r}")
+
+    def put(self, key: str, value: str) -> Optional[str]:
+        """Store ``value`` under ``key``; return the previous value, if any."""
+        return self._bulk(self.call("PUT", key, value))
+
+    def get(self, key: str) -> Optional[str]:
+        """Read ``key``; ``None`` when unbound."""
+        return self._bulk(self.call("GET", key))
+
+    def delete(self, key: str) -> Optional[str]:
+        """Unbind ``key``; return the value it held, if any."""
+        return self._bulk(self.call("DEL", key))
+
+    def scan(self, prefix: str = "") -> List[Tuple[str, str]]:
+        """All bindings under ``prefix``, sorted by key."""
+        reply = self.call("SCAN", prefix) if prefix else self.call("SCAN")
+        if not isinstance(reply, ArrayReply):
+            raise ProtocolError(f"unexpected SCAN reply: {reply!r}")
+        items: List[Tuple[str, str]] = []
+        for pair in reply.items:
+            if (
+                not isinstance(pair, ArrayReply)
+                or len(pair.items) != 2
+                or not all(isinstance(part, BulkReply) for part in pair.items)
+            ):
+                raise ProtocolError(f"unexpected SCAN item: {pair!r}")
+            key_part, value_part = pair.items
+            items.append((key_part.value or "", value_part.value or ""))
+        return items
+
+    def batch(self, requests: Sequence[Request]) -> List[Optional[str]]:
+        """Serve a mixed Put/Get/Del batch; one value-or-None per request."""
+        args: List[str] = ["BATCH"]
+        for request in requests:
+            if request.kind is RequestKind.PUT:
+                args.extend(("PUT", request.key, request.value or ""))
+            elif request.kind is RequestKind.GET:
+                args.extend(("GET", request.key))
+            elif request.kind is RequestKind.DELETE:
+                args.extend(("DEL", request.key))
+            else:
+                raise ValueError(f"cannot send {request.kind!r} through BATCH")
+        reply = self.call(*args)
+        if not isinstance(reply, ArrayReply):
+            raise ProtocolError(f"unexpected BATCH reply: {reply!r}")
+        return [self._bulk(item) for item in reply.items]
+
+    def health(self) -> Dict[str, Any]:
+        """The gateway's per-shard health snapshot, decoded from JSON."""
+        return self._json(self.call("HEALTH"))
+
+    def stats(self) -> Dict[str, Any]:
+        """Gateway counters plus cluster load, decoded from JSON."""
+        return self._json(self.call("STATS"))
+
+    # ------------------------------------------------------------------ plumbing --
+
+    @staticmethod
+    def _bulk(reply: Reply) -> Optional[str]:
+        if isinstance(reply, BulkReply):
+            return reply.value
+        if isinstance(reply, SimpleReply):
+            return reply.text
+        raise ProtocolError(f"expected a bulk reply, got {reply!r}")
+
+    @staticmethod
+    def _json(reply: Reply) -> Dict[str, Any]:
+        import json
+
+        if not isinstance(reply, BulkReply) or reply.value is None:
+            raise ProtocolError(f"expected a JSON bulk reply, got {reply!r}")
+        return json.loads(reply.value)
+
+    def close(self) -> None:
+        """Idempotently close the connection."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

@@ -1,0 +1,541 @@
+"""The gateway's RESP-like wire protocol: framing, commands, replies, errors.
+
+The gateway speaks a deliberately small, Redis-flavoured text protocol over
+TCP.  Everything on the wire is a *frame* terminated by CRLF (a bare LF is
+tolerated on input, never emitted):
+
+**Requests** arrive in either of two encodings:
+
+* *array form* (what :class:`~repro.gateway.client.GatewayClient` always
+  sends) — an argument-count header followed by one length-prefixed bulk
+  string per argument::
+
+      *3\r\n$3\r\nPUT\r\n$4\r\nuser\r\n$3\r\nada\r\n
+
+* *inline form* (for humans with ``nc``) — one whitespace-separated line::
+
+      PUT user ada\r\n
+
+**Replies** are typed by their first byte:
+
+===========  =======================================  =====================
+first byte   frame                                    meaning
+===========  =======================================  =====================
+``+``        ``+OK\r\n``                              simple string
+``$``        ``$3\r\nada\r\n`` / ``$-1\r\n``          bulk string / null
+``:``        ``:42\r\n``                              integer
+``*``        ``*2\r\n`` + two reply frames            array (nested)
+``-``        ``-{"code": ..., "message": ...}\r\n``   structured error
+===========  =======================================  =====================
+
+Errors are *machine readable*: the payload after ``-`` is a single-line JSON
+object ``{"code": ..., "message": ..., "detail": {...}}`` whose ``code`` is
+one of the stable ``ERR_*`` constants below and whose ``detail`` always
+carries a boolean ``retryable`` telling the client whether backing off and
+resending the same command can succeed.  :func:`reply_for_exception` maps the
+cluster's typed failures (:class:`~repro.core.errors.ChoreoTimeout`,
+:class:`~repro.cluster.ClusterClosed`,
+:class:`~repro.cluster.ClusterRebalancing`, ...) onto those codes so a
+network client sees the same structured failure taxonomy an in-process
+:class:`~repro.cluster.ClusterClient` caller does.
+
+Parsing is **incremental**: :func:`parse_command` and :func:`parse_reply`
+take ``(buffer, start)`` and return ``(parsed, new_start)`` — or
+``(None, start)`` when the buffer does not yet hold a complete frame — so
+the socket loops can append received bytes and re-try without ever blocking
+mid-frame.  Malformed input raises :class:`ProtocolError`; its ``fatal``
+flag separates "this connection's stream is unparseable, hang up" (bad
+framing, oversize frames) from "this command was wrong, answer
+``BADREQUEST`` and keep reading" (bad arity, unknown verb), which the server
+distinguishes via :exc:`CommandError`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.errors import ChoreographyRuntimeError, ChoreoTimeout
+from ..cluster.engine import ClusterClosed, ClusterRebalancing
+from ..protocols.kvs import Request, Response, ResponseKind
+
+CRLF = b"\r\n"
+
+# Frame limits.  A stream that exceeds them is hostile or corrupt; the
+# parser raises a *fatal* ProtocolError and the server hangs up.
+MAX_BULK = 1 << 20  #: largest single argument / bulk payload, in bytes
+MAX_ARGS = 1024  #: most arguments in one array-form command
+MAX_INLINE = 1 << 16  #: longest inline-form line, in bytes
+
+# --------------------------------------------------------------- error codes --
+
+ERR_BADREQUEST = "BADREQUEST"  #: malformed command (unknown verb, bad arity)
+ERR_TOOBIG = "TOOBIG"  #: a frame limit was exceeded (connection is closed)
+ERR_BUSY = "BUSY"  #: admission control shed the command; back off and retry
+ERR_MAXCONN = "MAXCONN"  #: connection limit reached; the gateway hangs up
+ERR_DRAINING = "DRAINING"  #: gateway is shutting down; retry elsewhere/later
+ERR_TIMEOUT = "TIMEOUT"  #: the shard run timed out (ChoreoTimeout root cause)
+ERR_UNAVAILABLE = "UNAVAILABLE"  #: the cluster is closed
+ERR_REBALANCING = "REBALANCING"  #: control-plane op owns the cluster; retry
+ERR_FAILED = "FAILED"  #: the shard choreography failed (crash, replica loss)
+ERR_INTERNAL = "INTERNAL"  #: unexpected gateway-side exception
+
+#: Codes for which resending the same command later can succeed.
+RETRYABLE_CODES = frozenset(
+    {ERR_BUSY, ERR_MAXCONN, ERR_DRAINING, ERR_TIMEOUT, ERR_REBALANCING}
+)
+
+
+class ProtocolError(Exception):
+    """The byte stream violated the wire protocol.
+
+    Args:
+        message: What was malformed.
+        fatal: ``True`` when the *stream* can no longer be parsed (framing
+            damage, oversize frame) and the connection must close; ``False``
+            when only the current command was bad and the connection can
+            answer ``BADREQUEST`` and continue.
+        code: The ``ERR_*`` code the server answers with before acting on
+            ``fatal``.
+    """
+
+    def __init__(self, message: str, *, fatal: bool = True, code: str = ERR_BADREQUEST):
+        super().__init__(message)
+        self.fatal = fatal
+        self.code = code
+
+
+class CommandError(ProtocolError):
+    """A well-framed command that cannot be executed (non-fatal).
+
+    Carries the ``ERR_*`` code the server should answer with; the connection
+    stays open.
+    """
+
+    def __init__(self, message: str, *, code: str = ERR_BADREQUEST):
+        super().__init__(message, fatal=False, code=code)
+
+
+# ------------------------------------------------------------------ commands --
+
+#: Verbs that touch the data plane and are subject to admission control.
+DATA_VERBS = frozenset({"GET", "PUT", "DEL", "BATCH", "SCAN"})
+#: Control-plane verbs, always admitted (health checks must work under load).
+CONTROL_VERBS = frozenset({"PING", "HEALTH", "STATS"})
+ALL_VERBS = DATA_VERBS | CONTROL_VERBS
+
+
+@dataclass(frozen=True)
+class Command:
+    """A parsed gateway command: a verb plus its (already validated) args."""
+
+    verb: str
+    args: Tuple[str, ...] = ()
+
+    @property
+    def is_data_plane(self) -> bool:
+        """Whether this command consumes cluster capacity (vs. control)."""
+        return self.verb in DATA_VERBS
+
+    def batch_requests(self) -> List[Request]:
+        """The KVS :class:`Request` list encoded in a ``BATCH`` command.
+
+        ``BATCH`` args are a flat sequence of sub-commands::
+
+            BATCH PUT k1 v1 GET k2 DEL k3
+
+        Raises:
+            CommandError: If this is not a BATCH or the tail is malformed.
+        """
+        if self.verb != "BATCH":
+            raise CommandError(f"not a BATCH command: {self.verb}")
+        requests: List[Request] = []
+        args = list(self.args)
+        index = 0
+        while index < len(args):
+            sub = args[index].upper()
+            if sub == "PUT":
+                if index + 2 >= len(args):
+                    raise CommandError("BATCH PUT needs a key and a value")
+                requests.append(Request.put(args[index + 1], args[index + 2]))
+                index += 3
+            elif sub == "GET":
+                if index + 1 >= len(args):
+                    raise CommandError("BATCH GET needs a key")
+                requests.append(Request.get(args[index + 1]))
+                index += 2
+            elif sub == "DEL":
+                if index + 1 >= len(args):
+                    raise CommandError("BATCH DEL needs a key")
+                requests.append(Request.delete(args[index + 1]))
+                index += 2
+            else:
+                raise CommandError(f"unknown BATCH sub-command: {args[index]!r}")
+        if not requests:
+            raise CommandError("BATCH needs at least one sub-command")
+        return requests
+
+
+#: verb -> (min_args, max_args); None = unbounded.
+_ARITY: Dict[str, Tuple[int, Optional[int]]] = {
+    "PING": (0, 1),
+    "GET": (1, 1),
+    "PUT": (2, 2),
+    "DEL": (1, 1),
+    "SCAN": (0, 1),
+    "BATCH": (2, None),
+    "HEALTH": (0, 0),
+    "STATS": (0, 0),
+}
+
+
+def command_from_args(args: Sequence[str]) -> Command:
+    """Validate a decoded argument vector into a :class:`Command`.
+
+    Raises:
+        CommandError: Empty vector, unknown verb, or wrong arity — all
+            non-fatal (answer ``BADREQUEST``, keep the connection).
+    """
+    if not args:
+        raise CommandError("empty command")
+    verb = args[0].upper()
+    if verb not in ALL_VERBS:
+        raise CommandError(f"unknown command: {args[0]!r}")
+    low, high = _ARITY[verb]
+    rest = tuple(args[1:])
+    if len(rest) < low or (high is not None and len(rest) > high):
+        expected = f"{low}" if high == low else f"{low}..{'*' if high is None else high}"
+        raise CommandError(
+            f"{verb} takes {expected} argument(s), got {len(rest)}"
+        )
+    command = Command(verb, rest)
+    if verb == "BATCH":
+        command.batch_requests()  # validate the tail now, not at execution
+    return command
+
+
+# ------------------------------------------------------------------- replies --
+
+
+@dataclass(frozen=True)
+class SimpleReply:
+    """``+text`` — a short status string (``+OK``, ``+PONG``)."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class BulkReply:
+    """``$len`` — one value, or the null bulk (``$-1``) for an absent one."""
+
+    value: Optional[str]
+
+
+@dataclass(frozen=True)
+class IntReply:
+    """``:n`` — an integer."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class ArrayReply:
+    """``*n`` — a sequence of nested replies."""
+
+    items: Tuple["Reply", ...]
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """``-{json}`` — a structured error.
+
+    ``detail`` always includes ``retryable`` (bool); see
+    :data:`RETRYABLE_CODES`.
+    """
+
+    code: str
+    message: str
+    detail: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def retryable(self) -> bool:
+        return bool(self.detail.get("retryable", False))
+
+
+Reply = Union[SimpleReply, BulkReply, IntReply, ArrayReply, ErrorReply]
+
+OK = SimpleReply("OK")
+PONG = SimpleReply("PONG")
+
+
+def error_reply(code: str, message: str, **detail: object) -> ErrorReply:
+    """Build an :class:`ErrorReply`, stamping ``retryable`` into the detail."""
+    detail.setdefault("retryable", code in RETRYABLE_CODES)
+    return ErrorReply(code=code, message=message, detail=detail)
+
+
+def reply_for_exception(exc: BaseException) -> ErrorReply:
+    """Map a cluster/gateway exception onto the stable error-code schema.
+
+    The taxonomy the gateway promises its clients:
+
+    * :class:`~repro.cluster.ClusterClosed` → ``UNAVAILABLE``
+    * :class:`~repro.cluster.ClusterRebalancing` → ``REBALANCING``
+    * :class:`~repro.core.errors.ChoreoTimeout` (bare or as the root cause
+      of a :class:`~repro.core.errors.ChoreographyRuntimeError`) →
+      ``TIMEOUT`` with ``waiter``/``peer``/``seconds`` in the detail
+    * any other :class:`ChoreographyRuntimeError` → ``FAILED`` with the
+      blamed ``location`` and original error type
+    * :class:`CommandError` → its own code (``BADREQUEST`` by default)
+    * anything else → ``INTERNAL``
+    """
+    if isinstance(exc, ClusterClosed):
+        return error_reply(ERR_UNAVAILABLE, str(exc))
+    if isinstance(exc, ClusterRebalancing):
+        return error_reply(ERR_REBALANCING, str(exc))
+    if isinstance(exc, ChoreoTimeout):
+        return error_reply(
+            ERR_TIMEOUT, str(exc), waiter=exc.waiter, peer=exc.peer, seconds=exc.seconds
+        )
+    if isinstance(exc, ChoreographyRuntimeError):
+        root = exc.original
+        if isinstance(root, ChoreoTimeout):
+            return error_reply(
+                ERR_TIMEOUT,
+                str(root),
+                location=exc.location,
+                waiter=root.waiter,
+                peer=root.peer,
+                seconds=root.seconds,
+            )
+        return error_reply(
+            ERR_FAILED,
+            str(root) or type(root).__name__,
+            location=exc.location,
+            error=type(root).__name__,
+        )
+    if isinstance(exc, CommandError):
+        return error_reply(exc.code, str(exc))
+    return error_reply(ERR_INTERNAL, str(exc) or type(exc).__name__, error=type(exc).__name__)
+
+
+def reply_for_response(response: Response) -> Reply:
+    """Render a KVS :class:`Response` as a wire reply.
+
+    ``Found`` → bulk value; ``NotFound`` → null bulk; anything else (the
+    batch sentinel ``Stopped``) → its kind as a simple string.
+    """
+    if response.kind is ResponseKind.FOUND:
+        return BulkReply(response.value)
+    if response.kind is ResponseKind.NOT_FOUND:
+        return BulkReply(None)
+    return SimpleReply(response.kind.value.upper())
+
+
+# ------------------------------------------------------------------ encoding --
+
+
+def _bulk(payload: bytes) -> bytes:
+    return b"$%d\r\n%s\r\n" % (len(payload), payload)
+
+
+def encode_command(args: Sequence[str]) -> bytes:
+    """Encode an argument vector in array form (what the client sends)."""
+    if not args:
+        raise ProtocolError("cannot encode an empty command")
+    parts = [b"*%d\r\n" % len(args)]
+    parts.extend(_bulk(arg.encode("utf-8")) for arg in args)
+    return b"".join(parts)
+
+
+def encode_reply(reply: Reply) -> bytes:
+    """Encode any :class:`Reply` variant as its wire frame."""
+    if isinstance(reply, SimpleReply):
+        return b"+%s\r\n" % reply.text.encode("utf-8")
+    if isinstance(reply, BulkReply):
+        if reply.value is None:
+            return b"$-1\r\n"
+        return _bulk(reply.value.encode("utf-8"))
+    if isinstance(reply, IntReply):
+        return b":%d\r\n" % reply.value
+    if isinstance(reply, ArrayReply):
+        parts = [b"*%d\r\n" % len(reply.items)]
+        parts.extend(encode_reply(item) for item in reply.items)
+        return b"".join(parts)
+    if isinstance(reply, ErrorReply):
+        payload = json.dumps(
+            {"code": reply.code, "message": reply.message, "detail": dict(reply.detail)},
+            separators=(",", ":"),
+        )
+        return b"-%s\r\n" % payload.encode("utf-8")
+    raise ProtocolError(f"cannot encode reply: {reply!r}")
+
+
+# ------------------------------------------------------------------- parsing --
+
+
+def _find_line(buffer: bytes, start: int, limit: int) -> Tuple[Optional[bytes], int]:
+    """One LF-terminated line from ``buffer[start:]``, sans terminator.
+
+    Returns ``(None, start)`` when no full line has arrived yet; raises a
+    fatal :class:`ProtocolError` when the unterminated prefix already
+    exceeds ``limit``.
+    """
+    end = buffer.find(b"\n", start)
+    if end == -1:
+        if len(buffer) - start > limit:
+            raise ProtocolError(
+                f"line exceeds {limit} bytes without a terminator",
+                fatal=True,
+                code=ERR_TOOBIG,
+            )
+        return None, start
+    if end - start > limit:
+        raise ProtocolError(f"line exceeds {limit} bytes", fatal=True, code=ERR_TOOBIG)
+    line = buffer[start:end]
+    if line.endswith(b"\r"):
+        line = line[:-1]
+    return line, end + 1
+
+
+def _parse_int(token: bytes, what: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise ProtocolError(f"bad {what}: {token!r}", fatal=True) from None
+
+
+#: In-band marker for the null bulk (``$-1``): distinguishes "parsed a null"
+#: from "frame incomplete" (plain ``None``) in the incremental parsers.
+_NULL_SENTINEL = "\0__NULL__"
+
+
+def _parse_bulk(buffer: bytes, start: int) -> Tuple[Optional[str], int]:
+    """One ``$``-prefixed bulk string.  ``(None, start)`` = incomplete."""
+    header, pos = _find_line(buffer, start, MAX_INLINE)
+    if header is None:
+        return None, start
+    if not header.startswith(b"$"):
+        raise ProtocolError(f"expected bulk header, got {header!r}", fatal=True)
+    length = _parse_int(header[1:], "bulk length")
+    if length == -1:
+        return _NULL_SENTINEL, pos
+    if length < 0 or length > MAX_BULK:
+        raise ProtocolError(
+            f"bulk length {length} out of range", fatal=True, code=ERR_TOOBIG
+        )
+    if len(buffer) - pos < length + 1:  # payload + at least the LF
+        return None, start
+    payload = buffer[pos : pos + length]
+    tail = buffer[pos + length : pos + length + 2]
+    if tail.startswith(b"\r\n"):
+        consumed = pos + length + 2
+    elif tail.startswith(b"\n"):
+        consumed = pos + length + 1
+    elif tail == b"\r":  # terminator only half-arrived: wait for the LF
+        return None, start
+    else:
+        raise ProtocolError("bulk payload not followed by CRLF", fatal=True)
+    try:
+        return payload.decode("utf-8"), consumed
+    except UnicodeDecodeError:
+        raise ProtocolError("bulk payload is not valid UTF-8", fatal=True) from None
+
+
+def parse_command(buffer: bytes, start: int = 0) -> Tuple[Optional[List[str]], int]:
+    """One command's argument vector from ``buffer[start:]``, incrementally.
+
+    Accepts both array form (``*``-prefixed) and inline form (anything
+    else).  Blank inline lines are skipped.  Returns ``(args, new_start)``,
+    or ``(None, start)`` when the buffer holds no complete command yet.
+
+    Raises:
+        ProtocolError: Fatal framing damage (bad headers, oversize frames,
+            non-UTF-8 payloads).
+    """
+    while True:
+        if start >= len(buffer):
+            return None, start
+        if buffer[start : start + 1] != b"*":
+            line, pos = _find_line(buffer, start, MAX_INLINE)
+            if line is None:
+                return None, start
+            try:
+                text = line.decode("utf-8")
+            except UnicodeDecodeError:
+                raise ProtocolError("inline command is not valid UTF-8", fatal=True) from None
+            args = text.split()
+            if not args:  # blank line: tolerate and keep scanning
+                start = pos
+                continue
+            return args, pos
+        header, pos = _find_line(buffer, start, MAX_INLINE)
+        if header is None:
+            return None, start
+        count = _parse_int(header[1:], "argument count")
+        if count <= 0 or count > MAX_ARGS:
+            raise ProtocolError(
+                f"argument count {count} out of range", fatal=True, code=ERR_TOOBIG
+            )
+        args = []
+        for _ in range(count):
+            arg, pos = _parse_bulk(buffer, pos)
+            if arg is None:
+                return None, start
+            if arg == _NULL_SENTINEL:
+                raise ProtocolError("null bulk not allowed in commands", fatal=True)
+            args.append(arg)
+        return args, pos
+
+
+def parse_reply(buffer: bytes, start: int = 0) -> Tuple[Optional[Reply], int]:
+    """One reply frame from ``buffer[start:]``, incrementally.
+
+    Returns ``(reply, new_start)`` or ``(None, start)`` when incomplete.
+
+    Raises:
+        ProtocolError: Fatal framing damage.
+    """
+    if start >= len(buffer):
+        return None, start
+    kind = buffer[start : start + 1]
+    if kind == b"$":
+        value, pos = _parse_bulk(buffer, start)
+        if value is None:
+            return None, start
+        if value == _NULL_SENTINEL:
+            return BulkReply(None), pos
+        return BulkReply(value), pos
+    line, pos = _find_line(buffer, start, MAX_INLINE)
+    if line is None:
+        return None, start
+    if kind == b"+":
+        return SimpleReply(line[1:].decode("utf-8")), pos
+    if kind == b":":
+        return IntReply(_parse_int(line[1:], "integer reply")), pos
+    if kind == b"-":
+        try:
+            payload = json.loads(line[1:].decode("utf-8"))
+            return (
+                ErrorReply(
+                    code=str(payload["code"]),
+                    message=str(payload["message"]),
+                    detail=dict(payload.get("detail", {})),
+                ),
+                pos,
+            )
+        except (ValueError, KeyError, TypeError):
+            raise ProtocolError(f"malformed error payload: {line!r}", fatal=True) from None
+    if kind == b"*":
+        count = _parse_int(line[1:], "array length")
+        if count < 0 or count > MAX_ARGS:
+            raise ProtocolError(f"array length {count} out of range", fatal=True)
+        items: List[Reply] = []
+        for _ in range(count):
+            item, pos = parse_reply(buffer, pos)
+            if item is None:
+                return None, start
+            items.append(item)
+        return ArrayReply(tuple(items)), pos
+    raise ProtocolError(f"unknown reply type byte: {kind!r}", fatal=True)

@@ -1,0 +1,126 @@
+"""Gateway configuration: one frozen dataclass, env-overridable.
+
+:class:`GatewaySettings` gathers every operational knob of the gateway —
+bind address, connection and in-flight caps, the admission high-water mark,
+drain timeout — in one place with safe defaults, and
+:meth:`GatewaySettings.from_env` builds one from ``GATEWAY_*`` environment
+variables so deployments configure the server without code changes::
+
+    GATEWAY_PORT=7400 GATEWAY_MAX_CONNECTIONS=256 python -m ...
+
+Every field is validated at construction; a nonsensical value (negative
+cap, zero in-flight budget) fails fast with :class:`ValueError` rather than
+producing a server that accepts no work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+#: Environment-variable prefix for :meth:`GatewaySettings.from_env`.
+ENV_PREFIX = "GATEWAY_"
+
+
+@dataclass(frozen=True)
+class GatewaySettings:
+    """Operational knobs for :class:`~repro.gateway.server.GatewayServer`.
+
+    Attributes:
+        host: Interface to bind; loopback by default.
+        port: TCP port; ``0`` asks the OS for an ephemeral port (the bound
+            port is readable from ``server.address`` after start).
+        max_connections: Hard cap on simultaneously accepted connections.
+            The cap-plus-first excess connection is answered with a
+            ``MAXCONN`` error and closed immediately.
+        max_inflight_per_conn: Per-connection budget of commands submitted
+            to the cluster but not yet answered.  When a client pipelines
+            past it, the gateway simply stops reading that connection's
+            socket — TCP flow control pushes back on the sender — rather
+            than erroring.  This is the *backpressure* mechanism.
+        admission_high_water: Cluster-wide in-flight threshold
+            (:attr:`~repro.cluster.ClusterEngine.pending`) above which new
+            data-plane commands are *shed* with a retryable ``BUSY`` error
+            instead of queued.  This is the *admission control* mechanism:
+            past saturation the gateway answers fast and poorly rather than
+            slowly and catastrophically.  Control-plane commands (``PING``,
+            ``HEALTH``, ``STATS``) are always admitted.
+        drain_timeout: Seconds a graceful ``close()`` waits for in-flight
+            commands to finish before abandoning them.
+        accept_backlog: ``listen()`` backlog for the accept socket.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_connections: int = 128
+    max_inflight_per_conn: int = 32
+    admission_high_water: int = 512
+    drain_timeout: float = 5.0
+    accept_backlog: int = 128
+
+    def __post_init__(self) -> None:
+        if self.port < 0 or self.port > 65535:
+            raise ValueError(f"port must be in 0..65535, got {self.port!r}")
+        if self.max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {self.max_connections!r}"
+            )
+        if self.max_inflight_per_conn < 1:
+            raise ValueError(
+                "max_inflight_per_conn must be >= 1, "
+                f"got {self.max_inflight_per_conn!r}"
+            )
+        if self.admission_high_water < 1:
+            raise ValueError(
+                f"admission_high_water must be >= 1, got {self.admission_high_water!r}"
+            )
+        if self.drain_timeout < 0:
+            raise ValueError(f"drain_timeout must be >= 0, got {self.drain_timeout!r}")
+        if self.accept_backlog < 1:
+            raise ValueError(f"accept_backlog must be >= 1, got {self.accept_backlog!r}")
+
+    @classmethod
+    def from_env(
+        cls, env: Optional[Mapping[str, str]] = None, **overrides: object
+    ) -> "GatewaySettings":
+        """Build settings from ``GATEWAY_*`` environment variables.
+
+        Each field reads ``GATEWAY_<FIELD_UPPERCASED>`` (``GATEWAY_PORT``,
+        ``GATEWAY_MAX_INFLIGHT_PER_CONN``, ...), falling back to the
+        dataclass default.  Explicit ``overrides`` win over the
+        environment.
+
+        Args:
+            env: Environment mapping; ``os.environ`` when omitted.
+            **overrides: Field values that take precedence over ``env``.
+
+        Raises:
+            ValueError: An env value that does not parse as the field's
+                type, an unknown override, or an invalid resulting config.
+        """
+        if env is None:
+            env = os.environ
+        values: dict = {}
+        for f in dataclasses.fields(cls):
+            raw = env.get(ENV_PREFIX + f.name.upper())
+            if raw is None:
+                continue
+            try:
+                if f.type in ("int", int):
+                    values[f.name] = int(raw)
+                elif f.type in ("float", float):
+                    values[f.name] = float(raw)
+                else:
+                    values[f.name] = raw
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_PREFIX}{f.name.upper()}={raw!r} is not a valid {f.type}"
+                ) from None
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ValueError(f"unknown settings override(s): {sorted(unknown)}")
+        values.update(overrides)
+        return cls(**values)

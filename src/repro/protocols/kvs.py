@@ -22,6 +22,11 @@ single unreplicated server when the backup list is empty).
 Two further census-polymorphic choreographies serve the sharded cluster layer
 (:mod:`repro.cluster`), which runs one replica group per shard:
 
+* :func:`kvs_delete` — unbind one key across the whole replica group with
+  the same ack-before-apply discipline as a replicated Put; deletions are
+  writes, so on durable replicas they are write-ahead logged and survive
+  crash-restart replay (``RequestKind.DELETE`` also rides in
+  :func:`kvs_serve_batch` batches and :func:`kvs_with_backups`);
 * :func:`kvs_quorum_get` — read the key at *every* replica, gather the votes
   at the primary, answer with the majority, and (optionally) trigger a
   :func:`resynch` read-repair when the replicas disagree;
@@ -52,11 +57,22 @@ from . import crypto
 
 
 class RequestKind(enum.Enum):
-    """The three request forms of the paper's KVS (Fig. 2, line 1)."""
+    """The request forms: the paper's three (Fig. 2, line 1) plus ``DELETE``.
+
+    ``DELETE`` is a service-layer extension — a real KVS front door must be
+    able to unbind a key, and the deletion is a *write*, so it replicates
+    through the backups and write-ahead-logs like a Put (the WAL already
+    speaks ``("del", key)`` records for ``resynch`` and shard migration).
+    """
 
     PUT = "put"
     GET = "get"
+    DELETE = "delete"
     STOP = "stop"
+
+
+#: The request kinds that mutate replica state (and therefore replicate).
+WRITE_KINDS = (RequestKind.PUT, RequestKind.DELETE)
 
 
 @dataclass(frozen=True)
@@ -74,6 +90,10 @@ class Request:
     @staticmethod
     def get(key: str) -> "Request":
         return Request(RequestKind.GET, key)
+
+    @staticmethod
+    def delete(key: str) -> "Request":
+        return Request(RequestKind.DELETE, key)
 
     @staticmethod
     def stop() -> "Request":
@@ -138,6 +158,33 @@ def lookup_state(state: State, key: str) -> Response:
     if value is None:
         return Response.not_found()
     return Response.found(value)
+
+
+def delete_state(state: State, key: str) -> Response:
+    """Unbind ``key`` and return the previous binding.
+
+    The mutation goes through the store's ordinary ``pop``, so a
+    :class:`~repro.storage.DurableState` replica write-ahead-logs the
+    deletion (a ``("del", key)`` record) before dropping it from memory —
+    deletes survive crash-restart replay exactly like puts.
+
+    Returns:
+        ``Response.found(previous)`` when the key was bound,
+        ``Response.not_found()`` otherwise (deleting an absent key logs
+        nothing).
+    """
+    if key not in state:
+        return Response.not_found()
+    return Response.found(state.pop(key))
+
+
+def apply_write(state: State, request: Request) -> Response:
+    """Apply one write request (Put or Delete) through the store's mutators."""
+    if request.kind is RequestKind.PUT:
+        return update_state(state, request.key, request.value)
+    if request.kind is RequestKind.DELETE:
+        return delete_state(state, request.key)
+    raise ValueError(f"not a write request: {request.kind!r}")
 
 
 def scan_state(state: State, prefix: str = "") -> List[Tuple[str, str]]:
@@ -364,9 +411,92 @@ def kvs_with_backups(
                 return Response.not_found()
 
             return sub.locally(server, finish)
+        if incoming.kind is RequestKind.DELETE:
+            # A deletion is a write: replicate it to every backup and gather
+            # their acknowledgements before the server applies it and
+            # answers, mirroring the Put branch (empty backup list degrades
+            # to the unreplicated server exactly the same way).
+            if len(backup_census) == 0:
+                return sub.locally(
+                    server, lambda un: delete_state(un(state_refs), incoming.key)
+                )
+            outcomes = sub.parallel(
+                backup_census,
+                lambda _backup, un: delete_state(un(state_refs), incoming.key),
+            )
+            gathered = sub.gather(backup_census, [server], outcomes)
+
+            def finish_delete(un) -> Response:
+                un(gathered)  # every backup acknowledged its deletion
+                return delete_state(un(state_refs), incoming.key)
+
+            return sub.locally(server, finish_delete)
         if incoming.kind is RequestKind.GET:
             return sub.locally(server, lambda un: lookup_state(un(state_refs), incoming.key))
         return sub.locally(server, lambda _un: Response.stopped())
+
+    response_at_server = op.conclave_to(cluster, [server], handle)
+    return op.comm(server, client, response_at_server)
+
+
+def kvs_delete(
+    op: ChoreoOp,
+    client: Location,
+    server: Location,
+    backups: LocationsLike,
+    state_refs: Faceted[State],
+    key: Located[str],
+) -> Located[Response]:
+    """Unbind ``key`` across the whole replica group; answer the previous value.
+
+    The dedicated deletion choreography of the service layer: the key travels
+    client → server, the server shares it with the replica conclave
+    (Knowledge of Choice rides on the key itself — deletion involves no
+    data-dependent branching), every backup drops the key from its own store
+    and acknowledges, and the server applies the deletion last — the same
+    ack-before-apply discipline as the Put path of
+    :func:`kvs_with_backups`, so a response the client sees implies every
+    surviving replica already dropped the key.
+
+    On durable replicas the deletion is write-ahead logged
+    (:func:`delete_state` goes through the store's ``pop``), so it survives
+    crash-restart replay and travels in catch-up deltas like any put.
+
+    Args:
+        op: The operator record; census must contain client, server, backups.
+        client: The requesting location.
+        server: The primary replica, which answers the client.
+        backups: Zero or more backup replicas (empty degrades gracefully to
+            the unreplicated server).
+        state_refs: The replicas' stores (one facet per replica).
+        key: The key to unbind, located at the client.
+
+    Returns:
+        ``Response.found(previous)`` / ``Response.not_found()`` (the
+        *server's* previous binding), located at the client.
+    """
+    backup_census = as_census(backups)
+    op.census.require_member(client)
+    op.census.require_member(server)
+    op.census.require_subset(backup_census)
+    cluster = as_census([server]).union(backup_census)
+
+    key_at_server = op.comm(client, server, key)
+
+    def handle(sub: ChoreoOp) -> Located[Response]:
+        wanted = sub.broadcast(server, key_at_server)
+        if len(backup_census) == 0:
+            return sub.locally(server, lambda un: delete_state(un(state_refs), wanted))
+        outcomes = sub.parallel(
+            backup_census, lambda _backup, un: delete_state(un(state_refs), wanted)
+        )
+        gathered = sub.gather(backup_census, [server], outcomes)
+
+        def finish(un) -> Response:
+            un(gathered)  # every backup acknowledged before the server applies
+            return delete_state(un(state_refs), wanted)
+
+        return sub.locally(server, finish)
 
     response_at_server = op.conclave_to(cluster, [server], handle)
     return op.comm(server, client, response_at_server)
@@ -397,9 +527,9 @@ def kvs_serve_batch(
     cluster benchmark's throughput numbers.
 
     Replica consistency matches :func:`kvs_with_backups`: backups apply the
-    batch's writes (in batch order) before the server applies them and
-    answers, and a failed acknowledgement downgrades the batch's Puts to
-    ``not_found`` responses.
+    batch's writes — Puts *and* Deletes, in batch order — before the server
+    applies them and answers, and a failed acknowledgement downgrades the
+    batch's writes to ``not_found`` responses.
 
     Args:
         op: The operator record; census must contain client, server, backups.
@@ -425,14 +555,13 @@ def kvs_serve_batch(
 
     def handle(sub: ChoreoOp) -> Located[List[Response]]:
         incoming = sub.broadcast(server, batch_at_server)
-        puts = [request for request in incoming if request.kind is RequestKind.PUT]
+        writes = [request for request in incoming if request.kind in WRITE_KINDS]
         gathered = None
-        if puts and len(backup_census) > 0:
+        if writes and len(backup_census) > 0:
             outcomes = sub.parallel(
                 backup_census,
                 lambda _backup, un: [
-                    update_state(un(state_refs), request.key, request.value)
-                    for request in puts
+                    apply_write(un(state_refs), request) for request in writes
                 ],
             )
             gathered = sub.gather(backup_census, [server], outcomes)
@@ -448,9 +577,9 @@ def kvs_serve_batch(
             state = un(state_refs)
             responses: List[Response] = []
             for request in incoming:
-                if request.kind is RequestKind.PUT:
+                if request.kind in WRITE_KINDS:
                     if replicated:
-                        responses.append(update_state(state, request.key, request.value))
+                        responses.append(apply_write(state, request))
                     else:
                         responses.append(Response.not_found())
                 elif request.kind is RequestKind.GET:

@@ -398,3 +398,94 @@ class TestClusterClient:
                 assert client.put("k", backend) is None
                 assert client.get("k") == backend
                 assert client.get("k", quorum=True) == backend
+
+
+class TestClusterDelete:
+    def test_delete_round_trip(self):
+        with ClusterClient(shards=2, replication=2) as client:
+            client.put("k", "v")
+            assert client.delete("k") == "v"
+            assert client.get("k") is None
+            assert client.delete("k") is None  # already absent: not found
+
+    def test_delete_replicates_to_backups(self):
+        with ClusterEngine(shards=1, replication=3) as cluster:
+            client = ClusterClient(cluster)
+            client.put("k", "v")
+            client.delete("k")
+            session = cluster.session("shard0")
+            for replica in session.servers:
+                assert "k" not in session.state.facet_for(replica)
+
+    def test_delete_async_pipelines(self):
+        with ClusterClient(shards=2, replication=2) as client:
+            for i in range(8):
+                client.put(f"k{i}", str(i))
+            futures = [client.delete_async(f"k{i}") for i in range(8)]
+            assert [f.result().value for f in futures] == [str(i) for i in range(8)]
+            assert client.scan() == []
+
+    def test_batch_with_deletes_preserves_per_key_order(self):
+        with ClusterClient(shards=2, replication=2) as client:
+            responses = client.batch([
+                Request.put("a", "1"),
+                Request.delete("a"),
+                Request.get("a"),
+                Request.put("a", "2"),
+            ])
+            kinds = [r.kind for r in responses]
+            assert kinds == [
+                ResponseKind.NOT_FOUND,  # fresh put
+                ResponseKind.FOUND,      # delete returns the dropped value
+                ResponseKind.NOT_FOUND,  # gone
+                ResponseKind.NOT_FOUND,  # fresh again
+            ]
+            assert responses[1].value == "1"
+            assert client.get("a") == "2"
+
+    def test_health_reports_per_shard_pending(self):
+        with ClusterEngine(shards=2, replication=2) as cluster:
+            health = cluster.health()
+            assert all(h.pending == 0 for h in health.values())
+            futures = [cluster.submit_put(f"k{i}", "v") for i in range(6)]
+            snapshot = cluster.health()
+            assert all(h.pending >= 0 for h in snapshot.values())
+            for future in futures:
+                future.result()
+            assert all(h.pending == 0 for h in cluster.health().values())
+
+
+class TestClusterClientLifecycle:
+    def test_close_is_idempotent(self):
+        client = ClusterClient(shards=1, replication=2)
+        client.put("k", "v")
+        client.close()
+        client.close()  # second close must be a no-op, not an error
+
+    def test_context_exit_after_cluster_already_failed(self):
+        # Exiting the client context after its cluster died underneath it
+        # must not raise: close() on a closed cluster stays idempotent.
+        with ClusterClient(shards=1, replication=2) as client:
+            client.put("k", "v")
+            client.cluster.close()
+
+    def test_borrowed_close_after_owner_closed(self):
+        cluster = ClusterEngine(shards=1, replication=2)
+        borrowed = ClusterClient(cluster)
+        cluster.close()
+        borrowed.close()  # borrowed: never touches the (closed) cluster
+
+    def test_flaky_connects_do_not_break_lifecycle(self):
+        # Transient connect failures during traffic must leave close()
+        # clean: the context exits without masking or leaking the retry.
+        from repro import FaultPlan
+
+        plan = FaultPlan(seed=7).flaky_connect(
+            "client", "shard0.r0", failures=2, max_retries=0
+        )
+        with ClusterClient(
+            shards=1, replication=2, backend="simulated", timeout=0.3,
+            faults=plan, retries=2,
+        ) as client:
+            assert client.get("missing") is None
+        client.close()  # post-context close stays idempotent too

@@ -69,21 +69,42 @@ class TestDurableCluster:
             assert ClusterClient(reopened).scan() == sorted(model.items())
 
     def test_deletes_and_overwrites_survive(self, tmp_path):
-        from repro.protocols.kvs import Request
-
         with durable_cluster(tmp_path) as cluster:
             kvs = ClusterClient(cluster)
             kvs.put("keep", "v1")
             kvs.put("keep", "v2")  # overwrite
             kvs.put("drop", "x")
-            # The data plane has no delete; exercise one through the
-            # control-plane migration path instead: popping from the store
-            # directly models what add_shard's copy-then-delete does.
-            session = cluster.session("shard0")
-            for replica in session.servers:
-                session.state.facet_for(replica).pop("drop", None)
+            assert kvs.delete("drop") == "x"  # replicated data-plane delete
         with durable_cluster(tmp_path) as reopened:
             assert ClusterClient(reopened).scan() == [("keep", "v2")]
+
+    def test_delete_wal_records_replay_on_every_replica(self, tmp_path):
+        # The delete must be WAL-logged on primary *and* backup: after a
+        # cold restart both replicas replay to the post-delete state, so a
+        # failover cannot resurrect the dropped key.
+        with durable_cluster(tmp_path) as cluster:
+            kvs = ClusterClient(cluster)
+            for index in range(8):
+                kvs.put(f"k{index}", f"v{index}")
+            for index in range(0, 8, 2):
+                kvs.delete(f"k{index}")
+        with durable_cluster(tmp_path) as reopened:
+            session = reopened.session("shard0")
+            survivors = sorted(f"k{i}" for i in range(1, 8, 2))
+            for replica in session.servers:
+                facet = session.state.facet_for(replica)
+                assert sorted(facet) == survivors
+
+    def test_delete_then_reput_survives_restart(self, tmp_path):
+        # WAL replay is order-sensitive: del then put must net out to the
+        # re-put value, not the delete.
+        with durable_cluster(tmp_path) as cluster:
+            kvs = ClusterClient(cluster)
+            kvs.put("k", "first")
+            kvs.delete("k")
+            kvs.put("k", "second")
+        with durable_cluster(tmp_path) as reopened:
+            assert ClusterClient(reopened).get("k") == "second"
 
     def test_durability_accepts_config_object(self, tmp_path):
         from repro.storage import Durability

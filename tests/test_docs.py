@@ -26,6 +26,7 @@ DOCTESTED_DOCS = [
     REPO_ROOT / "docs" / "api.md",
     REPO_ROOT / "docs" / "architecture.md",
     REPO_ROOT / "docs" / "durability.md",
+    REPO_ROOT / "docs" / "gateway.md",
     REPO_ROOT / "docs" / "testing.md",
 ]
 
@@ -65,7 +66,7 @@ def test_intra_repo_markdown_links_resolve(path):
 def test_docs_contain_expected_files():
     """The documentation set this repo promises actually exists."""
     for name in ["api.md", "architecture.md", "benchmarks.md", "durability.md",
-                 "performance.md", "testing.md"]:
+                 "gateway.md", "performance.md", "testing.md"]:
         assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
 
 

@@ -1,0 +1,350 @@
+"""End-to-end tests for the gateway: real sockets over a real cluster.
+
+Every test here drives :class:`GatewayServer` through TCP — mostly via
+:class:`GatewayClient`, occasionally through a raw socket to exercise the
+inline form and framing-damage paths.  The overload defenses are tested
+separately and deterministically:
+
+* **admission control** by pinning the cluster's ``pending`` gauge above
+  the high-water mark (monkeypatched property — no racing against real
+  load), asserting the retryable ``BUSY`` shed;
+* **backpressure** by pipelining far past ``max_inflight_per_conn`` and
+  asserting every reply arrives, in order (the reader paces the socket
+  rather than erroring);
+* **drain** by closing the server with delayed in-flight commands and
+  asserting each already-admitted command still got its reply;
+* **chaos** by parking the gateway over a cluster whose primary is
+  crash-scheduled (seeded :class:`FaultPlan`) and asserting every wire
+  command answers with a *typed* error frame — never a hang, never an
+  unstructured failure.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import ClusterClient, ClusterEngine, FaultPlan
+from repro.cluster.engine import ClusterEngine as _EngineClass
+from repro.gateway import (
+    ERR_BADREQUEST,
+    ERR_BUSY,
+    ERR_DRAINING,
+    ERR_FAILED,
+    ERR_MAXCONN,
+    ERR_TIMEOUT,
+    ERR_UNAVAILABLE,
+    BulkReply,
+    ErrorReply,
+    GatewayClient,
+    GatewayError,
+    GatewayServer,
+    GatewaySettings,
+)
+from repro.protocols.kvs import Request
+from tests.test_cluster_failover import BACKEND, CHAOS_SEEDS, TIMEOUT
+
+#: Socket timeout for test clients: generous enough for CI, small enough
+#: that a hang fails the test instead of wedging the suite.
+CLIENT_TIMEOUT = 20.0
+
+
+@pytest.fixture()
+def stack():
+    """A 2-shard cluster behind a gateway, plus one connected client."""
+    with ClusterClient(shards=2, replication=2, backend=BACKEND) as kvs:
+        with GatewayServer(kvs) as server:
+            host, port = server.address
+            with GatewayClient(host, port, timeout=CLIENT_TIMEOUT) as client:
+                yield server, client
+
+
+class TestGatewayDataPlane:
+    def test_put_get_delete_round_trip(self, stack):
+        _server, client = stack
+        assert client.put("user:1", "ada") is None
+        assert client.get("user:1") == "ada"
+        assert client.put("user:1", "grace") == "ada"
+        assert client.delete("user:1") == "grace"
+        assert client.get("user:1") is None
+        assert client.delete("user:1") is None
+
+    def test_batch_mixed_requests(self, stack):
+        _server, client = stack
+        replies = client.batch(
+            [
+                Request.put("a", "1"),
+                Request.get("a"),
+                Request.delete("a"),
+                Request.get("a"),
+            ]
+        )
+        assert replies == [None, "1", "1", None]
+
+    def test_scan_across_shards(self, stack):
+        _server, client = stack
+        for index in range(8):
+            client.put(f"k:{index}", str(index))
+        client.put("other", "x")
+        assert client.scan("k:") == [(f"k:{i}", str(i)) for i in range(8)]
+
+    def test_inline_form_over_raw_socket(self, stack):
+        server, _client = stack
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=CLIENT_TIMEOUT) as raw:
+            raw.sendall(b"PUT inline yes\r\nGET inline\r\n")
+            deadline = time.monotonic() + CLIENT_TIMEOUT
+            data = b""
+            while data != b"$-1\r\n$3\r\nyes\r\n":
+                raw.settimeout(max(0.1, deadline - time.monotonic()))
+                chunk = raw.recv(65536)
+                assert chunk, f"connection closed early with {data!r}"
+                data += chunk
+        assert data == b"$-1\r\n$3\r\nyes\r\n"
+
+    def test_pipelined_replies_keep_request_order(self, stack):
+        _server, client = stack
+        count = 30
+        for index in range(count):
+            client.send("PUT", "seq", f"v{index}")
+        replies = client.drain(count)
+        previous = [r.value for r in replies if isinstance(r, BulkReply)]
+        assert previous == [None] + [f"v{i}" for i in range(count - 1)]
+
+
+class TestGatewayControlPlane:
+    def test_ping_and_echo(self, stack):
+        _server, client = stack
+        assert client.ping() == "PONG"
+        assert client.ping("token-17") == "token-17"
+
+    def test_health_reports_shards_and_pending(self, stack):
+        _server, client = stack
+        health = client.health()
+        assert sorted(health) == ["shard0", "shard1"]
+        for shard in health.values():
+            assert shard["degraded"] is False
+            assert shard["pending"] == 0
+            assert set(shard["replicas"].values()) == {"up"}
+
+    def test_stats_counters_move(self, stack):
+        _server, client = stack
+        client.put("k", "v")
+        stats = client.stats()
+        assert stats["connections"] == 1
+        assert stats["commands"] >= 2
+        assert stats["cluster_messages"] > 0
+        assert stats["draining"] is False
+
+
+class TestGatewayErrors:
+    def test_unknown_verb_is_nonfatal(self, stack):
+        _server, client = stack
+        with pytest.raises(GatewayError) as excinfo:
+            client.call("FROB", "x")
+        assert excinfo.value.code == ERR_BADREQUEST
+        assert not excinfo.value.retryable
+        assert client.ping() == "PONG"  # connection survived
+
+    def test_framing_damage_answers_then_hangs_up(self, stack):
+        server, _client = stack
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=CLIENT_TIMEOUT) as raw:
+            raw.sendall(b"*1\r\n:666\r\n")  # int frame where a bulk belongs
+            raw.settimeout(CLIENT_TIMEOUT)
+            data = b""
+            while True:
+                chunk = raw.recv(65536)
+                if not chunk:
+                    break  # server hung up, as promised
+                data += chunk
+        assert data.startswith(b"-")  # but answered with an error frame first
+
+    def test_busy_shed_past_high_water(self, stack, monkeypatch):
+        server, client = stack
+        monkeypatch.setattr(
+            _EngineClass, "pending", property(lambda self: 10_000)
+        )
+        with pytest.raises(GatewayError) as excinfo:
+            client.get("whatever")
+        assert excinfo.value.code == ERR_BUSY
+        assert excinfo.value.retryable
+        assert excinfo.value.detail["high_water"] == server.settings.admission_high_water
+        assert client.ping() == "PONG"  # control plane still admitted
+        assert client.stats()["shed_busy"] >= 1
+
+    def test_draining_rejects_new_work_but_serves_control(self, stack):
+        server, client = stack
+        server._draining.set()
+        try:
+            with pytest.raises(GatewayError) as excinfo:
+                client.put("k", "v")
+            assert excinfo.value.code == ERR_DRAINING
+            assert excinfo.value.retryable
+            assert client.ping() == "PONG"
+        finally:
+            server._draining.clear()
+
+    def test_maxconn_rejected_with_typed_error(self):
+        with ClusterClient(shards=1, replication=2, backend=BACKEND) as kvs:
+            settings = GatewaySettings(max_connections=1)
+            with GatewayServer(kvs, settings) as server:
+                host, port = server.address
+                with GatewayClient(host, port, timeout=CLIENT_TIMEOUT) as first:
+                    assert first.ping() == "PONG"
+                    with socket.create_connection(
+                        (host, port), timeout=CLIENT_TIMEOUT
+                    ) as refused:
+                        refused.settimeout(CLIENT_TIMEOUT)
+                        data = refused.recv(65536)
+                        assert data.startswith(b"-")
+                        assert ERR_MAXCONN.encode() in data
+
+
+class TestBackpressure:
+    def test_pipelining_past_budget_paces_not_errors(self):
+        with ClusterClient(shards=2, replication=2, backend=BACKEND) as kvs:
+            settings = GatewaySettings(max_inflight_per_conn=2)
+            with GatewayServer(kvs, settings) as server:
+                host, port = server.address
+                with GatewayClient(host, port, timeout=CLIENT_TIMEOUT) as client:
+                    count = 40
+                    for index in range(count):
+                        client.send("PUT", f"key:{index % 5}", f"v{index}")
+                    replies = client.drain(count)
+                    assert len(replies) == count
+                    assert not any(isinstance(r, ErrorReply) for r in replies)
+                    assert server.metrics()["shed_busy"] == 0
+
+
+class TestDrain:
+    def test_close_waits_for_admitted_commands(self):
+        plan = FaultPlan(seed=5).delay(jitter=0.01, rate=1.0)
+        with ClusterClient(
+            shards=2, replication=2, backend=BACKEND, timeout=5.0, faults=plan
+        ) as kvs:
+            with GatewayServer(kvs) as server:
+                host, port = server.address
+                with GatewayClient(host, port, timeout=CLIENT_TIMEOUT) as client:
+                    count = 16
+                    for index in range(count):
+                        client.send("PUT", f"k{index}", f"v{index}")
+                    # Let the reader admit everything before the drain begins.
+                    deadline = time.monotonic() + CLIENT_TIMEOUT
+                    while server.metrics()["commands"] < count:
+                        assert time.monotonic() < deadline
+                        time.sleep(0.01)
+                    closer = threading.Thread(target=server.close)
+                    closer.start()
+                    replies = client.drain(count)
+                    closer.join(timeout=CLIENT_TIMEOUT)
+                    assert not closer.is_alive()
+                    assert len(replies) == count
+                    assert not any(isinstance(r, ErrorReply) for r in replies)
+                assert server.metrics()["inflight"] == 0
+
+    def test_close_is_idempotent(self, stack):
+        server, _client = stack
+        server.close()
+        server.close()
+
+
+class TestGatewaySettings:
+    def test_from_env_reads_prefixed_vars(self):
+        env = {
+            "GATEWAY_PORT": "7401",
+            "GATEWAY_MAX_CONNECTIONS": "9",
+            "GATEWAY_DRAIN_TIMEOUT": "1.5",
+            "UNRELATED": "ignored",
+        }
+        settings = GatewaySettings.from_env(env)
+        assert settings.port == 7401
+        assert settings.max_connections == 9
+        assert settings.drain_timeout == 1.5
+        assert settings.host == "127.0.0.1"  # default preserved
+
+    def test_overrides_beat_env(self):
+        settings = GatewaySettings.from_env({"GATEWAY_PORT": "7401"}, port=7402)
+        assert settings.port == 7402
+
+    def test_bad_env_value_fails_fast(self):
+        with pytest.raises(ValueError):
+            GatewaySettings.from_env({"GATEWAY_PORT": "not-a-port"})
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ValueError):
+            GatewaySettings.from_env({}, max_inflght=3)  # typo caught
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("port", -1),
+            ("max_connections", 0),
+            ("max_inflight_per_conn", 0),
+            ("admission_high_water", 0),
+            ("drain_timeout", -0.1),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            GatewaySettings(**{field: value})
+
+
+class TestGatewayChaos:
+    """The network door under injected faults: typed frames, never hangs."""
+
+    #: Codes a client may legitimately see while the shard behind the
+    #: gateway is crashing and being routed around.
+    ACCEPTABLE = {ERR_FAILED, ERR_TIMEOUT, ERR_UNAVAILABLE, ERR_BUSY}
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_primary_crash_surfaces_as_typed_errors(self, seed):
+        plan = FaultPlan(seed=seed).crash("shard0.r0", after_ops=0)
+        with ClusterEngine(
+            shards=1, replication=2, backend=BACKEND, timeout=TIMEOUT, faults=plan
+        ) as cluster:
+            kvs = ClusterClient(cluster)
+            with GatewayServer(kvs) as server:
+                host, port = server.address
+                with GatewayClient(host, port, timeout=CLIENT_TIMEOUT) as client:
+                    failures = 0
+                    for index in range(10):
+                        try:
+                            client.put(f"k{index}", f"v{index}")
+                        except GatewayError as exc:
+                            failures += 1
+                            assert exc.code in self.ACCEPTABLE, exc.code
+                    assert failures > 0  # a dead primary must fail loudly
+                    # The connection itself survives typed failures.
+                    assert client.ping() == "PONG"
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_backup_crash_is_routed_around(self, seed):
+        plan = FaultPlan(seed=seed).crash("shard0.r1", after_ops=4)
+        with ClusterEngine(
+            shards=1, replication=2, backend=BACKEND, timeout=TIMEOUT, faults=plan
+        ) as cluster:
+            kvs = ClusterClient(cluster)
+            with GatewayServer(kvs) as server:
+                host, port = server.address
+                with GatewayClient(host, port, timeout=CLIENT_TIMEOUT) as client:
+                    for index in range(12):
+                        client.put(f"k{index % 4}", f"v{index}")
+                    # Failover replayed the in-flight writes; reads serve on.
+                    assert client.get("k3") == "v11"
+                    health = client.health()["shard0"]
+                    assert health["replicas"]["shard0.r1"] == "down"
+
+    def test_cluster_closed_surfaces_as_unavailable(self):
+        kvs = ClusterClient(shards=1, replication=2, backend=BACKEND)
+        with GatewayServer(kvs) as server:
+            host, port = server.address
+            with GatewayClient(host, port, timeout=CLIENT_TIMEOUT) as client:
+                assert client.put("k", "v") is None
+                kvs.close()
+                with pytest.raises(GatewayError) as excinfo:
+                    client.get("k")
+                assert excinfo.value.code == ERR_UNAVAILABLE

@@ -1,0 +1,236 @@
+"""Unit tests for the gateway wire protocol: framing, commands, error schema.
+
+No sockets here — these tests exercise :mod:`repro.gateway.protocol` as a
+pure library: encode/parse round-trips (including byte-at-a-time incremental
+feeds), the command table's arity rules, the frame limits, and the mapping
+from the cluster's typed exceptions onto the stable error-code schema.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterClosed, ClusterRebalancing
+from repro.core.errors import ChoreographyRuntimeError, ChoreoTimeout
+from repro.gateway import (
+    ERR_BADREQUEST,
+    ERR_BUSY,
+    ERR_FAILED,
+    ERR_INTERNAL,
+    ERR_REBALANCING,
+    ERR_TIMEOUT,
+    ERR_TOOBIG,
+    ERR_UNAVAILABLE,
+    RETRYABLE_CODES,
+    ArrayReply,
+    BulkReply,
+    CommandError,
+    ErrorReply,
+    IntReply,
+    ProtocolError,
+    SimpleReply,
+    command_from_args,
+    encode_command,
+    encode_reply,
+    error_reply,
+    parse_command,
+    parse_reply,
+    reply_for_exception,
+    reply_for_response,
+)
+from repro.gateway.protocol import MAX_ARGS, MAX_INLINE
+from repro.protocols.kvs import RequestKind, Response
+
+
+class TestCommandFraming:
+    def test_array_form_round_trips(self):
+        wire = encode_command(["PUT", "user:1", "ada lovelace"])
+        args, pos = parse_command(wire)
+        assert args == ["PUT", "user:1", "ada lovelace"]
+        assert pos == len(wire)
+
+    def test_incremental_byte_at_a_time(self):
+        wire = encode_command(["GET", "key"])
+        buffer = b""
+        for byte in wire[:-1]:
+            buffer += bytes([byte])
+            args, pos = parse_command(buffer)
+            assert args is None and pos == 0
+        args, _pos = parse_command(buffer + wire[-1:])
+        assert args == ["GET", "key"]
+
+    def test_two_commands_in_one_buffer(self):
+        wire = encode_command(["GET", "a"]) + encode_command(["GET", "b"])
+        first, pos = parse_command(wire)
+        second, pos = parse_command(wire, pos)
+        assert first == ["GET", "a"] and second == ["GET", "b"]
+        assert parse_command(wire, pos) == (None, pos)
+
+    def test_inline_form(self):
+        args, _pos = parse_command(b"PUT key value\r\n")
+        assert args == ["PUT", "key", "value"]
+        args, _pos = parse_command(b"GET key\n")  # bare LF tolerated
+        assert args == ["GET", "key"]
+
+    def test_inline_blank_lines_are_skipped(self):
+        wire = b"\r\n\r\nPING\r\n"
+        args, pos = parse_command(wire)
+        assert args == ["PING"] and pos == len(wire)
+
+    def test_binaryish_values_survive_bulk_framing(self):
+        value = "spaces and\ttabs and \r\n newlines"
+        wire = encode_command(["PUT", "k", value])
+        args, _pos = parse_command(wire)
+        assert args == ["PUT", "k", value]
+
+    def test_oversize_argument_count_is_fatal_toobig(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_command(b"*%d\r\n" % (MAX_ARGS + 1))
+        assert excinfo.value.fatal and excinfo.value.code == ERR_TOOBIG
+
+    def test_unterminated_oversize_line_is_fatal(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_command(b"X" * (MAX_INLINE + 2))
+        assert excinfo.value.fatal and excinfo.value.code == ERR_TOOBIG
+
+    def test_bad_bulk_header_is_fatal(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_command(b"*1\r\n:5\r\n")
+        assert excinfo.value.fatal
+
+
+class TestReplyFraming:
+    @pytest.mark.parametrize(
+        "reply",
+        [
+            SimpleReply("OK"),
+            SimpleReply("PONG"),
+            BulkReply("a value with \r\n inside"),
+            BulkReply(""),
+            BulkReply(None),
+            IntReply(-42),
+            ArrayReply((BulkReply("k"), BulkReply("v"))),
+            ArrayReply(()),
+            ArrayReply((ArrayReply((SimpleReply("nested"),)), IntReply(7))),
+            error_reply(ERR_BUSY, "cluster is saturated", pending=900),
+        ],
+    )
+    def test_round_trip(self, reply):
+        wire = encode_reply(reply)
+        parsed, pos = parse_reply(wire)
+        assert parsed == reply
+        assert pos == len(wire)
+
+    def test_incremental_reply_parse(self):
+        wire = encode_reply(ArrayReply((BulkReply("abc"), BulkReply(None))))
+        for cut in range(len(wire)):
+            parsed, pos = parse_reply(wire[:cut])
+            assert parsed is None and pos == 0
+        parsed, _pos = parse_reply(wire)
+        assert parsed == ArrayReply((BulkReply("abc"), BulkReply(None)))
+
+    def test_error_frame_is_single_line_json(self):
+        wire = encode_reply(error_reply(ERR_TIMEOUT, "late", peer="r1"))
+        assert wire.startswith(b"-") and wire.endswith(b"\r\n")
+        payload = json.loads(wire[1:-2].decode("utf-8"))
+        assert payload["code"] == ERR_TIMEOUT
+        assert payload["detail"]["peer"] == "r1"
+        assert payload["detail"]["retryable"] is True
+
+    def test_unknown_type_byte_is_fatal(self):
+        with pytest.raises(ProtocolError):
+            parse_reply(b"?huh\r\n")
+
+
+class TestCommandTable:
+    def test_verbs_normalise_to_upper(self):
+        assert command_from_args(["put", "k", "v"]).verb == "PUT"
+
+    @pytest.mark.parametrize(
+        "args",
+        [[], ["NOPE"], ["GET"], ["GET", "a", "b"], ["PUT", "k"], ["HEALTH", "x"]],
+    )
+    def test_bad_arity_or_verb_is_nonfatal_badrequest(self, args):
+        with pytest.raises(CommandError) as excinfo:
+            command_from_args(args)
+        assert not excinfo.value.fatal
+        assert excinfo.value.code == ERR_BADREQUEST
+
+    def test_data_vs_control_plane(self):
+        assert command_from_args(["GET", "k"]).is_data_plane
+        assert command_from_args(["BATCH", "GET", "k"]).is_data_plane
+        assert not command_from_args(["PING"]).is_data_plane
+        assert not command_from_args(["HEALTH"]).is_data_plane
+
+    def test_batch_args_decode_to_requests(self):
+        command = command_from_args(
+            ["BATCH", "PUT", "k1", "v1", "GET", "k2", "DEL", "k3"]
+        )
+        kinds = [r.kind for r in command.batch_requests()]
+        assert kinds == [RequestKind.PUT, RequestKind.GET, RequestKind.DELETE]
+
+    @pytest.mark.parametrize(
+        "tail",
+        [["PUT", "k"], ["GET"], ["DEL"], ["STOP"], ["PUT", "k", "v", "GET"]],
+    )
+    def test_malformed_batch_tail_rejected_at_parse_time(self, tail):
+        with pytest.raises(CommandError):
+            command_from_args(["BATCH"] + tail)
+
+
+class TestErrorSchema:
+    def test_cluster_closed_maps_to_unavailable(self):
+        reply = reply_for_exception(ClusterClosed("cluster is closed"))
+        assert reply.code == ERR_UNAVAILABLE
+        assert not reply.retryable
+
+    def test_rebalancing_maps_retryable(self):
+        reply = reply_for_exception(ClusterRebalancing("rebalance in progress"))
+        assert reply.code == ERR_REBALANCING
+        assert reply.retryable
+
+    def test_timeout_carries_blame_fields(self):
+        reply = reply_for_exception(ChoreoTimeout("client", "shard0.r0", 0.3))
+        assert reply.code == ERR_TIMEOUT
+        assert reply.detail["waiter"] == "client"
+        assert reply.detail["peer"] == "shard0.r0"
+        assert reply.detail["seconds"] == 0.3
+        assert reply.retryable
+
+    def test_wrapped_timeout_unwraps_to_timeout(self):
+        wrapped = ChoreographyRuntimeError(
+            "client", ChoreoTimeout("client", "shard0.r1", 0.3)
+        )
+        reply = reply_for_exception(wrapped)
+        assert reply.code == ERR_TIMEOUT
+        assert reply.detail["location"] == "client"
+        assert reply.detail["peer"] == "shard0.r1"
+
+    def test_other_choreography_failure_maps_to_failed(self):
+        wrapped = ChoreographyRuntimeError("shard0.r0", RuntimeError("boom"))
+        reply = reply_for_exception(wrapped)
+        assert reply.code == ERR_FAILED
+        assert reply.detail["location"] == "shard0.r0"
+        assert reply.detail["error"] == "RuntimeError"
+        assert not reply.retryable
+
+    def test_command_error_keeps_its_code(self):
+        reply = reply_for_exception(CommandError("nope"))
+        assert reply.code == ERR_BADREQUEST
+
+    def test_unknown_exception_maps_to_internal(self):
+        reply = reply_for_exception(ValueError("surprise"))
+        assert reply.code == ERR_INTERNAL
+        assert not reply.retryable
+
+    def test_retryable_stamped_from_code_table(self):
+        for code in RETRYABLE_CODES:
+            assert error_reply(code, "x").retryable
+        assert not error_reply(ERR_BADREQUEST, "x").retryable
+
+    def test_reply_for_response(self):
+        assert reply_for_response(Response.found("v")) == BulkReply("v")
+        assert reply_for_response(Response.not_found()) == BulkReply(None)
+        assert reply_for_response(Response.stopped()) == SimpleReply("STOPPED")

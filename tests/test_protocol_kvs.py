@@ -221,3 +221,72 @@ class TestBackupVariant:
     def test_stop_request(self):
         result = self.run_one(Request.stop())
         assert result.value_at("client").kind is ResponseKind.STOPPED
+
+
+class TestKVSDelete:
+    """The delete choreography: replicate-then-apply, like Put."""
+
+    BACKUPS = ["b1", "b2"]
+    CENSUS = ["client", "server"] + BACKUPS
+
+    def run_session(self, *requests):
+        from repro.protocols.kvs import kvs_delete
+
+        def chor(op):
+            states = make_replica_states(op, ["server"] + self.BACKUPS)
+            last = None
+            for request in requests:
+                if request.kind is RequestKind.DELETE:
+                    key = op.locally("client", lambda _un, k=request.key: k)
+                    last = kvs_delete(
+                        op, "client", "server", self.BACKUPS, states, key
+                    )
+                else:
+                    located = op.locally("client", lambda _un, r=request: r)
+                    last = kvs_with_backups(
+                        op, "client", "server", self.BACKUPS, states, located
+                    )
+            return last
+
+        return run_choreography(chor, self.CENSUS)
+
+    def test_delete_returns_dropped_value(self):
+        result = self.run_session(Request.put("k", "v"), Request.delete("k"))
+        assert result.value_at("client") == Response.found("v")
+
+    def test_delete_of_missing_key(self):
+        result = self.run_session(Request.delete("ghost"))
+        assert result.value_at("client").kind is ResponseKind.NOT_FOUND
+
+    def test_delete_gathers_acknowledgements(self):
+        # Same replication discipline as Put: every backup acks the delete
+        # back to the server before the server applies it.
+        result = self.run_session(Request.put("k", "v"), Request.delete("k"))
+        for backup in self.BACKUPS:
+            assert result.stats.messages_sent_by(backup) == 2  # put ack + del ack
+
+    def test_delete_request_via_kvs_with_backups(self):
+        # Request.delete routed through the single-request replica
+        # choreography works too (the branch the batch path exercises).
+        result = self.run_session(
+            Request.put("k", "v"),
+            Request.delete("k"),
+            Request.get("k"),
+        )
+        assert result.value_at("client").kind is ResponseKind.NOT_FOUND
+
+    def test_census_polymorphism_over_backup_count(self):
+        from repro.protocols.kvs import kvs_delete
+
+        for backups in ([], ["b1"], ["b1", "b2", "b3"]):
+            census = ["client", "server"] + backups
+
+            def chor(op):
+                states = make_replica_states(op, ["server"] + backups)
+                put = op.locally("client", lambda _un: Request.put("k", "v"))
+                kvs_with_backups(op, "client", "server", backups, states, put)
+                key = op.locally("client", lambda _un: "k")
+                return kvs_delete(op, "client", "server", backups, states, key)
+
+            result = run_choreography(chor, census)
+            assert result.value_at("client") == Response.found("v")
