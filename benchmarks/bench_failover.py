@@ -1,0 +1,136 @@
+"""F-failover — the unavailability window when a primary dies.
+
+PR 8 turned a dead primary from a loud failure into an automatic
+promotion: the senior surviving backup takes the head under a bumped,
+fenced shard epoch.  The operator-facing cost of that design is the
+**unavailability window** — the wall time between the op that first
+trips over the dead head and the first op acknowledged by the promoted
+one.  The window is pure detection + promotion: there is no election
+round-trip, so it is dominated by the choreography timeout that exposes
+the corpse (``TIMEOUT`` below bounds it).
+
+Measured here:
+
+* **unavailability window** — mid-workload primary crash under a serial
+  YCSB-A-shaped client; the window runs from the submit that detects the
+  crash to its own (replayed) acknowledgement, plus the engine's own
+  ``promote_seconds`` from the :class:`~repro.cluster.PromotionReport`
+  audit trail;
+* **degraded vs healed throughput** — put throughput on the promoted
+  shard before and after the deposed primary re-joins as a backup;
+* **re-join wall time** — how long :meth:`~repro.cluster.ClusterEngine.
+  rejoin_backup` takes to catch the old head up with its usurper.
+
+Every headline number lands in the PR report JSON via ``report.record``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+import report
+from bench_guard import smoke_scale
+from repro import ClusterClient, FaultPlan
+from repro.cluster import ClusterEngine
+from repro.storage import Durability
+
+#: Replicas per shard (primary + one backup) in every measured shape.
+REPLICATION = 2
+#: Failover scenarios run on the deterministic simulated backend.
+BACKEND = "simulated"
+#: The choreography timeout that exposes a dead head — the dominant term
+#: of the unavailability window.
+TIMEOUT = 0.3
+
+#: Transport ops the doomed primary completes before dying.
+PRE_CRASH_OPS = smoke_scale(200, 16)
+#: Acknowledged puts while the shard runs under the promoted head.
+DEGRADED_OPS = smoke_scale(200, 12)
+#: Puts per throughput measurement (degraded and healed phases).
+THROUGHPUT_OPS = smoke_scale(400, 24)
+
+
+def failover_once(root: str, *, pre_ops: int = PRE_CRASH_OPS,
+                  gap_ops: int = DEGRADED_OPS):
+    """One primary crash → promote → re-join cycle.
+
+    Returns ``(window_seconds, promotion, rejoin_wall_seconds, degraded_tp,
+    healed_tp)`` where the window spans the first submit that trips over
+    the dead head to its own post-promotion acknowledgement.
+    """
+    plan = FaultPlan(seed=7).crash("shard0.r0", after_ops=pre_ops)
+    config = Durability(root=root, fsync="batch")
+    with ClusterEngine(1, replication=REPLICATION, backend=BACKEND,
+                       timeout=TIMEOUT, faults=plan, durability=config) as cluster:
+        kvs = ClusterClient(cluster)
+        window = None
+        index = 0
+        while not cluster.promotions:
+            started = time.perf_counter()
+            kvs.put(f"user{index % 64:04d}", f"v{index}")
+            window = time.perf_counter() - started
+            index += 1
+            assert index < 100 * (pre_ops + 1), "planned crash never detected"
+        promotion = cluster.promotions[0]
+
+        started = time.perf_counter()
+        for gap in range(gap_ops):
+            kvs.put(f"gap{gap:04d}", f"g{gap}")
+        degraded_tp = gap_ops / (time.perf_counter() - started)
+
+        started = time.perf_counter()
+        cluster.rejoin_backup("shard0", promotion.old_primary)
+        rejoin_wall = time.perf_counter() - started
+        assert not cluster.health()["shard0"].degraded
+
+        started = time.perf_counter()
+        for index in range(THROUGHPUT_OPS):
+            kvs.put(f"heal{index % 64:04d}", f"h{index}")
+        healed_tp = THROUGHPUT_OPS / (time.perf_counter() - started)
+        return window, promotion, rejoin_wall, degraded_tp, healed_tp
+
+
+def smoke():
+    """One tiny, untimed iteration for the tier-1 bitrot guard."""
+    with tempfile.TemporaryDirectory() as root:
+        window, promotion, _wall, _degraded, _healed = failover_once(
+            root, pre_ops=10, gap_ops=4
+        )
+        assert window is not None and window > 0
+        assert promotion.epoch == 1
+
+
+def test_unavailability_window(report_table):
+    """The headline number: how long a primary crash blanks the shard."""
+    with tempfile.TemporaryDirectory() as root:
+        window, promotion, rejoin_wall, degraded_tp, healed_tp = (
+            failover_once(root)
+        )
+    name = "failover/primary_crash"
+    report.record(name, "unavailability_window_seconds", window, "s")
+    report.record(name, "promote_seconds", promotion.promote_seconds, "s")
+    report.record(name, "epoch", float(promotion.epoch), "epoch")
+    report.record(name, "rejoin_wall_seconds", rejoin_wall, "s")
+    report.record(name, "degraded_puts_per_sec", degraded_tp, "ops/sec")
+    report.record(name, "healed_puts_per_sec", healed_tp, "ops/sec")
+    report_table(
+        f"Failover — primary crash mid-workload (timeout {TIMEOUT}s, "
+        f"replication {REPLICATION})",
+        ["phase", "measure"],
+        [
+            ["unavailability window (detect + promote + replay)",
+             f"{window * 1e3:.1f} ms"],
+            ["  of which promotion bookkeeping",
+             f"{promotion.promote_seconds * 1e3:.2f} ms"],
+            [f"degraded throughput ({promotion.new_primary} unreplicated)",
+             f"{degraded_tp:,.0f} puts/sec"],
+            ["old-primary re-join wall", f"{rejoin_wall * 1e3:.1f} ms"],
+            ["healed throughput (replicating again)",
+             f"{healed_tp:,.0f} puts/sec"],
+        ],
+    )
+    # The window is detection-dominated: it must cost at least one
+    # choreography timeout, and promotion itself must be a rounding error.
+    assert window >= TIMEOUT
+    assert promotion.promote_seconds < window

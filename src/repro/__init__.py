@@ -36,11 +36,12 @@ The package provides:
   and the centralized reference semantics.
 * :mod:`repro.cluster` — the sharded KVS service layer: a consistent-hash
   :class:`ShardRouter`, a :class:`ClusterEngine` multiplexing one warm
-  engine per shard — with dead-backup detection, demotion-based failover,
-  crash-restart replica re-join (:func:`rejoin_backup`), and
-  ``health()``/``probe()`` — and the :class:`ClusterClient`
-  ``put/get/delete/scan`` facade with quorum reads, read repair, and
-  retrying idempotent reads.
+  engine per shard — with dead-replica detection, backup demotion, primary
+  failover (epoch-fenced promotion of the senior surviving backup, recorded
+  as :class:`PromotionReport`), crash-restart replica re-join
+  (:func:`rejoin_backup`), and ``health()``/``probe()`` — and the
+  :class:`ClusterClient` ``put/get/delete/scan`` facade with quorum reads,
+  read repair, and retrying idempotent reads.
 * :mod:`repro.gateway` — the network front door: a RESP-like TCP protocol
   served by :class:`~repro.gateway.GatewayServer` over the cluster, with
   per-connection backpressure, cluster-wide ``BUSY`` admission shedding,
@@ -69,6 +70,7 @@ from .cluster import (
     ClusterClosed,
     ClusterEngine,
     ClusterRebalancing,
+    PromotionReport,
     RejoinError,
     RejoinReport,
     ShardHealth,
@@ -98,6 +100,7 @@ from .core import (
 )
 from .faults import FaultPlan
 from .gateway import GatewayClient, GatewayError, GatewayServer, GatewaySettings
+from .protocols.kvs import ShardEpoch, StaleEpoch
 from .storage import Durability, DurableState, SnapshotStore, WriteAheadLog
 from .runtime import (
     CentralBackend,
@@ -114,7 +117,7 @@ from .runtime import (
     run_choreography,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ABSENT",
@@ -149,13 +152,16 @@ __all__ = [
     "OwnershipError",
     "PlaceholderError",
     "ProjectedOp",
+    "PromotionReport",
     "Quire",
     "RejoinError",
     "RejoinReport",
+    "ShardEpoch",
     "ShardHealth",
     "ShardRouter",
     "SimulatedNetworkTransport",
     "SnapshotStore",
+    "StaleEpoch",
     "TCPTransport",
     "TransportError",
     "WriteAheadLog",

@@ -22,17 +22,25 @@ answering is detected (through typed receive timeouts or an active
 :meth:`~repro.cluster.engine.ClusterEngine.probe`), demoted, and routed
 around via the zero-backup degradation path of
 :func:`~repro.protocols.kvs.kvs_with_backups`, with in-flight submits
-replayed against the shrunken replica group.  With a ``durability=``
+replayed against the shrunken replica group.  A dead *primary* is failed
+over the same way: the senior surviving backup is promoted to head, the
+shard's epoch is bumped and stamped into every surviving durable replica's
+WAL, stale-epoch bindings are fenced with the typed
+:class:`~repro.protocols.kvs.StaleEpoch` (no split brain), and the
+promotion is recorded as a
+:class:`~repro.cluster.engine.PromotionReport`.  With a ``durability=``
 configuration (:class:`~repro.storage.Durability`) every replica store is
 write-ahead logged and snapshotted, and
 :meth:`~repro.cluster.engine.ClusterEngine.rejoin_backup` re-admits a
-crashed, restarted replica: WAL replay, a hash-verified
+crashed, restarted replica — deposed primaries included, which re-enter as
+backups: WAL replay, a hash-verified
 :func:`~repro.protocols.kvs.kvs_catchup` transfer, and a re-bind with the
 restored membership.  :meth:`~repro.cluster.engine.ClusterEngine.health`
-reports per-replica ``up``/``down``/``rejoining`` state.
-``tests/test_cluster_failover.py`` and ``tests/test_cluster_recovery.py``
-chaos-test all of this under seeded :class:`~repro.faults.FaultPlan`
-schedules.
+reports per-replica ``up``/``down``/``rejoining`` state plus each shard's
+epoch and role assignment.
+``tests/test_cluster_failover.py``, ``tests/test_cluster_promotion.py``,
+and ``tests/test_cluster_recovery.py`` chaos-test all of this under seeded
+:class:`~repro.faults.FaultPlan` schedules.
 
 See ``docs/architecture.md`` for the layer map and the message flow of a
 sharded put, ``docs/durability.md`` for the persistence and recovery
@@ -46,6 +54,7 @@ from .engine import (
     ClusterClosed,
     ClusterEngine,
     ClusterRebalancing,
+    PromotionReport,
     RejoinError,
     RejoinReport,
     ShardHealth,
@@ -65,6 +74,7 @@ __all__ = [
     "ClusterClosed",
     "ClusterEngine",
     "ClusterRebalancing",
+    "PromotionReport",
     "RejoinError",
     "RejoinReport",
     "ShardHealth",

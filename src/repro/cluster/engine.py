@@ -52,10 +52,24 @@ re-binds the shard with the restored membership — the replica's
 without durability too (the catch-up degrades to a full transfer), so the
 same control-plane call heals ephemeral clusters.
 
-A dead *primary* is still reported loudly (the failure, with its blame
-bundle, reaches the caller) but not failed over — promoting a backup to
-primary remains future work; see ``docs/testing.md`` for the chaos suite
-that pins all of this down.
+A dead *primary* no longer fails loudly: when the blame chain sinks at the
+shard's head, the cluster **promotes the senior surviving backup** — the
+first remaining backup in census order, whose store is authoritative by the
+ack-before-apply invariant — stamps a monotonically increasing **shard
+epoch** (persisted as a WAL promotion record on every surviving durable
+replica, so a cluster restart recovers the promoted head), re-binds the
+shard's choreographies around the new head, and replays the in-flight
+submits that died with the old one (:class:`PromotionReport` extends the
+``failovers`` audit trail).  Bindings from before the promotion are fenced:
+they carry their epoch and fail with the typed
+:class:`~repro.protocols.kvs.StaleEpoch` before any message moves, so a
+zombie old primary can never serve a read or acknowledge a write
+(split-brain fence).  The deposed head re-joins *as a backup* through the
+ordinary :meth:`ClusterEngine.rejoin_backup` path — its diverged suffix is
+exactly the case the hash-verified full-transfer fallback of
+:func:`~repro.protocols.kvs.kvs_catchup` exists for.  Only a shard whose
+last replica dies still fails loudly; see ``docs/testing.md`` for the chaos
+suite that pins all of this down.
 
 :class:`~repro.cluster.client.ClusterClient` wraps this with a blocking
 ``put/get/scan`` facade; ``benchmarks/bench_cluster.py`` drives it with a
@@ -80,6 +94,8 @@ from ..protocols.kvs import (
     CatchupReport,
     Request,
     Response,
+    ShardEpoch,
+    StaleEpoch,
     State,
     kvs_catchup,
     kvs_delete,
@@ -92,7 +108,7 @@ from ..protocols.kvs import (
 from ..runtime.engine import ChoreoEngine, ChoreographyResult
 from ..runtime.stats import ChannelStats
 from ..runtime.transport import DEFAULT_TIMEOUT
-from ..storage import Durability, DurableState
+from ..storage import Durability, DurableState, promotion_of
 from .router import DEFAULT_VNODES, ShardId, ShardRouter
 
 #: The location name every shard census shares for the requesting side.
@@ -130,15 +146,17 @@ class RejoinError(RuntimeError):
 
 
 @choreography(name="shard_put")
-def shard_put(op, client, server, backups, state_refs, key, value):
+def shard_put(op, client, server, backups, state_refs, key, value,
+              epoch=None, fence=None):
     """Replicate one Put through the shard's replica group, ack at the client."""
     request = op.locally(client, lambda _un: Request.put(key, value))
-    return kvs_with_backups(op, client, server, backups, state_refs, request)
+    return kvs_with_backups(op, client, server, backups, state_refs, request,
+                            epoch=epoch, fence=fence)
 
 
 @choreography(name="shard_get")
 def shard_get(op, client, server, backups, state_refs, key,
-              quorum=False, read_repair=True):
+              quorum=False, read_repair=True, epoch=None, fence=None):
     """Read one key: from the primary, or from a replica quorum.
 
     ``quorum`` and ``read_repair`` are deployment knobs (global knowledge),
@@ -149,21 +167,25 @@ def shard_get(op, client, server, backups, state_refs, key,
         located_key = op.locally(client, lambda _un: key)
         return kvs_quorum_get(
             op, client, server, backups, state_refs, located_key,
-            read_repair=read_repair,
+            read_repair=read_repair, epoch=epoch, fence=fence,
         )
     request = op.locally(client, lambda _un: Request.get(key))
-    return kvs_with_backups(op, client, server, backups, state_refs, request)
+    return kvs_with_backups(op, client, server, backups, state_refs, request,
+                            epoch=epoch, fence=fence)
 
 
 @choreography(name="shard_delete")
-def shard_delete(op, client, server, backups, state_refs, key):
+def shard_delete(op, client, server, backups, state_refs, key,
+                 epoch=None, fence=None):
     """Unbind one key across the shard's replica group, ack at the client."""
     located_key = op.locally(client, lambda _un: key)
-    return kvs_delete(op, client, server, backups, state_refs, located_key)
+    return kvs_delete(op, client, server, backups, state_refs, located_key,
+                      epoch=epoch, fence=fence)
 
 
 @choreography(name="shard_serve")
-def shard_serve(op, client, server, backups, state_refs, requests):
+def shard_serve(op, client, server, backups, state_refs, requests,
+                epoch=None, fence=None):
     """Serve a whole request batch in one replica-group round (group commit).
 
     The cluster's high-throughput path: one instance and ``2 + 2·backups``
@@ -171,14 +193,16 @@ def shard_serve(op, client, server, backups, state_refs, requests):
     (:func:`~repro.protocols.kvs.kvs_serve_batch`).
     """
     located_batch = op.locally(client, lambda _un: list(requests))
-    return kvs_serve_batch(op, client, server, backups, state_refs, located_batch)
+    return kvs_serve_batch(op, client, server, backups, state_refs, located_batch,
+                           epoch=epoch, fence=fence)
 
 
 @choreography(name="shard_scan")
-def shard_scan(op, client, server, state_refs, prefix):
+def shard_scan(op, client, server, state_refs, prefix, epoch=None, fence=None):
     """Scan one shard's bindings under ``prefix`` (primary answers alone)."""
     located_prefix = op.locally(client, lambda _un: prefix)
-    return kvs_scan(op, client, server, state_refs, located_prefix)
+    return kvs_scan(op, client, server, state_refs, located_prefix,
+                    epoch=epoch, fence=fence)
 
 
 @choreography(name="shard_ping")
@@ -189,7 +213,7 @@ def shard_ping(op, client, replica, token):
 
 
 @choreography(name="shard_catchup")
-def shard_catchup(op, client, server, rejoiner, state_refs):
+def shard_catchup(op, client, server, rejoiner, state_refs, epoch=None, fence=None):
     """Bring a restarted replica to parity with the primary before re-join.
 
     The transfer itself runs in a primary/rejoiner conclave
@@ -197,7 +221,8 @@ def shard_catchup(op, client, server, rejoiner, state_refs):
     the instance vacuously, and the client receives the verified
     :class:`~repro.protocols.kvs.CatchupReport`.
     """
-    return kvs_catchup(op, client, server, rejoiner, state_refs)
+    return kvs_catchup(op, client, server, rejoiner, state_refs,
+                       epoch=epoch, fence=fence)
 
 
 @dataclass(frozen=True)
@@ -216,8 +241,8 @@ class ShardHealth:
     shard_id: ShardId
     primary: Location
     replicas: Mapping[Location, str]
-    #: Backups detected dead and demoted out of the replica group, in
-    #: detection order.
+    #: Replicas detected dead and dropped out of the replica group (demoted
+    #: backups *and* deposed primaries), in detection order.
     down: Tuple[Location, ...] = field(default=())
     #: The shard engine's in-flight instance count at snapshot time — the
     #: per-shard queue depth behind :attr:`ClusterEngine.pending`.  This is
@@ -226,11 +251,44 @@ class ShardHealth:
     #: that tells an operator *where* a backlog sits, not just that one
     #: exists.
     pending: int = field(default=0)
+    #: The shard's current epoch: 0 until a primary promotion, bumped by one
+    #: per promotion.  Bindings from older epochs are fenced with
+    #: :class:`~repro.protocols.kvs.StaleEpoch`.
+    epoch: int = field(default=0)
+    #: Each configured replica's current role, ``"primary"`` or
+    #: ``"backup"`` — after a failover the primary is *not* ``servers[0]``,
+    #: and this mapping is how an operator sees who serves as head now.
+    roles: Mapping[Location, str] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
         """True when at least one replica is not serving (down or rejoining)."""
         return any(status != "up" for status in self.replicas.values())
+
+
+@dataclass(frozen=True)
+class PromotionReport:
+    """What one primary failover did: who was deposed, who now serves, when.
+
+    Appended to :attr:`ClusterEngine.promotions` (alongside the
+    ``(shard_id, replica)`` entry in :attr:`ClusterEngine.failovers`) the
+    moment the promotion commits, before any in-flight submit is replayed —
+    the audit trail a chaos run checks and ``benchmarks/bench_failover.py``
+    times against.
+    """
+
+    shard_id: ShardId
+    #: The deposed head (now in the shard's ``down`` list).
+    old_primary: Location
+    #: The senior surviving backup that took over — the first remaining
+    #: backup in census order, authoritative by ack-before-apply.
+    new_primary: Location
+    #: The shard epoch the promotion stamped (monotonically increasing).
+    epoch: int
+    #: The replica group serving after the promotion, head first.
+    survivors: Tuple[Location, ...]
+    #: Wall-clock seconds the promotion itself took (re-bind + WAL stamps).
+    promote_seconds: float
 
 
 @dataclass(frozen=True)
@@ -257,7 +315,7 @@ class _ShardSession:
 
     __slots__ = (
         "shard_id", "client", "census", "servers", "primary", "backups", "down",
-        "rejoining", "durability", "state", "engine",
+        "rejoining", "durability", "state", "engine", "epoch", "fence",
         "put", "get", "delete", "scan", "serve", "pings",
     )
 
@@ -291,6 +349,12 @@ class _ShardSession:
         self.state: Faceted[State] = Faceted(
             self.servers, {s: self._open_store(s) for s in self.servers}
         )
+        #: The shard's current epoch and its live fence cell.  Bumped by
+        #: :meth:`promote`; every data-plane binding captures the epoch value
+        #: current at bind time and is checked against the cell at run time.
+        self.epoch: int = 0
+        self.fence = ShardEpoch(0)
+        self._recover_promoted_head()
         self.engine = ChoreoEngine(
             self.census, backend=backend, timeout=timeout, **backend_options
         )
@@ -302,38 +366,69 @@ class _ShardSession:
         }
         self._bind_data_plane()
 
+    def _recover_promoted_head(self) -> None:
+        """Reopen under the head the durable promotion records elect.
+
+        Census order says ``servers[0]`` leads — but a promotion may have
+        moved the head, and that fact is persisted as WAL promotion records
+        (``docs/durability.md``).  The replica reporting the highest
+        recovered epoch knows the current head: re-arrange primary/backups
+        around it and restore the epoch, so a full cluster restart serves
+        from the store that was authoritative at shutdown, not from a
+        deposed ``r0``.
+        """
+        epoch, head = 0, None
+        for replica in self.servers:
+            replica_epoch, replica_head = promotion_of(self.state.facet_for(replica))
+            if replica_epoch > epoch:
+                epoch, head = replica_epoch, replica_head
+        if epoch > 0 and head in self.servers:
+            self.epoch = epoch
+            self.fence.advance(epoch)
+            self.primary = head
+            self.backups = [s for s in self.servers if s != head]
+
     def _bind_data_plane(self) -> None:
         """(Re-)bind the data-plane choreographies to the live replica set.
 
-        Called at session open and again after each demotion: the *same*
-        census-polymorphic choreographies are simply re-instantiated with a
-        shorter backup list — :func:`~repro.protocols.kvs.kvs_with_backups`
-        and friends degrade gracefully down to an unreplicated primary, so
-        failover needs no protocol of its own.  The engine census never
-        changes; a demoted location's worker stays alive but the degraded
-        bindings give it nothing to do, so even a crashed endpoint completes
-        every later instance vacuously.
+        Called at session open and again after each demotion or promotion:
+        the *same* census-polymorphic choreographies are simply
+        re-instantiated with the current head and backup list —
+        :func:`~repro.protocols.kvs.kvs_with_backups` and friends degrade
+        gracefully down to an unreplicated primary, so failover needs no
+        protocol of its own.  The engine census never changes; a demoted
+        location's worker stays alive but the degraded bindings give it
+        nothing to do, so even a crashed endpoint completes every later
+        instance vacuously.
+
+        Every binding captures the current epoch and the shard's live fence
+        cell: after a later promotion the cell moves on, and a submit still
+        carrying this binding fails with
+        :class:`~repro.protocols.kvs.StaleEpoch` before its first message —
+        the split-brain fence that keeps a deposed head from serving.
         """
         client = self.client
         bind_name = lambda op_name: f"{op_name}@{self.shard_id}"  # noqa: E731
+        fencing = {"epoch": self.epoch, "fence": self.fence}
         self.put: ChoreographyDef = shard_put.bind(
             client, self.primary, list(self.backups), self.state,
-            name=bind_name("shard_put"),
+            name=bind_name("shard_put"), **fencing,
         )
         self.get: ChoreographyDef = shard_get.bind(
             client, self.primary, list(self.backups), self.state,
-            name=bind_name("shard_get"),
+            name=bind_name("shard_get"), **fencing,
         )
         self.delete: ChoreographyDef = shard_delete.bind(
             client, self.primary, list(self.backups), self.state,
-            name=bind_name("shard_delete"),
+            name=bind_name("shard_delete"), **fencing,
         )
         self.scan: ChoreographyDef = shard_scan.bind(
-            client, self.primary, self.state, name=bind_name("shard_scan")
+            client, self.primary, self.state, name=bind_name("shard_scan"),
+            **fencing,
         )
         self.serve: ChoreographyDef = shard_serve.bind(
             client, self.primary, list(self.backups), self.state,
-            name=bind_name("shard_serve"),
+            name=bind_name("shard_serve"), **fencing,
         )
 
     def _open_store(self, replica: Location) -> State:
@@ -346,6 +441,39 @@ class _ShardSession:
         """Drop a dead backup from the replica group and re-bind around it."""
         self.backups.remove(replica)
         self.down.append(replica)
+        self._bind_data_plane()
+
+    def senior_surviving_backup(self) -> Optional[Location]:
+        """The backup next in line for promotion, or ``None`` if none survive.
+
+        The backup list is maintained in census order, so its first entry is
+        the *senior* survivor — deterministic across processes and failure
+        histories, and authoritative by the ack-before-apply invariant
+        (every write the deposed head acknowledged was applied at every
+        then-serving backup *first*).
+        """
+        return self.backups[0] if self.backups else None
+
+    def promote(self, new_primary: Location) -> None:
+        """Fail over to ``new_primary``: bump the epoch, fence, re-bind.
+
+        The deposed head joins the ``down`` list (it can re-join later as a
+        backup through the ordinary catch-up path); the new epoch is stamped
+        into every surviving durable replica's WAL so a cluster restart
+        recovers the promoted head; the fence cell advances, invalidating
+        every binding made under the old epoch; and the data plane re-binds
+        around the new head with the remaining backups.
+        """
+        deposed = self.primary
+        self.epoch += 1
+        self.primary = new_primary
+        self.backups.remove(new_primary)
+        self.down.append(deposed)
+        for replica in (self.primary, *self.backups):
+            facet = self.state.facet_for(replica)
+            if isinstance(facet, DurableState):
+                facet.log_promotion(self.epoch, new_primary)
+        self.fence.advance(self.epoch)
         self._bind_data_plane()
 
     # ------------------------------------------------------------------- rejoin --
@@ -388,12 +516,15 @@ class _ShardSession:
         The backup list is rebuilt in census order (not append order), so a
         shard that loses and regains replicas converges to the same binding
         it started with — bindings stay deterministic across failure
-        histories.
+        histories.  The *current* head is excluded, not ``servers[0]``: after
+        a promotion the deposed ``r0`` re-enters here as a backup, senior in
+        census order but a backup all the same.
         """
         self.rejoining.remove(replica)
         self.backups = [
-            server for server in self.servers[1:]
-            if server not in self.down and server not in self.rejoining
+            server for server in self.servers
+            if server != self.primary
+            and server not in self.down and server not in self.rejoining
         ]
         self._bind_data_plane()
 
@@ -419,6 +550,11 @@ class _ShardSession:
             {replica: status(replica) for replica in self.servers},
             down=tuple(self.down),
             pending=self.engine.pending,
+            epoch=self.epoch,
+            roles={
+                replica: "primary" if replica == self.primary else "backup"
+                for replica in self.servers
+            },
         )
 
 
@@ -482,9 +618,13 @@ class ClusterEngine:
         #: The control-plane operation currently owning the cluster (a short
         #: description, or ``None``); submits are refused while set.
         self._control_op: Optional[str] = None
-        #: Every demotion performed, as ``(shard_id, replica)`` in detection
-        #: order — the cluster's failover audit trail (guarded by ``_lock``).
+        #: Every replica dropped from a replica group — demoted backups *and*
+        #: deposed primaries — as ``(shard_id, replica)`` in detection order:
+        #: the cluster's failover audit trail (guarded by ``_lock``).
         self.failovers: List[Tuple[ShardId, Location]] = []
+        #: Every primary promotion performed, in commit order — the detailed
+        #: half of the audit trail (guarded by ``_lock``).
+        self.promotions: List[PromotionReport] = []
         #: Every successful re-join, in completion order — the recovery side
         #: of the audit trail (guarded by ``_lock``).
         self.rejoins: List[RejoinReport] = []
@@ -548,12 +688,14 @@ class ClusterEngine:
         after a newer one.  ``docs/testing.md`` spells out the contract.
         """
         outer: "Future[ChoreographyResult]" = Future()
-        # Allow one replay per demotable backup: each attempt that fails on a
-        # *newly confirmed* dead backup shrinks the replica group, so the
-        # chain terminates at an unreplicated primary.
+        # Replay budget: each replay consumes either a membership shrink (a
+        # demotion or a promotion — at most replication-1 of those before an
+        # unreplicated head) or a stale-epoch retry (a submit whose binding a
+        # concurrent promotion invalidated — at most one per promotion), so
+        # 2·(replication-1) bounds the chain and it always terminates.
         self._dispatch(
             shard_id, op_name, tuple(args), dict(kwargs or {}), outer,
-            replays_left=max(0, self.replication - 1),
+            replays_left=max(0, 2 * (self.replication - 1)),
         )
         return outer
 
@@ -590,12 +732,7 @@ class ClusterEngine:
             outer.set_exception(exc)
             return
         try:
-            suspect = self._suspect_backup(shard_id, error)
-            if (
-                suspect is not None
-                and replays_left > 0
-                and self._mark_backup_down(shard_id, suspect)
-            ):
+            if replays_left > 0 and self._should_replay(shard_id, error):
                 self._dispatch(
                     shard_id, op_name, args, kwargs, outer, replays_left - 1
                 )
@@ -604,8 +741,50 @@ class ClusterEngine:
             pass  # fall through: the original failure is the honest answer
         outer.set_exception(error)
 
-    def _suspect_backup(self, shard_id: ShardId,
-                        error: ChoreographyRuntimeError) -> Optional[Location]:
+    def _should_replay(self, shard_id: ShardId,
+                       error: ChoreographyRuntimeError) -> bool:
+        """Decide whether a failed run warrants a replay, healing first.
+
+        Three replayable conditions, in order of precedence:
+
+        1. the run was **fenced** — it raised
+           :class:`~repro.protocols.kvs.StaleEpoch` because a concurrent
+           promotion invalidated its binding.  The shard is already healthy
+           under the new head; re-dispatching picks up the current-epoch
+           binding;
+        2. the blame chain sinks at a **backup** — demote it (idempotently)
+           and replay against the shrunk replica group;
+        3. the blame chain sinks at the **primary** — promote the senior
+           surviving backup (idempotently) and replay against the new head.
+
+        ``False`` means the failure is the honest answer: an unattributable
+        failure, or a shard whose last replica died.
+        """
+        if self._is_stale_epoch(error):
+            return True
+        suspect = self._suspect_replica(shard_id, error)
+        if suspect is None:
+            return False
+        with self._lock:
+            session = self._sessions.get(shard_id)
+            if session is not None and suspect == session.primary:
+                primary_died = True
+            else:
+                primary_died = False
+        if primary_died:
+            return self._mark_primary_down(shard_id, suspect)
+        return self._mark_backup_down(shard_id, suspect)
+
+    @staticmethod
+    def _is_stale_epoch(error: ChoreographyRuntimeError) -> bool:
+        """True when the failure bundle is rooted in a stale-epoch fence."""
+        failures = getattr(error, "failures", None) or {error.location: error.original}
+        return any(
+            isinstance(failure, StaleEpoch) for failure in failures.values()
+        )
+
+    def _suspect_replica(self, shard_id: ShardId,
+                         error: ChoreographyRuntimeError) -> Optional[Location]:
         """The shard replica a failed run points at, or ``None``.
 
         Walks the chain of receive-timeout blames: every
@@ -616,9 +795,10 @@ class ClusterEngine:
         failed outright (a non-timeout error) is its own sink: the engine
         already reports it as the root cause.
 
-        Only a *backup* (current or already demoted) of the shard is ever
-        returned: a silent primary or client is a failure this layer does not
-        mask.
+        Any replica of the shard may be returned — the current primary
+        included, which is how traffic-driven detection triggers a
+        promotion.  A silent *client* is never attributed: that failure sits
+        on the requesting side and this layer does not mask it.
         """
         failures = getattr(error, "failures", None) or {error.location: error.original}
         blames = {
@@ -635,7 +815,7 @@ class ClusterEngine:
             visited.add(sink)
         with self._lock:
             session = self._sessions.get(shard_id)
-            if session is not None and (sink in session.backups or sink in session.down):
+            if session is not None and sink in session.servers:
                 return sink
         return None
 
@@ -654,6 +834,42 @@ class ClusterEngine:
                 return False
             session.demote_backup(replica)
             self.failovers.append((shard_id, replica))
+            return True
+
+    def _mark_primary_down(self, shard_id: ShardId, replica: Location) -> bool:
+        """Fail over a dead primary; True when a replay is warranted.
+
+        Promotes the senior surviving backup (first in census order — its
+        store is authoritative by ack-before-apply), stamps the new epoch,
+        and records the :class:`PromotionReport`.  Idempotent under
+        concurrency exactly like :meth:`_mark_backup_down`: every in-flight
+        run that died with the old head calls this, only the first performs
+        the promotion, and all of them replay against the new binding.
+
+        Returns ``False`` — fail loudly, no replay — when no backup
+        survives: the shard's last replica is gone and masking that would
+        turn data loss into silence.
+        """
+        with self._lock:
+            session = self._sessions[shard_id]
+            if replica in session.down:
+                return True  # a racing settle already promoted past it
+            if replica != session.primary:
+                return False
+            successor = session.senior_surviving_backup()
+            if successor is None:
+                return False
+            started = time.perf_counter()
+            session.promote(successor)
+            self.failovers.append((shard_id, replica))
+            self.promotions.append(PromotionReport(
+                shard_id=shard_id,
+                old_primary=replica,
+                new_primary=successor,
+                epoch=session.epoch,
+                survivors=(session.primary, *session.backups),
+                promote_seconds=time.perf_counter() - started,
+            ))
             return True
 
     def submit_put(self, key: str, value: str) -> "Future[ChoreographyResult]":
@@ -832,20 +1048,21 @@ class ClusterEngine:
 
         Args:
             shard_id: Probe only this shard; every shard when ``None``.
-            demote: Also demote newly-confirmed-dead *backups* (the same
-                path traffic-driven detection takes).  Primaries are never
-                demoted, only reported.
+            demote: Also act on newly-confirmed-dead replicas, the same
+                paths traffic-driven detection takes: a dead *backup* is
+                demoted, a dead *primary* triggers a promotion of the senior
+                surviving backup (with the usual epoch stamp and re-bind).
 
         Returns:
             ``{shard_id: {replica: alive}}`` for the probed shards.
 
         ``alive=False`` means "unreachable from the client", which is not
         proof the replica itself is dead — the failure could sit on the
-        client's side of the channel.  Demotion therefore reuses the same
-        blame-chain attribution as traffic-driven detection
-        (:meth:`_suspect_backup`): only a failure whose blame chain sinks at
-        the probed backup demotes it, so a flaky *client* link reports the
-        replica unreachable without kicking a healthy backup out of the
+        client's side of the channel.  Demotion (and promotion) therefore
+        reuses the same blame-chain attribution as traffic-driven detection
+        (:meth:`_suspect_replica`): only a failure whose blame chain sinks at
+        the probed replica acts on it, so a flaky *client* link reports the
+        replica unreachable without kicking a healthy replica out of the
         replica group.
         """
         with self._lock:
@@ -864,9 +1081,12 @@ class ClusterEngine:
                     alive[replica] = result.value_at(self.client) == token
                 except ChoreographyRuntimeError as failure:
                     alive[replica] = False
-                    culprit = self._suspect_backup(session.shard_id, failure)
-                if demote and culprit == replica and replica != session.primary:
-                    self._mark_backup_down(session.shard_id, replica)
+                    culprit = self._suspect_replica(session.shard_id, failure)
+                if demote and culprit == replica:
+                    if replica == session.primary:
+                        self._mark_primary_down(session.shard_id, replica)
+                    else:
+                        self._mark_backup_down(session.shard_id, replica)
             report[session.shard_id] = alive
         return report
 
@@ -961,11 +1181,16 @@ class ClusterEngine:
         return shard_id
 
     def rejoin_backup(self, shard_id: ShardId, replica: Location) -> RejoinReport:
-        """Re-admit a demoted backup: restart, replay, catch up, re-bind.
+        """Re-admit a demoted replica as a backup: restart, catch up, re-bind.
 
-        The recovery half of the failover story.  The replica must currently
-        be demoted (``health()[shard_id].replicas[replica] == "down"``); the
-        call then:
+        The recovery half of the failover story — for demoted backups *and*
+        deposed primaries alike: an old head crashed out by a promotion sits
+        in the same ``down`` list and comes back through this same call,
+        catching up from the replica that usurped it (its diverged suffix is
+        what the catch-up's hash-verified full-transfer fallback exists
+        for) and re-entering as an ordinary backup, senior in census order.
+        The replica must currently be demoted
+        (``health()[shard_id].replicas[replica] == "down"``); the call then:
 
         1. **restarts** the replica's process model — on a fault-injected
            backend its crashed transport endpoints are revived
@@ -1041,11 +1266,16 @@ class ClusterEngine:
             replayed = getattr(fresh, "replayed_records", 0)
             replay_seconds = time.perf_counter() - started
 
-            # 2. Close the gap to the primary, hash-verified end to end.
+            # 2. Close the gap to the primary, hash-verified end to end.  The
+            # binding names the *current* head and carries the current epoch:
+            # a deposed primary re-joining here catches up FROM its usurper,
+            # and a promotion racing the transfer fences it like any other
+            # stale binding instead of letting it stream from a dead head.
             started = time.perf_counter()
             catchup = shard_catchup.bind(
                 self.client, session.primary, replica, session.state,
                 name=f"shard_catchup@{shard_id}:{replica}",
+                epoch=session.epoch, fence=session.fence,
             )
             report: CatchupReport = session.engine.run(catchup).value_at(self.client)
             catchup_seconds = time.perf_counter() - started
@@ -1056,8 +1286,16 @@ class ClusterEngine:
                     f"fell_back={report.fell_back})"
                 )
 
-            # 3. Restore membership; the shard serves replicated again.
+            # 3. Restore membership; the shard serves replicated again.  A
+            # durable rejoiner is stamped with the current epoch first: a
+            # delta transfer replayed the head's promotion records, but a
+            # full transfer installs items only, and the re-admitted replica
+            # must recover the promoted head on a later cluster restart.
             with self._lock:
+                if session.epoch:
+                    facet = session.state.facet_for(replica)
+                    if isinstance(facet, DurableState):
+                        facet.log_promotion(session.epoch, session.primary)
                 session.finish_rejoin(replica)
                 rejoin = RejoinReport(
                     shard_id=shard_id, replica=replica,

@@ -13,10 +13,11 @@ the front:
 * :class:`~repro.gateway.server.GatewayServer` — the threaded accept loop
   with per-connection **backpressure** (an in-flight budget enforced via
   TCP flow control) and cluster-wide **admission control** (retryable
-  ``BUSY`` shedding past the ``pending`` high-water mark), plus graceful
-  drain-then-close;
+  ``BUSY`` shedding past the ``pending`` high-water mark, sticky until
+  load falls back to the low-water mark), plus graceful drain-then-close;
 * :class:`~repro.gateway.client.GatewayClient` — the blocking/pipelined
-  client the tests and ``benchmarks/bench_gateway.py`` drive load through.
+  client the tests and ``benchmarks/bench_gateway.py`` drive load through,
+  with opt-in ``retries=`` backoff on retryable error frames.
 
 See ``docs/gateway.md`` for the wire grammar, the error-code table, and a
 saturation walkthrough.
@@ -28,6 +29,7 @@ from .protocol import (
     ERR_BUSY,
     ERR_DRAINING,
     ERR_FAILED,
+    ERR_FAILOVER,
     ERR_INTERNAL,
     ERR_MAXCONN,
     ERR_REBALANCING,
@@ -61,6 +63,7 @@ __all__ = [
     "ERR_BUSY",
     "ERR_DRAINING",
     "ERR_FAILED",
+    "ERR_FAILOVER",
     "ERR_INTERNAL",
     "ERR_MAXCONN",
     "ERR_REBALANCING",

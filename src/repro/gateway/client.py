@@ -11,16 +11,24 @@ Two calling styles:
 
 * **blocking** — each method sends one command and waits for its reply;
   a structured error frame raises :class:`GatewayError` carrying the
-  stable ``code`` and ``retryable`` flag.
+  stable ``code`` and ``retryable`` flag.  With ``retries=n`` the client
+  resends a command up to ``n`` extra times when the frame says
+  ``retryable`` (``BUSY``, ``REBALANCING``, ``TIMEOUT``, ``FAILOVER``,
+  ...), sleeping a bounded, jittered backoff between attempts — enough to
+  ride out an admission-control shed or a shard's failover window without
+  caller-side loops.
 * **pipelined** — ``send(...)`` fires a command without waiting and
   ``drain(n)`` collects ``n`` raw replies in order.  The benchmark uses
   this to keep many commands in flight per connection, which is exactly
-  the shape the server's per-connection in-flight budget paces.
+  the shape the server's per-connection in-flight budget paces.  Raw
+  pipelining bypasses the retry layer: error frames stay frames.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..protocols.kvs import Request, RequestKind
@@ -36,6 +44,12 @@ from .protocol import (
 )
 
 _RECV_SIZE = 65536
+
+#: Retry backoff shape: base * 2**attempt seconds, capped, times a jitter
+#: factor in [0.5, 1.5) — small enough to keep tests fast, spread enough to
+#: avoid thundering-herd resends against a recovering shard.
+_BACKOFF_BASE = 0.02
+_BACKOFF_CAP = 0.25
 
 
 class GatewayError(Exception):
@@ -66,16 +80,31 @@ class GatewayClient:
         port: Gateway port.
         timeout: Socket timeout in seconds for connect and receive; ``None``
             blocks forever.
+        retries: Extra attempts for a blocking command answered with a
+            *retryable* error frame (see :data:`~repro.gateway.protocol.
+            RETRYABLE_CODES`).  ``0`` — the default — surfaces the first
+            error; non-retryable frames always surface immediately.
 
     Usable as a context manager; ``close()`` is idempotent.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: Optional[float] = 10.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = 10.0,
+        retries: int = 0,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries!r}")
+        self.retries = retries
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._buffer = bytearray()
         self._start = 0
         self._closed = False
+        self._rng = random.Random()
 
     # ------------------------------------------------------------ raw pipeline --
 
@@ -102,12 +131,23 @@ class GatewayClient:
         return [self.recv_reply() for _ in range(count)]
 
     def call(self, *args: str) -> Reply:
-        """Send one command and wait for its reply, raising on error frames."""
-        self.send(*args)
-        reply = self.recv_reply()
-        if isinstance(reply, ErrorReply):
-            raise GatewayError(reply)
-        return reply
+        """Send one command and wait for its reply, raising on error frames.
+
+        Retryable error frames are resent up to ``self.retries`` extra
+        times with jittered exponential backoff; the last error raises.
+        """
+        attempt = 0
+        while True:
+            self.send(*args)
+            reply = self.recv_reply()
+            if not isinstance(reply, ErrorReply):
+                return reply
+            error = GatewayError(reply)
+            if not error.retryable or attempt >= self.retries:
+                raise error
+            pause = min(_BACKOFF_CAP, _BACKOFF_BASE * (2**attempt))
+            time.sleep(pause * (0.5 + self._rng.random()))
+            attempt += 1
 
     # --------------------------------------------------------- blocking surface --
 

@@ -58,7 +58,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.errors import ChoreographyRuntimeError, ChoreoTimeout
 from ..cluster.engine import ClusterClosed, ClusterRebalancing
-from ..protocols.kvs import Request, Response, ResponseKind
+from ..faults import CrashFault
+from ..protocols.kvs import Request, Response, ResponseKind, StaleEpoch
 
 CRLF = b"\r\n"
 
@@ -78,12 +79,13 @@ ERR_DRAINING = "DRAINING"  #: gateway is shutting down; retry elsewhere/later
 ERR_TIMEOUT = "TIMEOUT"  #: the shard run timed out (ChoreoTimeout root cause)
 ERR_UNAVAILABLE = "UNAVAILABLE"  #: the cluster is closed
 ERR_REBALANCING = "REBALANCING"  #: control-plane op owns the cluster; retry
-ERR_FAILED = "FAILED"  #: the shard choreography failed (crash, replica loss)
+ERR_FAILOVER = "FAILOVER"  #: a replica crashed / epoch moved; the shard is failing over
+ERR_FAILED = "FAILED"  #: the shard choreography failed (replica loss, no successor)
 ERR_INTERNAL = "INTERNAL"  #: unexpected gateway-side exception
 
 #: Codes for which resending the same command later can succeed.
 RETRYABLE_CODES = frozenset(
-    {ERR_BUSY, ERR_MAXCONN, ERR_DRAINING, ERR_TIMEOUT, ERR_REBALANCING}
+    {ERR_BUSY, ERR_MAXCONN, ERR_DRAINING, ERR_TIMEOUT, ERR_REBALANCING, ERR_FAILOVER}
 )
 
 
@@ -285,6 +287,10 @@ def reply_for_exception(exc: BaseException) -> ErrorReply:
     * :class:`~repro.core.errors.ChoreoTimeout` (bare or as the root cause
       of a :class:`~repro.core.errors.ChoreographyRuntimeError`) →
       ``TIMEOUT`` with ``waiter``/``peer``/``seconds`` in the detail
+    * a :class:`ChoreographyRuntimeError` rooted in a
+      :class:`~repro.protocols.kvs.StaleEpoch` fence or a replica
+      :class:`~repro.faults.CrashFault` → retryable ``FAILOVER`` (the shard
+      is promoting a new head; resending after backoff lands on it)
     * any other :class:`ChoreographyRuntimeError` → ``FAILED`` with the
       blamed ``location`` and original error type
     * :class:`CommandError` → its own code (``BADREQUEST`` by default)
@@ -300,6 +306,24 @@ def reply_for_exception(exc: BaseException) -> ErrorReply:
         )
     if isinstance(exc, ChoreographyRuntimeError):
         root = exc.original
+        failures = getattr(exc, "failures", None) or {exc.location: root}
+        for location, failure in failures.items():
+            if isinstance(failure, StaleEpoch):
+                return error_reply(
+                    ERR_FAILOVER,
+                    str(failure),
+                    location=location,
+                    bound_epoch=failure.bound_epoch,
+                    current_epoch=failure.current_epoch,
+                )
+        for location, failure in failures.items():
+            if isinstance(failure, CrashFault):
+                return error_reply(
+                    ERR_FAILOVER,
+                    f"replica {location!r} crashed; the shard is failing over",
+                    location=location,
+                    error=type(failure).__name__,
+                )
         if isinstance(root, ChoreoTimeout):
             return error_reply(
                 ERR_TIMEOUT,

@@ -20,9 +20,12 @@ Two distinct overload defenses, deliberately separated:
   draining the socket, the kernel's receive window fills, and TCP pushes
   back on the sender.  No error, no drop; the client is just paced.
 * **Admission control** (cluster-wide): when the cluster's total in-flight
-  load (:attr:`ClusterEngine.pending`) is above
+  load (:attr:`ClusterEngine.pending`) climbs above
   ``admission_high_water``, new data-plane commands are answered with a
-  retryable ``BUSY`` error *immediately*, without touching the cluster.
+  retryable ``BUSY`` error *immediately*, without touching the cluster —
+  and shedding is *sticky*: it continues until load falls back to the
+  ``low_water`` mark, a hysteresis band that keeps the gateway from
+  flapping between admit and shed when load hovers at the threshold.
   Past saturation the gateway sheds load fast instead of queueing without
   bound; control-plane commands (``PING``/``HEALTH``/``STATS``) are always
   admitted so operators can still see in.
@@ -142,15 +145,16 @@ class _Connection:
                     error_reply(ERR_DRAINING, "gateway is shutting down")
                 )
                 return
-            high_water = self.server.settings.admission_high_water
-            if self.server.client.cluster.pending > high_water:
+            pending = self.server.client.cluster.pending
+            if not self.server._admit(pending):
                 self.server._count("shed_busy")
                 self._enqueue_ready(
                     error_reply(
                         ERR_BUSY,
                         "cluster is saturated, retry with backoff",
-                        pending=self.server.client.cluster.pending,
-                        high_water=high_water,
+                        pending=pending,
+                        high_water=self.server.settings.admission_high_water,
+                        low_water=self.server.settings.low_water,
                     )
                 )
                 return
@@ -187,17 +191,24 @@ class _Connection:
                 if item is None:
                     break
                 producer, holds_slot = item
+                broken = False
                 try:
-                    reply = producer()
-                except BaseException as exc:  # noqa: BLE001 - becomes a frame
-                    reply = reply_for_exception(exc)
+                    try:
+                        reply = producer()
+                    except BaseException as exc:  # noqa: BLE001 - a frame
+                        reply = reply_for_exception(exc)
+                    try:
+                        self.sock.sendall(encode_reply(reply))
+                    except OSError:
+                        broken = True
                 finally:
+                    # Release only after the reply bytes are on the socket:
+                    # the drain in close() waits on this count, and waking
+                    # it before the send lets the shutdown race the flush.
                     if holds_slot:
                         self.inflight.release()
                         self.server._inflight_done()
-                try:
-                    self.sock.sendall(encode_reply(reply))
-                except OSError:
+                if broken:
                     break
         finally:
             self.close()
@@ -256,6 +267,7 @@ class GatewayServer:
             "protocol_errors": 0,
         }
         self._inflight = 0
+        self._shedding = False
         self._idle = threading.Condition(self._lock)
         self._draining = threading.Event()
         self._closed = threading.Event()
@@ -423,6 +435,8 @@ class GatewayServer:
                     "down": list(h.down),
                     "degraded": h.degraded,
                     "pending": h.pending,
+                    "epoch": h.epoch,
+                    "roles": dict(h.roles),
                 }
                 for shard_id, h in self.client.health().items()
             }
@@ -436,6 +450,21 @@ class GatewayServer:
     def _count(self, counter: str) -> None:
         with self._lock:
             self._counters[counter] += 1
+
+    def _admit(self, pending: int) -> bool:
+        """Admission-control decision for one data-plane command.
+
+        Sticky hysteresis: start shedding when ``pending`` climbs past the
+        high-water mark, keep shedding until it falls back to the low-water
+        mark.  The band prevents admit/shed flapping around the threshold.
+        """
+        with self._lock:
+            if self._shedding:
+                if pending <= self.settings.low_water:
+                    self._shedding = False
+            elif pending > self.settings.admission_high_water:
+                self._shedding = True
+            return not self._shedding
 
     def _inflight_started(self) -> None:
         with self._lock:
@@ -453,10 +482,12 @@ class GatewayServer:
             counters = dict(self._counters)
             connections = len(self._connections)
             inflight = self._inflight
+            shedding = self._shedding
         stats = self.client.stats
         counters.update(
             connections=connections,
             inflight=inflight,
+            shedding=shedding,
             cluster_pending=self.client.cluster.pending,
             cluster_messages=stats.total_messages,
             cluster_bytes=stats.total_bytes,

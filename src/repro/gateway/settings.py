@@ -47,6 +47,12 @@ class GatewaySettings:
             past saturation the gateway answers fast and poorly rather than
             slowly and catastrophically.  Control-plane commands (``PING``,
             ``HEALTH``, ``STATS``) are always admitted.
+        admission_low_water: Once shedding has begun, the gateway keeps
+            shedding until ``pending`` drops back *below or to* this mark —
+            a hysteresis band that prevents admit/shed flapping when load
+            hovers at the high-water mark.  ``0`` (the default) derives the
+            mark as half the high-water mark; an explicit value must sit in
+            ``1..admission_high_water``.
         drain_timeout: Seconds a graceful ``close()`` waits for in-flight
             commands to finish before abandoning them.
         accept_backlog: ``listen()`` backlog for the accept socket.
@@ -57,6 +63,7 @@ class GatewaySettings:
     max_connections: int = 128
     max_inflight_per_conn: int = 32
     admission_high_water: int = 512
+    admission_low_water: int = 0
     drain_timeout: float = 5.0
     accept_backlog: int = 128
 
@@ -76,10 +83,24 @@ class GatewaySettings:
             raise ValueError(
                 f"admission_high_water must be >= 1, got {self.admission_high_water!r}"
             )
+        if self.admission_low_water < 0:
+            raise ValueError(
+                f"admission_low_water must be >= 0, got {self.admission_low_water!r}"
+            )
+        if self.admission_low_water > self.admission_high_water:
+            raise ValueError(
+                "admission_low_water must not exceed admission_high_water, "
+                f"got {self.admission_low_water!r} > {self.admission_high_water!r}"
+            )
         if self.drain_timeout < 0:
             raise ValueError(f"drain_timeout must be >= 0, got {self.drain_timeout!r}")
         if self.accept_backlog < 1:
             raise ValueError(f"accept_backlog must be >= 1, got {self.accept_backlog!r}")
+
+    @property
+    def low_water(self) -> int:
+        """The re-admission mark: explicit, or half the high-water mark."""
+        return self.admission_low_water or max(1, self.admission_high_water // 2)
 
     @classmethod
     def from_env(

@@ -41,6 +41,14 @@ Two further census-polymorphic choreographies serve the sharded cluster layer
   delta since that mark or (when the delta was compacted away, or on a hash
   mismatch) its full store, and the transfer is verified with
   :func:`hash_state` before the re-join is allowed to proceed.
+
+All of the cluster-serving choreographies accept an optional ``epoch=`` /
+``fence=`` pair — the split-brain fence of primary failover.  A binding
+carries the shard epoch it was created under; the shard's live
+:class:`ShardEpoch` cell carries the current one; when they disagree the
+choreography raises the typed :class:`StaleEpoch` at every location before
+any message moves, so a binding that still routes through a deposed
+primary can neither serve a read nor acknowledge a write.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..core.errors import ChoreographyError
 from ..core.located import Faceted, Located
 from ..core.locations import Census, Location, LocationsLike, as_census
 from ..core.ops import ChoreoOp
@@ -126,6 +135,62 @@ class Response:
     @staticmethod
     def stopped() -> "Response":
         return Response(ResponseKind.STOPPED)
+
+
+# -- epoch fencing (primary failover) ------------------------------------------------
+
+
+class StaleEpoch(ChoreographyError):
+    """A choreography bound under an old shard epoch tried to run after failover.
+
+    The split-brain fence of primary failover: every promotion bumps the
+    shard's epoch, and every data-plane choreography binding carries the
+    epoch it was created under.  A binding from before the promotion — in
+    the worst case one still routing traffic through the deposed primary —
+    fails with this typed error *before any message is sent*, so a zombie
+    old head can never serve a read or acknowledge a write.  The cluster
+    layer treats it as a replayable condition: the in-flight submit is
+    re-dispatched against the current-epoch binding.
+    """
+
+    def __init__(self, bound_epoch: int, current_epoch: int):
+        self.bound_epoch = bound_epoch
+        self.current_epoch = current_epoch
+        super().__init__(
+            f"stale shard epoch {bound_epoch}: the shard is at epoch {current_epoch}"
+        )
+
+
+class ShardEpoch:
+    """The live epoch cell one shard's bindings are fenced against.
+
+    Shared global knowledge: every replica session of a shard holds the
+    *same* cell, bindings capture the epoch *value* current when they were
+    made, and :meth:`require` compares the two at run time.  The comparison
+    is a pure function of (binding epoch, cell value), identical at every
+    location, so a stale binding fails deterministically at *all* endpoints
+    at once — no timeouts, no partial executions.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = int(value)
+
+    def advance(self, epoch: int) -> None:
+        """Move the fence forward (promotions only ever raise the epoch)."""
+        self.value = max(self.value, int(epoch))
+
+    def require(self, epoch: Optional[int]) -> None:
+        """Fail with :class:`StaleEpoch` unless ``epoch`` is current."""
+        if epoch is not None and epoch != self.value:
+            raise StaleEpoch(epoch, self.value)
+
+
+def _require_epoch(epoch: Optional[int], fence: Optional[ShardEpoch]) -> None:
+    """The fence check every cluster choreography runs before its first message."""
+    if fence is not None:
+        fence.require(epoch)
 
 
 # -- local (non-choreographic) state handling ----------------------------------------
@@ -355,6 +420,9 @@ def kvs_with_backups(
     backups: LocationsLike,
     state_refs: Faceted[State],
     request: Located[Request],
+    *,
+    epoch: Optional[int] = None,
+    fence: Optional[ShardEpoch] = None,
 ) -> Located[Response]:
     """A client request against a server with a parametric list of backups.
 
@@ -375,6 +443,10 @@ def kvs_with_backups(
         state_refs: The replicas' stores (a facet per replica; the server's
             facet must be included).
         request: The request, located at the client.
+        epoch: The shard epoch this binding was created under (cluster use).
+        fence: The shard's live :class:`ShardEpoch` cell; with both given,
+            the request fails with :class:`StaleEpoch` before any message
+            moves if the binding predates a primary promotion.
 
     Returns:
         The server's :class:`Response`, located at the client.
@@ -383,6 +455,7 @@ def kvs_with_backups(
     op.census.require_member(client)
     op.census.require_member(server)
     op.census.require_subset(backup_census)
+    _require_epoch(epoch, fence)
     cluster = as_census([server]).union(backup_census)
 
     request_at_server = op.comm(client, server, request)
@@ -446,6 +519,9 @@ def kvs_delete(
     backups: LocationsLike,
     state_refs: Faceted[State],
     key: Located[str],
+    *,
+    epoch: Optional[int] = None,
+    fence: Optional[ShardEpoch] = None,
 ) -> Located[Response]:
     """Unbind ``key`` across the whole replica group; answer the previous value.
 
@@ -470,6 +546,9 @@ def kvs_delete(
             the unreplicated server).
         state_refs: The replicas' stores (one facet per replica).
         key: The key to unbind, located at the client.
+        epoch: The shard epoch this binding was created under (cluster use).
+        fence: The shard's live :class:`ShardEpoch` cell (see
+            :func:`kvs_with_backups`).
 
     Returns:
         ``Response.found(previous)`` / ``Response.not_found()`` (the
@@ -479,6 +558,7 @@ def kvs_delete(
     op.census.require_member(client)
     op.census.require_member(server)
     op.census.require_subset(backup_census)
+    _require_epoch(epoch, fence)
     cluster = as_census([server]).union(backup_census)
 
     key_at_server = op.comm(client, server, key)
@@ -512,6 +592,9 @@ def kvs_serve_batch(
     backups: LocationsLike,
     state_refs: Faceted[State],
     requests: Located[Sequence[Request]],
+    *,
+    epoch: Optional[int] = None,
+    fence: Optional[ShardEpoch] = None,
 ) -> Located[List[Response]]:
     """Serve a whole batch of requests in one replica-group round (group commit).
 
@@ -540,6 +623,9 @@ def kvs_serve_batch(
         state_refs: The replicas' stores (one facet per replica).
         requests: The request batch, located at the client.  ``STOP``
             requests are answered ``stopped`` but do not interrupt the batch.
+        epoch: The shard epoch this binding was created under (cluster use).
+        fence: The shard's live :class:`ShardEpoch` cell (see
+            :func:`kvs_with_backups`).
 
     Returns:
         One :class:`Response` per request, in batch order, located at the
@@ -549,6 +635,7 @@ def kvs_serve_batch(
     op.census.require_member(client)
     op.census.require_member(server)
     op.census.require_subset(backup_census)
+    _require_epoch(epoch, fence)
     cluster = as_census([server]).union(backup_census)
 
     batch_at_server = op.comm(client, server, requests)
@@ -603,6 +690,8 @@ def kvs_quorum_get(
     key: Located[str],
     *,
     read_repair: bool = True,
+    epoch: Optional[int] = None,
+    fence: Optional[ShardEpoch] = None,
 ) -> Located[Response]:
     """Answer a Get from a *majority of replicas* instead of the primary alone.
 
@@ -625,6 +714,9 @@ def kvs_quorum_get(
         key: The key to read, located at the client.
         read_repair: When True (the default), a divergent vote triggers
             :func:`resynch` from the primary before the response is returned.
+        epoch: The shard epoch this binding was created under (cluster use).
+        fence: The shard's live :class:`ShardEpoch` cell (see
+            :func:`kvs_with_backups`).
 
     Returns:
         The majority :class:`Response` (ties broken by census order), located
@@ -634,6 +726,7 @@ def kvs_quorum_get(
     op.census.require_member(client)
     op.census.require_member(server)
     op.census.require_subset(backup_census)
+    _require_epoch(epoch, fence)
     cluster = as_census([server]).union(backup_census)
 
     key_at_server = op.comm(client, server, key)
@@ -704,6 +797,9 @@ def kvs_scan(
     server: Location,
     state_refs: Faceted[State],
     prefix: Located[str],
+    *,
+    epoch: Optional[int] = None,
+    fence: Optional[ShardEpoch] = None,
 ) -> Located[List[Tuple[str, str]]]:
     """Return every binding under ``prefix``, answered by the primary alone.
 
@@ -720,12 +816,16 @@ def kvs_scan(
         server: The replica that answers (the shard primary).
         state_refs: The replicas' stores; only the server's facet is read.
         prefix: The key prefix, located at the client.
+        epoch: The shard epoch this binding was created under (cluster use).
+        fence: The shard's live :class:`ShardEpoch` cell (see
+            :func:`kvs_with_backups`).
 
     Returns:
         The sorted ``(key, value)`` items, located at the client.
     """
     op.census.require_member(client)
     op.census.require_member(server)
+    _require_epoch(epoch, fence)
     prefix_at_server = op.comm(client, server, prefix)
     items = op.locally(
         server, lambda un: scan_state(un(state_refs), un(prefix_at_server))
@@ -762,6 +862,9 @@ def kvs_catchup(
     server: Location,
     rejoiner: Location,
     state_refs: Faceted[State],
+    *,
+    epoch: Optional[int] = None,
+    fence: Optional[ShardEpoch] = None,
 ) -> Located[CatchupReport]:
     """Bring ``rejoiner``'s store back to parity with ``server``'s.
 
@@ -793,6 +896,10 @@ def kvs_catchup(
         state_refs: The replicas' stores; the server's and rejoiner's facets
             are used (durable or plain — plain stores always take the full
             path).
+        epoch: The shard epoch this binding was created under (cluster use).
+        fence: The shard's live :class:`ShardEpoch` cell; a catch-up bound
+            before a promotion would stream from the deposed head, so it is
+            fenced exactly like the data plane.
 
     Returns:
         The :class:`CatchupReport`, located at the client.
@@ -800,6 +907,7 @@ def kvs_catchup(
     op.census.require_member(client)
     op.census.require_member(server)
     op.census.require_member(rejoiner)
+    _require_epoch(epoch, fence)
     pair = as_census([server, rejoiner])
 
     def transfer(sub: ChoreoOp) -> Located[CatchupReport]:

@@ -27,6 +27,7 @@ from .durable import (
     apply_op,
     delta_since,
     high_water_of,
+    promotion_of,
 )
 from .snapshot import SnapshotStore
 from .wal import FSYNC_POLICIES, WalCorruption, WalRecord, WriteAheadLog
@@ -43,4 +44,5 @@ __all__ = [
     "apply_op",
     "delta_since",
     "high_water_of",
+    "promotion_of",
 ]

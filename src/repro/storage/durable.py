@@ -102,7 +102,9 @@ class DurableState(dict):
         self.directory = os.fspath(directory)
         self.snapshot_every = int(snapshot_every)
         self.snapshots = SnapshotStore(self.directory)
-        snap_seq, contents = self.snapshots.load()
+        snap_seq, contents, meta = self.snapshots.load_with_meta()
+        self.shard_epoch = int(meta.get("epoch", 0))
+        self.promoted_head: Optional[str] = meta.get("head")
         dict.update(self, contents)
         self.wal = WriteAheadLog(
             os.path.join(self.directory, WAL_FILENAME), fsync=fsync
@@ -132,6 +134,14 @@ class DurableState(dict):
             dict.clear(self)
         elif kind == "seal":
             pass  # sequence-number jump only; no state change
+        elif kind == "promote":
+            # ("promote", epoch, head): primary failover fence.  No item
+            # mutation — it records which replica owns the shard from which
+            # epoch on, so recovery reopens the correct head.  Epochs are
+            # monotone; a stale record (delta replay of old history) loses.
+            if int(op[1]) > self.shard_epoch:
+                self.shard_epoch = int(op[1])
+                self.promoted_head = op[2]
         else:
             raise ValueError(f"unknown WAL op kind {kind!r}")
 
@@ -139,6 +149,12 @@ class DurableState(dict):
     def high_water(self) -> int:
         """The last logged sequence number (what a rejoiner reports)."""
         return self.wal.last_seq
+
+    def _meta(self) -> Dict[str, Any]:
+        """The non-item metadata a snapshot must carry to survive WAL resets."""
+        if self.shard_epoch:
+            return {"epoch": self.shard_epoch, "head": self.promoted_head}
+        return {}
 
     # ------------------------------------------------------------------ mutators --
 
@@ -203,7 +219,7 @@ class DurableState(dict):
         Returns the sequence number the snapshot covers.
         """
         seq = self.wal.last_seq
-        self.snapshots.save(seq, dict(self))
+        self.snapshots.save(seq, dict(self), meta=self._meta())
         self.wal.reset(seq)
         self._snapshot_seq = seq
         return seq
@@ -239,6 +255,22 @@ class DurableState(dict):
             self.wal.append(("seal",), seq=target_seq)
             self._maybe_snapshot()
 
+    def log_promotion(self, epoch: int, head: str) -> None:
+        """Durably record that ``head`` owns this shard from ``epoch`` on.
+
+        Written to every surviving replica's WAL at promotion time (and to a
+        rejoiner's after catch-up), so a cluster restart recovers the
+        promoted head instead of falling back to census order.  Idempotent:
+        a stale or repeated epoch is a no-op, matching the monotone-epoch
+        fence the cluster layer enforces in memory.
+        """
+        if int(epoch) <= self.shard_epoch:
+            return
+        op = ("promote", int(epoch), str(head))
+        self._log(op)
+        self._apply_raw(op)
+        self._maybe_snapshot()
+
     def install(self, contents: Dict[str, str], seq: int) -> None:
         """Replace the whole store (full catch-up transfer) at ``seq``.
 
@@ -248,7 +280,7 @@ class DurableState(dict):
         """
         dict.clear(self)
         dict.update(self, contents)
-        self.snapshots.save(seq, dict(self))
+        self.snapshots.save(seq, dict(self), meta=self._meta())
         self.wal.reset(seq)
         self._snapshot_seq = seq
 
@@ -277,6 +309,18 @@ def high_water_of(state: Dict[str, str]) -> int:
     return state.high_water if isinstance(state, DurableState) else 0
 
 
+def promotion_of(state: Dict[str, str]) -> Tuple[int, Optional[str]]:
+    """A store's recovered ``(shard_epoch, promoted_head)``.
+
+    ``(0, None)`` for ephemeral dicts and for durable stores that never saw
+    a promotion — census order then decides the head, as before failover
+    existed.
+    """
+    if isinstance(state, DurableState):
+        return state.shard_epoch, state.promoted_head
+    return 0, None
+
+
 def delta_since(
     state: Dict[str, str], since: int
 ) -> Optional[List[WalRecord]]:
@@ -300,6 +344,11 @@ def apply_op(store: Dict[str, str], op: Tuple[Any, ...]) -> None:
     elif kind == "clear":
         store.clear()
     elif kind == "seal":
+        pass
+    elif kind == "promote":
+        # Epoch fencing lives in the cluster layer; an ephemeral store has
+        # nothing durable to stamp, so a promote record in a replayed delta
+        # is inert here (DurableState handles it in _apply_raw).
         pass
     else:
         raise ValueError(f"unknown catch-up op kind {kind!r}")

@@ -17,7 +17,12 @@ empty store.
 
 The payload rides the same compact codec as the WAL and the transports
 (:mod:`repro.runtime.wire`): ``wire.encode((seq, contents))`` behind the
-shared ``[magic][uvarint length][crc32][payload]`` framing.
+shared ``[magic][uvarint length][crc32][payload]`` framing.  Stores that
+carry replication metadata beyond their items — the shard epoch a primary
+promotion stamped, and which replica was promoted — persist it as an
+optional third payload element, ``(seq, contents, meta)``; snapshots
+written before the extension decode as an empty ``meta``, so old data
+directories open unchanged.
 """
 
 from __future__ import annotations
@@ -49,15 +54,27 @@ class SnapshotStore:
         os.makedirs(self.directory, exist_ok=True)
         self.path = os.path.join(self.directory, FILENAME)
 
-    def save(self, seq: int, contents: Dict[str, str]) -> None:
+    def save(
+        self,
+        seq: int,
+        contents: Dict[str, str],
+        meta: "Dict[str, Any] | None" = None,
+    ) -> None:
         """Atomically persist ``contents`` as the snapshot covering ``seq``.
 
         The temp file is fsynced before the rename and the directory entry
         after it, so once :meth:`save` returns the snapshot survives a power
         failure regardless of the WAL's fsync policy — a snapshot that could
         vanish would break the "WAL suffix only" replay contract.
+
+        ``meta`` carries non-item replica metadata (the promotion epoch);
+        when empty or omitted the payload stays the legacy two-element
+        form, byte-identical to pre-epoch snapshots.
         """
-        payload = wire.encode((int(seq), dict(contents)))
+        if meta:
+            payload = wire.encode((int(seq), dict(contents), dict(meta)))
+        else:
+            payload = wire.encode((int(seq), dict(contents)))
         frame = bytearray(MAGIC)
         wire.write_uvarint(frame, len(payload))
         frame += zlib.crc32(payload).to_bytes(4, "big")
@@ -82,11 +99,20 @@ class SnapshotStore:
                 magic/length/checksum validation (bit-rot, not a torn write —
                 torn writes cannot survive the atomic rename).
         """
+        seq, contents, _meta = self.load_with_meta()
+        return seq, contents
+
+    def load_with_meta(self) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        """The latest snapshot as ``(seq, contents, meta)``.
+
+        ``meta`` is ``{}`` for a missing snapshot and for snapshots written
+        before the metadata extension (legacy two-element payloads).
+        """
         try:
             with open(self.path, "rb") as handle:
                 data = handle.read()
         except FileNotFoundError:
-            return 0, {}
+            return 0, {}, {}
         if len(data) < len(MAGIC) or data[: len(MAGIC)] != MAGIC:
             raise WalCorruption(f"{self.path}: bad snapshot magic")
         try:
@@ -99,8 +125,12 @@ class SnapshotStore:
         stored_crc = int.from_bytes(data[body : body + 4], "big")
         if zlib.crc32(payload) != stored_crc:
             raise WalCorruption(f"{self.path}: snapshot checksum mismatch")
-        seq, contents = wire.decode(payload)
-        return int(seq), dict(contents)
+        decoded = wire.decode(payload)
+        if len(decoded) == 3:
+            seq, contents, meta = decoded
+        else:
+            (seq, contents), meta = decoded, {}
+        return int(seq), dict(contents), dict(meta)
 
     def __repr__(self) -> str:
         return f"SnapshotStore({self.directory!r})"

@@ -10,7 +10,11 @@ with **correct final contents** or fails with a **diagnosable, typed error**
   zero-backup degradation path; in-flight submits are replayed and resolve;
 * ``cluster.health()`` reports the degraded replica, ``probe()`` detects it
   actively through :func:`~repro.protocols.kvs.kvs_ping`;
-* a dead *primary* fails loudly (no silent data loss, no masking);
+* a dead *primary* is failed over: the senior surviving backup is promoted
+  under a bumped, fenced shard epoch, in-flight submits are replayed, and
+  the promotion lands in the ``promotions`` audit trail (only a shard whose
+  *last* replica dies still fails loudly — see
+  ``tests/test_cluster_promotion.py`` for the full promotion suite);
 * the whole thing is reproducible: the same seed yields the same injected
   schedule on the simulated backend, twice in a row.
 
@@ -28,7 +32,6 @@ import pytest
 
 from repro import ClusterClient, ClusterEngine, FaultPlan
 from repro.core.errors import ChoreographyRuntimeError, ChoreoTimeout
-from repro.faults import CrashFault
 from repro.protocols.kvs import Request, ResponseKind
 
 CHAOS_SEEDS = [int(raw) for raw in os.environ.get("CHAOS_SEED", "7").split(",")]
@@ -127,7 +130,7 @@ class TestHealthAndProbe:
             assert not cluster.health()["shard0"].degraded  # but not demoted
             assert cluster.failovers == []
 
-    def test_probe_never_demotes_the_primary(self):
+    def test_probe_promotes_past_a_crashed_primary(self):
         plan = FaultPlan(seed=3).crash("shard0.r0", after_ops=0)
         with ClusterEngine(
             shards=1, replication=2, backend=BACKEND, timeout=TIMEOUT, faults=plan
@@ -135,8 +138,12 @@ class TestHealthAndProbe:
             report = cluster.probe("shard0")
             assert report["shard0"]["shard0.r0"] is False
             health = cluster.health()["shard0"]
-            assert health.replicas["shard0.r0"] == "up"  # not demoted, only reported
-            assert cluster.failovers == []
+            assert health.replicas["shard0.r0"] == "down"
+            assert health.primary == "shard0.r1"  # the senior surviving backup
+            assert health.epoch == 1
+            assert health.roles["shard0.r1"] == "primary"
+            assert cluster.failovers == [("shard0", "shard0.r0")]
+            assert [p.new_primary for p in cluster.promotions] == ["shard0.r1"]
 
 
 # -------------------------------------------------------------------- failover --
@@ -239,7 +246,7 @@ class TestBackupFailover:
             assert set(health.down) == {"shard0.r1", "shard0.r2"}
             assert health.replicas["shard0.r0"] == "up"
 
-    def test_primary_crash_fails_loudly_and_spares_other_shards(self):
+    def test_primary_crash_fails_over_and_spares_other_shards(self):
         plan = FaultPlan(seed=7).crash("shard1.r0", after_ops=0)
         with ClusterClient(
             shards=2, replication=2, backend=BACKEND, timeout=TIMEOUT, faults=plan,
@@ -252,14 +259,23 @@ class TestBackupFailover:
                     doomed = f"probe{index}"
                 if shard == "shard0" and healthy is None:
                     healthy = f"probe{index}"
-            with pytest.raises(ChoreographyRuntimeError) as failure:
-                kvs.put(doomed, "x")
-            roots = failure.value.failures
-            assert isinstance(roots.get("shard1.r0"), CrashFault)
-            assert not kvs.cluster.failovers  # primaries are never demoted
+            # The put pays the detection timeout, then the surviving backup
+            # is promoted and the submit is replayed against the new head.
+            kvs.put(doomed, "x")
+            assert kvs.get(doomed) == "x"
+            assert ("shard1", "shard1.r0") in kvs.cluster.failovers
+            promotion = kvs.cluster.promotions[0]
+            assert promotion.shard_id == "shard1"
+            assert promotion.old_primary == "shard1.r0"
+            assert promotion.new_primary == "shard1.r1"
+            assert promotion.epoch == 1
             # The other shard is untouched.
             kvs.put(healthy, "ok")
             assert kvs.get(healthy) == "ok"
+            health = kvs.health()
+            assert health["shard1"].primary == "shard1.r1"
+            assert health["shard0"].primary == "shard0.r0"
+            assert health["shard0"].epoch == 0
 
     def test_client_retries_transient_reads(self):
         # The first two client→primary sends fail outright (no internal

@@ -34,6 +34,7 @@ from repro.gateway import (
     ERR_BUSY,
     ERR_DRAINING,
     ERR_FAILED,
+    ERR_FAILOVER,
     ERR_MAXCONN,
     ERR_TIMEOUT,
     ERR_UNAVAILABLE,
@@ -176,6 +177,59 @@ class TestGatewayErrors:
         assert client.ping() == "PONG"  # control plane still admitted
         assert client.stats()["shed_busy"] >= 1
 
+    def test_shedding_is_sticky_until_the_low_water_mark(self, stack, monkeypatch):
+        server, client = stack
+        load = {"pending": 0}
+        monkeypatch.setattr(
+            _EngineClass, "pending", property(lambda self: load["pending"])
+        )
+        low = server.settings.low_water
+        assert client.put("calm", "1") is None  # below the band: admitted
+        load["pending"] = server.settings.admission_high_water + 1
+        with pytest.raises(GatewayError) as excinfo:
+            client.put("hot", "2")
+        assert excinfo.value.code == ERR_BUSY
+        assert excinfo.value.detail["low_water"] == low
+        # Back under the high-water mark but still above the low one:
+        # hysteresis keeps shedding (no admit/shed flapping).
+        load["pending"] = low + 1
+        with pytest.raises(GatewayError) as excinfo:
+            client.put("warm", "3")
+        assert excinfo.value.code == ERR_BUSY
+        assert client.stats()["shedding"] is True
+        # At the low-water mark the gateway re-admits.
+        load["pending"] = low
+        assert client.put("cool", "4") is None
+        assert client.stats()["shedding"] is False
+
+    def test_client_retries_ride_out_a_shed(self, stack, monkeypatch):
+        server, _client = stack
+        spikes = iter([10_000])  # saturated for exactly one admission check
+        monkeypatch.setattr(
+            _EngineClass, "pending", property(lambda self: next(spikes, 0))
+        )
+        host, port = server.address
+        with GatewayClient(host, port, timeout=CLIENT_TIMEOUT, retries=2) as client:
+            assert client.put("k", "v") is None  # first attempt shed, retry lands
+            assert client.get("k") == "v"
+        assert server.metrics()["shed_busy"] == 1
+
+    def test_client_surfaces_nonretryable_frames_despite_retries(self, stack):
+        server, _client = stack
+        host, port = server.address
+        with GatewayClient(host, port, timeout=CLIENT_TIMEOUT, retries=5) as client:
+            before = server.metrics()["commands"]
+            with pytest.raises(GatewayError) as excinfo:
+                client.call("FROB", "x")
+            assert excinfo.value.code == ERR_BADREQUEST
+            assert server.metrics()["commands"] == before + 1  # no blind resends
+
+    def test_client_rejects_negative_retries(self, stack):
+        server, _client = stack
+        host, port = server.address
+        with pytest.raises(ValueError, match="retries"):
+            GatewayClient(host, port, retries=-1)
+
     def test_draining_rejects_new_work_but_serves_control(self, stack):
         server, client = stack
         server._draining.set()
@@ -285,6 +339,7 @@ class TestGatewaySettings:
             ("max_connections", 0),
             ("max_inflight_per_conn", 0),
             ("admission_high_water", 0),
+            ("admission_low_water", -1),
             ("drain_timeout", -0.1),
         ],
     )
@@ -292,16 +347,31 @@ class TestGatewaySettings:
         with pytest.raises(ValueError):
             GatewaySettings(**{field: value})
 
+    def test_low_water_must_not_exceed_high_water(self):
+        with pytest.raises(ValueError, match="low_water"):
+            GatewaySettings(admission_high_water=10, admission_low_water=11)
+
+    def test_low_water_defaults_to_half_the_high_water_mark(self):
+        assert GatewaySettings(admission_high_water=100).low_water == 50
+        assert GatewaySettings(admission_high_water=1).low_water == 1
+        assert (
+            GatewaySettings(admission_high_water=100, admission_low_water=7).low_water
+            == 7
+        )
+        assert GatewaySettings.from_env(
+            {"GATEWAY_ADMISSION_LOW_WATER": "25"}
+        ).admission_low_water == 25
+
 
 class TestGatewayChaos:
     """The network door under injected faults: typed frames, never hangs."""
 
     #: Codes a client may legitimately see while the shard behind the
-    #: gateway is crashing and being routed around.
-    ACCEPTABLE = {ERR_FAILED, ERR_TIMEOUT, ERR_UNAVAILABLE, ERR_BUSY}
+    #: gateway is crashing and being failed over.
+    ACCEPTABLE = {ERR_FAILED, ERR_TIMEOUT, ERR_UNAVAILABLE, ERR_BUSY, ERR_FAILOVER}
 
     @pytest.mark.parametrize("seed", CHAOS_SEEDS)
-    def test_primary_crash_surfaces_as_typed_errors(self, seed):
+    def test_primary_crash_fails_over_behind_the_gateway(self, seed):
         plan = FaultPlan(seed=seed).crash("shard0.r0", after_ops=0)
         with ClusterEngine(
             shards=1, replication=2, backend=BACKEND, timeout=TIMEOUT, faults=plan
@@ -310,14 +380,26 @@ class TestGatewayChaos:
             with GatewayServer(kvs) as server:
                 host, port = server.address
                 with GatewayClient(host, port, timeout=CLIENT_TIMEOUT) as client:
-                    failures = 0
+                    acked = {}
                     for index in range(10):
                         try:
                             client.put(f"k{index}", f"v{index}")
+                            acked[f"k{index}"] = f"v{index}"
                         except GatewayError as exc:
-                            failures += 1
+                            # Anything surfaced during the failover window
+                            # must stay typed — and the window itself maps
+                            # to a retryable code, never a dead connection.
                             assert exc.code in self.ACCEPTABLE, exc.code
-                    assert failures > 0  # a dead primary must fail loudly
+                    # The shard failed over: the writes landed on the new
+                    # head and every acked write is durable there.
+                    assert cluster.promotions
+                    assert cluster.promotions[0].old_primary == "shard0.r0"
+                    for key, value in acked.items():
+                        assert client.get(key) == value
+                    health = client.health()["shard0"]
+                    assert health["primary"] == cluster.promotions[-1].new_primary
+                    assert health["epoch"] == cluster.promotions[-1].epoch
+                    assert health["roles"][health["primary"]] == "primary"
                     # The connection itself survives typed failures.
                     assert client.ping() == "PONG"
 

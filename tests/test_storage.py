@@ -20,6 +20,7 @@ from repro.storage import (
     apply_op,
     delta_since,
     high_water_of,
+    promotion_of,
 )
 from repro.storage import snapshot as snapshot_mod
 from repro.storage import wal as wal_mod
@@ -342,6 +343,65 @@ class TestCatchupBridge:
     def test_unknown_catchup_mode_raises(self):
         with pytest.raises(ValueError, match="mode"):
             apply_catchup({}, "partial", [], 0)
+
+
+# -- promotion records ----------------------------------------------------------------
+
+
+class TestPromotionRecords:
+    def test_log_promotion_survives_reopen(self, tmp_path):
+        state = DurableState(tmp_path / "r0")
+        assert promotion_of(state) == (0, None)
+        state["k"] = "v"
+        state.log_promotion(2, "shard0.r1")
+        assert (state.shard_epoch, state.promoted_head) == (2, "shard0.r1")
+        state.close()
+        reopened = DurableState(tmp_path / "r0")
+        assert promotion_of(reopened) == (2, "shard0.r1")
+        assert dict(reopened) == {"k": "v"}
+        reopened.close()
+
+    def test_stale_promotion_is_a_noop(self, tmp_path):
+        state = DurableState(tmp_path / "r0")
+        state.log_promotion(3, "shard0.r2")
+        before = state.wal.record_count
+        state.log_promotion(3, "shard0.r1")  # equal epoch: fenced out
+        state.log_promotion(1, "shard0.r0")  # lower epoch: fenced out
+        assert state.wal.record_count == before  # nothing was written
+        assert promotion_of(state) == (3, "shard0.r2")
+        state.close()
+        reopened = DurableState(tmp_path / "r0")
+        assert promotion_of(reopened) == (3, "shard0.r2")
+        reopened.close()
+
+    def test_epoch_survives_snapshot_compaction(self, tmp_path):
+        # Compaction rewrites the WAL from the snapshot; the promotion
+        # record must ride along in the snapshot metadata or a cold
+        # restart would forget who the head is.
+        state = DurableState(tmp_path / "r0", snapshot_every=10)
+        state.log_promotion(1, "shard0.r1")
+        for i in range(35):
+            state[f"k{i}"] = str(i)
+        assert state.wal.record_count < 10  # compaction ran past the record
+        state.close()
+        reopened = DurableState(tmp_path / "r0", snapshot_every=10)
+        assert promotion_of(reopened) == (1, "shard0.r1")
+        reopened.close()
+
+    def test_plain_dict_has_no_promotion(self):
+        assert promotion_of({"a": "1"}) == (0, None)
+
+    def test_snapshot_meta_roundtrip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(7, {"a": "1"}, meta={"epoch": 2, "head": "shard0.r1"})
+        assert store.load_with_meta() == (
+            7,
+            {"a": "1"},
+            {"epoch": 2, "head": "shard0.r1"},
+        )
+        assert store.load() == (7, {"a": "1"})  # legacy surface unchanged
+        store.save(9, {"b": "2"})  # meta-less save drops the metadata
+        assert store.load_with_meta() == (9, {"b": "2"}, {})
 
 
 # -- Durability configuration ---------------------------------------------------------
