@@ -1,9 +1,13 @@
-"""E-cluster — YCSB-style mixed workload over the sharded KVS cluster.
+"""E-cluster — YCSB-style mixed workloads over the sharded KVS cluster.
 
-Drives :class:`~repro.cluster.ClusterEngine` with the workload shape YCSB
-made standard: a fixed op count, a configurable read/write ratio (workload A
-is 50/50, workload B is 95/5), and zipfian key skew (a few hot keys take
-most of the traffic).  Three serving shapes are measured:
+Drives :class:`~repro.cluster.ClusterEngine` with the workload shapes YCSB
+made standard — a fixed op count, a configurable read/write ratio, zipfian
+key skew — across the core suite: **A** (50/50 update-heavy), **B** (95/5
+read-heavy), **C** (read-only), **E** (short scans), and **F**
+(read-modify-write), plus a **transfer** workload that measures the
+cross-shard two-phase commit path (``submit_txn``: txn/sec and
+messages-per-transaction).  Three serving shapes are measured for the
+point workloads:
 
 * **single-shard, per-request** — the pre-cluster deployment PRs 2–3 ship:
   one replica-group :class:`~repro.runtime.engine.ChoreoEngine`, one
@@ -22,7 +26,8 @@ the container has one core, so shard *parallelism* contributes nothing there
 — the recorded shard sweep makes that visible, and on multi-core hardware
 the sweep is where the extra headroom comes from).
 
-Every headline number lands in ``BENCH_PR4.json`` via ``report.record``.
+Every headline number lands in the PR's ``BENCH_*.json`` via
+``report.record``.
 """
 
 from __future__ import annotations
@@ -36,6 +41,13 @@ import report
 from bench_guard import smoke_scale
 from repro.cluster import ClusterEngine
 from repro.protocols.kvs import Request
+
+#: Transfers per measured two-phase-commit run (each txn = 2 writes + guards).
+TXN_OPS = smoke_scale(300, 40)
+#: Accounts in the transfer workload's keyspace.
+TXN_ACCOUNTS = 16
+#: Ops per scan-workload run (each op is one short prefix scan).
+SCAN_OPS = smoke_scale(400, 60)
 
 #: Replicas per shard (primary + one backup) in every measured shape.
 REPLICATION = 2
@@ -171,12 +183,91 @@ def _best(shape, *args) -> float:
     return max(shape(*args) for _ in range(TRIALS))
 
 
+def cluster_scans(n_shards: int, ops: int, *, seed: int = 17) -> float:
+    """YCSB E's shape: short range scans (a ~10-key prefix) pipelined."""
+    workload = YCSBWorkload(read_fraction=1.0, seed=seed)
+    with ClusterEngine(n_shards, replication=REPLICATION) as cluster:
+        _load_phase(cluster)
+        prefixes = [workload._choose_key()[:9] for _ in range(ops)]
+        started = time.perf_counter()
+        shard_futures = [cluster.submit_scan(prefix) for prefix in prefixes]
+        for futures in shard_futures:
+            for future in futures.values():
+                future.result()
+        return ops / (time.perf_counter() - started)
+
+
+def cluster_read_modify_write(n_shards: int, ops: int, *, seed: int = 19) -> float:
+    """YCSB F's shape: read a key, write back a derived value, per op."""
+    workload = YCSBWorkload(read_fraction=1.0, seed=seed)
+    with ClusterEngine(n_shards, replication=REPLICATION) as cluster:
+        _load_phase(cluster)
+        keys = [workload._choose_key() for _ in range(ops)]
+        started = time.perf_counter()
+        writes = []
+        for index, key in enumerate(keys):
+            current = cluster.response_of(cluster.submit_get(key).result())
+            writes.append(
+                cluster.submit_put(key, f"{current.value or ''}+{index}"[-32:])
+            )
+        for future in writes:
+            future.result()
+        return ops / (time.perf_counter() - started)
+
+
+def cluster_transfers(n_shards: int, ops: int, *, seed: int = 23):
+    """The 2PC transfer workload: guarded two-account writes via submit_txn.
+
+    Returns ``(txn_per_sec, messages_per_txn)`` — the committed-transaction
+    rate and the full message cost of prepare + decide across both
+    participant conclaves, averaged per transaction.
+    """
+    rng = random.Random(seed)
+    accounts = [f"acct{i:03d}" for i in range(TXN_ACCOUNTS)]
+    with ClusterEngine(n_shards, replication=REPLICATION) as cluster:
+        books = {account: 1000 for account in accounts}
+        for future in cluster.submit_batch(
+            [Request.put(account, "1000") for account in accounts]
+        ):
+            future.result()
+        loaded = cluster.stats.total_messages
+        started = time.perf_counter()
+        for _ in range(ops):
+            src, dst = rng.sample(accounts, 2)
+            amount = rng.randint(1, 9)
+            result = cluster.submit_txn(
+                [
+                    Request.put(src, str(books[src] - amount)),
+                    Request.put(dst, str(books[dst] + amount)),
+                ],
+                expects={src: str(books[src]), dst: str(books[dst])},
+            ).result()
+            assert result.committed
+            books[src] -= amount
+            books[dst] += amount
+        elapsed = time.perf_counter() - started
+        per_txn = (cluster.stats.total_messages - loaded) / ops
+        # The invariant the chaos suite certifies, re-checked here for free.
+        total = sum(
+            int(value)
+            for futures in [cluster.submit_scan("acct")]
+            for future in futures.values()
+            for _key, value in cluster.response_of(future.result())
+        )
+        assert total == TXN_ACCOUNTS * 1000, "transfers drifted the books"
+    return ops / elapsed, per_txn
+
+
 def smoke():
     """One tiny, untimed iteration for the tier-1 bitrot guard."""
     workload = YCSBWorkload(read_fraction=0.5, keys=8, seed=3)
     requests = workload.requests(12)
     assert cluster_group_commit(2, requests, batch=6) > 0
     assert cluster_per_request(2, requests[:6]) > 0
+    assert cluster_scans(2, 4) > 0
+    assert cluster_read_modify_write(2, 4) > 0
+    txn_rate, per_txn = cluster_transfers(2, 4)
+    assert txn_rate > 0 and per_txn > 0
 
 
 def test_cluster_scales_past_single_shard_engine(benchmark, report_table):
@@ -244,3 +335,52 @@ def test_cluster_read_heavy_and_message_economy(report_table):
     )
     # One replica-group round per batch must beat one round per request.
     assert per_op < 1.0, f"group commit still sends {per_op:.2f} msgs/op"
+
+
+def test_cluster_ycsb_c_e_f(report_table):
+    """The rest of the core suite: C (read-only), E (scans), F (RMW)."""
+    workload_c = YCSBWorkload(read_fraction=1.0, seed=13)
+    read_only = _best(cluster_group_commit, 4, workload_c.requests(OPS))
+    report.record("cluster/ycsb_c/shards4", "group_commit", read_only, "ops/sec")
+
+    scans = _best(cluster_scans, 4, SCAN_OPS)
+    report.record("cluster/ycsb_e/shards4", "scans_per_sec", scans, "ops/sec")
+
+    rmw = _best(cluster_read_modify_write, 4, BASELINE_OPS)
+    report.record("cluster/ycsb_f/shards4", "read_modify_write", rmw, "ops/sec")
+
+    report_table(
+        "Cluster — YCSB C / E / F (4 shards, zipfian)",
+        ["workload", "ops/sec"],
+        [
+            [f"C: read-only, group commit ({OPS} ops)", f"{read_only:,.0f}"],
+            [f"E: short prefix scans ({SCAN_OPS} scans)", f"{scans:,.0f}"],
+            [f"F: read-modify-write ({BASELINE_OPS} ops)", f"{rmw:,.0f}"],
+        ],
+    )
+    assert read_only > 0 and scans > 0 and rmw > 0
+
+
+def test_cluster_transfer_two_phase_commit(report_table):
+    """The 2PC path: guarded cross-shard transfers, txn/sec and msgs/txn."""
+    txn_rate, per_txn = max(
+        (cluster_transfers(4, TXN_OPS) for _ in range(TRIALS)),
+        key=lambda pair: pair[0],
+    )
+    report.record("cluster/txn_transfer/shards4", "txn_per_sec", txn_rate, "txn/sec")
+    report.record("cluster/txn_transfer/shards4", "messages_per_txn", per_txn, "msgs")
+
+    report_table(
+        f"Cluster — transfer 2PC ({TXN_OPS} guarded transfers, 4 shards, "
+        f"replication {REPLICATION})",
+        ["metric", "value"],
+        [
+            ["committed transactions/sec", f"{txn_rate:,.0f}"],
+            ["messages per transaction (prepare + decide)", f"{per_txn:.2f}"],
+        ],
+    )
+    # Prepare + decide each cost one conclave round per participant shard;
+    # a transfer touches at most two shards, so the per-txn message bill is
+    # bounded and must stay in that envelope rather than degenerating into
+    # per-replica chatter.
+    assert per_txn <= 8 * (2 + 2 * (REPLICATION - 1)), per_txn

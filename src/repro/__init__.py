@@ -39,14 +39,16 @@ The package provides:
   engine per shard — with dead-replica detection, backup demotion, primary
   failover (epoch-fenced promotion of the senior surviving backup, recorded
   as :class:`PromotionReport`), crash-restart replica re-join
-  (:func:`rejoin_backup`), and ``health()``/``probe()`` — and the
-  :class:`ClusterClient` ``put/get/delete/scan`` facade with quorum reads,
-  read repair, and retrying idempotent reads.
+  (:func:`rejoin_backup`), choreographic two-phase commit for cross-shard
+  transactions (``submit_txn``, with a durable coordinator decision log and
+  presumed-abort in-doubt recovery), and ``health()``/``probe()`` — and the
+  :class:`ClusterClient` ``put/get/delete/scan/txn`` facade with quorum
+  reads, read repair, and retrying idempotent reads.
 * :mod:`repro.gateway` — the network front door: a RESP-like TCP protocol
   served by :class:`~repro.gateway.GatewayServer` over the cluster, with
   per-connection backpressure, cluster-wide ``BUSY`` admission shedding,
-  structured JSON error frames, graceful drain, and the
-  :class:`~repro.gateway.GatewayClient` wire client.
+  ``MULTI .. EXEC`` transactions, structured JSON error frames, graceful
+  drain, and the :class:`~repro.gateway.GatewayClient` wire client.
 * :mod:`repro.storage` — per-replica persistence: the checksum-framed
   :class:`WriteAheadLog` with torn-tail repair and fsync policies, atomic
   :class:`SnapshotStore` checkpoints, and the :class:`~repro.storage.DurableState`
@@ -75,6 +77,9 @@ from .cluster import (
     RejoinReport,
     ShardHealth,
     ShardRouter,
+    TxnAborted,
+    TxnConflict,
+    TxnResult,
     rejoin_backup,
 )
 from .core import (
@@ -117,7 +122,7 @@ from .runtime import (
     run_choreography,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ABSENT",
@@ -164,6 +169,9 @@ __all__ = [
     "StaleEpoch",
     "TCPTransport",
     "TransportError",
+    "TxnAborted",
+    "TxnConflict",
+    "TxnResult",
     "WriteAheadLog",
     "as_census",
     "backend_names",

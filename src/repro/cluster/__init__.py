@@ -38,9 +38,19 @@ backups: WAL replay, a hash-verified
 restored membership.  :meth:`~repro.cluster.engine.ClusterEngine.health`
 reports per-replica ``up``/``down``/``rejoining`` state plus each shard's
 epoch and role assignment.
+Cross-shard writes get atomicity through choreographic two-phase commit:
+:meth:`~repro.cluster.engine.ClusterEngine.submit_txn` prepares per-key
+write intents on every participating shard (the ``kvs_txn_prepare``
+conclave), records the commit verdict in a durable coordinator decision
+log, then fans out ``kvs_txn_decide`` — all-or-nothing across shards, with
+presumed-abort recovery (:meth:`~repro.cluster.engine.ClusterEngine.recover_in_doubt`)
+for transactions caught in flight by a coordinator crash.  Aborts surface
+as the typed :class:`~repro.cluster.engine.TxnConflict` /
+:class:`~repro.cluster.engine.TxnAborted`.
 ``tests/test_cluster_failover.py``, ``tests/test_cluster_promotion.py``,
-and ``tests/test_cluster_recovery.py`` chaos-test all of this under seeded
-:class:`~repro.faults.FaultPlan` schedules.
+``tests/test_cluster_recovery.py``, and ``tests/test_cluster_txn.py``
+chaos-test all of this under seeded :class:`~repro.faults.FaultPlan`
+schedules.
 
 See ``docs/architecture.md`` for the layer map and the message flow of a
 sharded put, ``docs/durability.md`` for the persistence and recovery
@@ -58,6 +68,9 @@ from .engine import (
     RejoinError,
     RejoinReport,
     ShardHealth,
+    TxnAborted,
+    TxnConflict,
+    TxnResult,
     rejoin_backup,
     shard_catchup,
     shard_delete,
@@ -65,6 +78,8 @@ from .engine import (
     shard_ping,
     shard_put,
     shard_scan,
+    shard_txn_decide,
+    shard_txn_prepare,
 )
 from .router import DEFAULT_VNODES, ShardRouter
 
@@ -79,6 +94,9 @@ __all__ = [
     "RejoinReport",
     "ShardHealth",
     "ShardRouter",
+    "TxnAborted",
+    "TxnConflict",
+    "TxnResult",
     "rejoin_backup",
     "shard_catchup",
     "shard_delete",
@@ -86,4 +104,6 @@ __all__ = [
     "shard_ping",
     "shard_put",
     "shard_scan",
+    "shard_txn_decide",
+    "shard_txn_prepare",
 ]

@@ -21,10 +21,16 @@ idempotent, so when a shard run fails under them — a transient connect
 failure, a replica dying mid-read before the cluster's failover has demoted
 it — the client simply re-issues the request (``retries`` times) against the
 possibly-degraded shard rather than surfacing a failure the next attempt
-would not reproduce.  ``put`` and ``batch`` are *not* retried here: the
-cluster layer already replays writes whose failure is attributable to a dead
-backup, and blindly re-running a write that failed for any other reason
-could double-apply it.
+would not reproduce.  ``retries`` applies **only** to those idempotent
+reads: ``put``, ``delete``, ``batch``, and ``txn`` are *never* auto-retried
+here, whatever ``retries`` says.  The cluster layer already replays writes
+whose failure is attributable to a dead backup, blindly re-running a write
+that failed for any other reason could double-apply it, and re-running a
+transaction would re-contend for intents its own first attempt may still
+hold.  A retried read costs the client nothing extra per attempt beyond the
+re-issue: a quorum ``get`` is still exactly two client-side messages per
+attempt (key out, majority answer back — the quorum traffic stays inside
+the replica conclave).
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.errors import ChoreographyRuntimeError
 from ..protocols.kvs import Request, Response, ResponseKind
 from ..runtime.engine import ChoreographyResult
-from .engine import ClusterEngine, ShardHealth
+from .engine import ClusterEngine, ShardHealth, TxnResult
 from .router import ShardId
 
 
@@ -63,7 +69,9 @@ class ClusterClient:
             by this client.
         retries: How many times the blocking ``get``/``scan`` paths re-issue
             an idempotent read whose shard run failed (see the module
-            docstring); ``0`` disables client-side retry.
+            docstring); ``0`` disables client-side retry.  Writes —
+            ``put``/``delete``/``batch``/``txn`` — ignore this knob and are
+            never auto-retried by the client.
         **cluster_options: Forwarded to :class:`ClusterEngine` when building
             (``shards=``, ``replication=``, ``backend=``, ...).
 
@@ -115,6 +123,21 @@ class ClusterClient:
     def delete_async(self, key: str) -> "Future[Response]":
         """Enqueue a replicated Delete; resolve to the server's Response."""
         return _mapped(self.cluster.submit_delete(key), self.cluster.response_of)
+
+    def txn_async(
+        self,
+        requests: Sequence[Request],
+        *,
+        expects: "Optional[Dict[str, Optional[str]]]" = None,
+        txn_id: Optional[str] = None,
+    ) -> "Future[TxnResult]":
+        """Enqueue a cross-shard transaction; resolve to its :class:`TxnResult`.
+
+        A thin alias for :meth:`ClusterEngine.submit_txn`; the Future raises
+        :class:`~repro.cluster.TxnConflict` / :class:`~repro.cluster.TxnAborted`
+        on an abort.
+        """
+        return self.cluster.submit_txn(requests, expects=expects, txn_id=txn_id)
 
     # ---------------------------------------------------------- blocking surface --
 
@@ -181,6 +204,46 @@ class ClusterClient:
             One :class:`Response` per request, in the order given.
         """
         return [future.result() for future in self.cluster.submit_batch(requests)]
+
+    def txn(
+        self,
+        requests: Sequence[Request],
+        *,
+        expects: "Optional[Dict[str, Optional[str]]]" = None,
+        txn_id: Optional[str] = None,
+    ) -> TxnResult:
+        """Atomically apply a multi-key write set, across shards, or nothing.
+
+        Two-phase commit over the participating shards
+        (:meth:`ClusterEngine.submit_txn`): either every write in
+        ``requests`` commits — atomically per shard, all shards or none —
+        or the transaction aborts with a typed error and no write is
+        applied anywhere.
+
+        A transaction is *never* auto-retried, whatever ``retries`` says: a
+        conflict is an answer (re-read, rebuild the write set, try a fresh
+        transaction), and a failure mid-commit must surface rather than
+        re-contend for the intents the first attempt may still hold.
+
+        Args:
+            requests: The write set — :meth:`Request.put` /
+                :meth:`Request.delete` only.
+            expects: Optimistic-concurrency guards: ``key ->`` the committed
+                value the caller read (``None`` expects the key unbound).
+                Any mismatch at prepare time aborts the transaction.
+            txn_id: Pin the transaction id (tests); auto-generated when
+                omitted.
+
+        Returns:
+            The :class:`~repro.cluster.TxnResult` on commit.
+
+        Raises:
+            TxnConflict: A shard refused the prepare — conflicting write
+                intent or failed ``expects`` guard; nothing was applied.
+            TxnAborted: A participant failed in a way failover could not
+                heal; nothing was committed.
+        """
+        return self.txn_async(requests, expects=expects, txn_id=txn_id).result()
 
     def scan(self, prefix: str = "") -> List[Tuple[str, str]]:
         """All bindings under ``prefix``, across every shard, in key order.

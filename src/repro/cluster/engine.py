@@ -71,9 +71,23 @@ exactly the case the hash-verified full-transfer fallback of
 last replica dies still fails loudly; see ``docs/testing.md`` for the chaos
 suite that pins all of this down.
 
+Multi-key atomicity crosses shards with **choreographic two-phase commit**:
+:meth:`ClusterEngine.submit_txn` plays the coordinator over the existing
+warm engines — one :func:`~repro.protocols.kvs.kvs_txn_prepare` per
+participating shard parks the write set as replicated, WAL-logged intents
+(conflict detection plus optional ``expects`` guards decide each shard's
+vote), the commit verdict is durably recorded in the coordinator's decision
+log *before* any participant learns it, and one
+:func:`~repro.protocols.kvs.kvs_txn_decide` per shard lands the writes
+atomically or rolls the intents back.  Both phases ride the same
+failover/replay machinery as every other shard op, aborts are presumed
+(only commits are logged; :meth:`recover_in_doubt` resolves survivors on a
+cold restart, intent expiry handles a dead coordinator on a live one), and
+refusals surface as typed :class:`TxnConflict` / :class:`TxnAborted`.
+
 :class:`~repro.cluster.client.ClusterClient` wraps this with a blocking
-``put/get/scan`` facade; ``benchmarks/bench_cluster.py`` drives it with a
-YCSB-style mixed workload.
+``put/get/scan/txn`` facade; ``benchmarks/bench_cluster.py`` drives it with
+a YCSB-style mixed workload plus a 2PC transfer workload.
 """
 
 from __future__ import annotations
@@ -91,9 +105,12 @@ from ..core.errors import ChoreographyRuntimeError, ChoreoTimeout
 from ..core.located import Faceted
 from ..core.locations import Census, Location, as_census
 from ..protocols.kvs import (
+    WRITE_KINDS,
     CatchupReport,
     Request,
+    RequestKind,
     Response,
+    ResponseKind,
     ShardEpoch,
     StaleEpoch,
     State,
@@ -103,12 +120,20 @@ from ..protocols.kvs import (
     kvs_quorum_get,
     kvs_scan,
     kvs_serve_batch,
+    kvs_txn_decide,
+    kvs_txn_prepare,
     kvs_with_backups,
 )
 from ..runtime.engine import ChoreoEngine, ChoreographyResult
 from ..runtime.stats import ChannelStats
 from ..runtime.transport import DEFAULT_TIMEOUT
-from ..storage import Durability, DurableState, promotion_of
+from ..storage import (
+    Durability,
+    DurableState,
+    EphemeralState,
+    promotion_of,
+    txns_of,
+)
 from .router import DEFAULT_VNODES, ShardId, ShardRouter
 
 #: The location name every shard census shares for the requesting side.
@@ -136,6 +161,38 @@ class ClusterRebalancing(RuntimeError):
 
 class RejoinError(RuntimeError):
     """A replica re-join could not run or could not be verified."""
+
+
+class TxnAborted(RuntimeError):
+    """A cross-shard transaction aborted instead of committing.
+
+    Raised from the transaction's Future (``ClusterEngine.submit_txn``) and
+    the blocking ``ClusterClient.txn``.  Nothing was applied anywhere: a
+    prepare that failed or was refused leads to an abort decide at every
+    participant, which drops the parked intents.  The transaction as issued
+    is safe to retry — under a fresh ``txn_id`` — once the condition that
+    aborted it (a conflicting transaction, a mid-prepare crash) has passed.
+    """
+
+    def __init__(self, txn_id: str, reason: str):
+        self.txn_id = txn_id
+        self.reason = reason
+        super().__init__(f"transaction {txn_id!r} aborted: {reason}")
+
+
+class TxnConflict(TxnAborted):
+    """A transaction's prepare was refused: conflicting keys, nothing applied.
+
+    The :class:`TxnAborted` subtype for the *expected* abort: another
+    prepared transaction holds a write intent on one of this transaction's
+    keys, or an ``expects`` guard no longer matches the committed value
+    (the optimistic-concurrency signal of a read-modify-write transaction —
+    re-read and retry).  :attr:`keys` names the blocking keys.
+    """
+
+    def __init__(self, txn_id: str, keys: Sequence[str]):
+        self.keys: Tuple[str, ...] = tuple(keys)
+        super().__init__(txn_id, f"conflict on {', '.join(self.keys)}")
 
 
 # -- the per-shard data-plane choreographies ------------------------------------------
@@ -195,6 +252,36 @@ def shard_serve(op, client, server, backups, state_refs, requests,
     located_batch = op.locally(client, lambda _un: list(requests))
     return kvs_serve_batch(op, client, server, backups, state_refs, located_batch,
                            epoch=epoch, fence=fence)
+
+
+@choreography(name="shard_txn_prepare")
+def shard_txn_prepare(op, client, server, backups, state_refs,
+                      txn_id, writes, expects, epoch=None, fence=None):
+    """Phase one of 2PC at one shard: vote and park the write intent.
+
+    The cluster coordinator (``ClusterEngine.submit_txn``) drives one of
+    these per participating shard (:func:`~repro.protocols.kvs.
+    kvs_txn_prepare`); the shard's vote comes back as the client response.
+    """
+    payload = op.locally(
+        client, lambda _un: (txn_id, dict(writes), dict(expects or {}))
+    )
+    return kvs_txn_prepare(op, client, server, backups, state_refs, payload,
+                           epoch=epoch, fence=fence)
+
+
+@choreography(name="shard_txn_decide")
+def shard_txn_decide(op, client, server, backups, state_refs,
+                     txn_id, verdict, writes, epoch=None, fence=None):
+    """Phase two of 2PC at one shard: commit the parked writes or roll back.
+
+    Idempotent and self-contained (the payload carries the writes), so the
+    cluster's replay-after-failover machinery can re-dispatch it safely
+    (:func:`~repro.protocols.kvs.kvs_txn_decide`).
+    """
+    payload = op.locally(client, lambda _un: (txn_id, verdict, dict(writes)))
+    return kvs_txn_decide(op, client, server, backups, state_refs, payload,
+                          epoch=epoch, fence=fence)
 
 
 @choreography(name="shard_scan")
@@ -292,6 +379,25 @@ class PromotionReport:
 
 
 @dataclass(frozen=True)
+class TxnResult:
+    """What a committed cross-shard transaction looked like to the coordinator.
+
+    Only commits produce one — an aborted transaction raises
+    :class:`TxnAborted` (or its :class:`TxnConflict` subtype) from the
+    Future instead, after the abort decide has cleaned every participant's
+    intent.
+    """
+
+    #: The transaction id the intents and decision were recorded under.
+    txn_id: str
+    #: The shards that prepared and committed, in routing order.
+    shards: Tuple[ShardId, ...]
+    #: True — present so callers reading a :class:`TxnResult` off a Future
+    #: can assert the invariant without knowing the abort story.
+    committed: bool = True
+
+
+@dataclass(frozen=True)
 class RejoinReport:
     """What one successful :meth:`ClusterEngine.rejoin_backup` did and cost."""
 
@@ -316,7 +422,8 @@ class _ShardSession:
     __slots__ = (
         "shard_id", "client", "census", "servers", "primary", "backups", "down",
         "rejoining", "durability", "state", "engine", "epoch", "fence",
-        "put", "get", "delete", "scan", "serve", "pings",
+        "put", "get", "delete", "scan", "serve", "txn_prepare", "txn_decide",
+        "pings",
     )
 
     def __init__(
@@ -430,11 +537,25 @@ class _ShardSession:
             client, self.primary, list(self.backups), self.state,
             name=bind_name("shard_serve"), **fencing,
         )
+        self.txn_prepare: ChoreographyDef = shard_txn_prepare.bind(
+            client, self.primary, list(self.backups), self.state,
+            name=bind_name("shard_txn_prepare"), **fencing,
+        )
+        self.txn_decide: ChoreographyDef = shard_txn_decide.bind(
+            client, self.primary, list(self.backups), self.state,
+            name=bind_name("shard_txn_decide"), **fencing,
+        )
 
     def _open_store(self, replica: Location) -> State:
-        """One replica's store: durable (recovered from disk) or ephemeral."""
+        """One replica's store: durable (recovered from disk) or ephemeral.
+
+        Ephemeral stores are :class:`~repro.storage.EphemeralState`, not
+        plain dicts: the transaction choreographies need the in-doubt intent
+        table either way, and the class degrades to exactly a dict for every
+        other choreography.
+        """
         if self.durability is None:
-            return {}
+            return EphemeralState()
         return self.durability.open_state(self.shard_id, replica)
 
     def demote_backup(self, replica: Location) -> None:
@@ -558,6 +679,25 @@ class _ShardSession:
         )
 
 
+def _highest_txn_serial(txn_log: DurableState) -> int:
+    """The largest ``txn-<n>`` serial the decision record has committed.
+
+    Auto-generated transaction ids continue above it across restarts, so a
+    fresh transaction can never collide with a *committed* predecessor.
+    (Aborted ids are reusable by design — presumed abort records nothing —
+    which is safe because recovery resolves every dangling intent before
+    new traffic runs.)  Caller-supplied ids are the caller's business.
+    """
+    highest = 0
+    for txn_id in txn_log:
+        if txn_id.startswith("txn-"):
+            try:
+                highest = max(highest, int(txn_id[4:]))
+            except ValueError:
+                pass
+    return highest
+
+
 class ClusterEngine:
     """A sharded KVS service: one warm :class:`ChoreoEngine` per shard.
 
@@ -628,10 +768,31 @@ class ClusterEngine:
         #: Every successful re-join, in completion order — the recovery side
         #: of the audit trail (guarded by ``_lock``).
         self.rejoins: List[RejoinReport] = []
+        #: The coordinator's durable transaction decision record: ``txn_id ->
+        #: "commit"``, written *before* any participant learns the verdict.
+        #: Only commits are recorded — an absent id means presumed abort —
+        #: so a cold restart can resolve every in-doubt participant intent
+        #: (``None`` for ephemeral clusters; guarded by ``_lock``).
+        self._txn_log: Optional[DurableState] = None
+        self._txn_counter = itertools.count(1)
         self._sessions: Dict[ShardId, _ShardSession] = {}
         try:
+            if durability is not None:
+                self._txn_log = DurableState(
+                    durability.state_dir("_txn", "coordinator"),
+                    fsync=durability.fsync,
+                    snapshot_every=durability.snapshot_every,
+                )
+                self._txn_counter = itertools.count(
+                    _highest_txn_serial(self._txn_log) + 1
+                )
             for shard_id in self.router.shards:
                 self._sessions[shard_id] = self._open_session(shard_id)
+            if durability is not None:
+                # Opening the cluster *is* crash recovery; that includes
+                # resolving transactions a previous incarnation left in
+                # doubt, from the decision record just reopened.
+                self.recover_in_doubt()
         except BaseException:
             self.close()
             raise
@@ -970,6 +1131,255 @@ class ClusterEngine:
                 lambda done, indices=indices: _fan_out(done, indices)
             )
         return futures
+
+    def submit_txn(
+        self,
+        requests: Sequence[Request],
+        *,
+        expects: Optional[Mapping[str, Optional[str]]] = None,
+        txn_id: Optional[str] = None,
+    ) -> "Future[TxnResult]":
+        """Atomically apply a cross-shard write set with two-phase commit.
+
+        The cluster engine is the coordinator; each participating shard's
+        replica group is one participant conclave.  Phase one submits a
+        :func:`~repro.protocols.kvs.kvs_txn_prepare` to every shard the
+        write set (or an ``expects`` guard) routes to — each shard votes
+        and, when granting, parks the write intent on every replica, WAL-
+        first on durable clusters.  When all votes are in, the verdict is
+        decided: *commit* iff every shard granted.  A commit is recorded in
+        the coordinator's durable decision log **before** any participant
+        learns it — the classic 2PC write — then phase two fans a
+        :func:`~repro.protocols.kvs.kvs_txn_decide` out to every
+        participant, which applies the whole per-shard write set atomically
+        (one WAL record) or rolls the intent back.  Prepare and decide both
+        ride the ordinary :meth:`_submit` machinery, so participant crashes
+        and promotions mid-transaction heal exactly like any other shard
+        op: the phase is replayed against the re-bound group, idempotently
+        (a re-prepare of a parked id re-grants; decides are idempotent).
+
+        Aborts are **presumed**: only commits are logged, an in-doubt
+        participant whose coordinator record holds nothing is rolled back
+        (:meth:`recover_in_doubt` on a cold restart, intent expiry after
+        :data:`~repro.storage.TXN_INTENT_TTL` later prepares on a live
+        one).  Transactions are never auto-retried — the conflict that
+        refused a prepare is a *answer*, not a transient — and nothing in a
+        refused or aborted transaction is ever applied.
+
+        Args:
+            requests: The write set — Put and Delete requests only (reads
+                belong before the transaction; guard them with ``expects``).
+            expects: Optional optimistic-concurrency guards, ``key -> the
+                committed value the caller read`` (``None`` expects the key
+                unbound).  A mismatch at prepare time refuses that shard's
+                vote with :class:`TxnConflict`.
+            txn_id: Override the auto-generated transaction id (chaos tests
+                pin these for deterministic schedules).  Must be unique
+                among live transactions.
+
+        Returns:
+            A Future resolving to a :class:`TxnResult` on commit, or
+            raising :class:`TxnConflict` (a refused vote: conflicting
+            intent or failed guard) / :class:`TxnAborted` (a participant
+            failure the failover machinery could not heal) — in both cases
+            only after the abort decide has been fanned out.
+
+        Raises:
+            ValueError: For an empty write set or a non-write request.
+        """
+        requests = list(requests)
+        if not requests:
+            raise ValueError("a transaction needs at least one write")
+        for request in requests:
+            if request.kind not in WRITE_KINDS:
+                raise ValueError(
+                    f"transactions carry writes only, got {request.kind!r}; "
+                    "read before the transaction and guard with expects="
+                )
+        if txn_id is None:
+            txn_id = f"txn-{next(self._txn_counter)}"
+        writes_by_shard: Dict[ShardId, Dict[str, Optional[str]]] = {}
+        for request in requests:
+            shard_writes = writes_by_shard.setdefault(self.shard_for(request.key), {})
+            shard_writes[request.key] = (
+                request.value if request.kind is RequestKind.PUT else None
+            )
+        expects_by_shard: Dict[ShardId, Dict[str, Optional[str]]] = {}
+        for key, expected in dict(expects or {}).items():
+            expects_by_shard.setdefault(self.shard_for(key), {})[key] = expected
+        participants = tuple(
+            shard_id for shard_id in self.shards
+            if shard_id in writes_by_shard or shard_id in expects_by_shard
+        )
+
+        outer: "Future[TxnResult]" = Future()
+        votes: Dict[ShardId, Response] = {}
+        failures: Dict[ShardId, BaseException] = {}
+        remaining = [len(participants)]
+        vote_lock = threading.Lock()
+
+        def on_prepared(shard_id: ShardId,
+                        done: "Future[ChoreographyResult]") -> None:
+            with vote_lock:
+                try:
+                    votes[shard_id] = self.response_of(done.result())
+                except BaseException as exc:  # noqa: BLE001 - becomes the verdict
+                    failures[shard_id] = exc
+                remaining[0] -= 1
+                if remaining[0]:
+                    return
+            self._decide_phase(
+                txn_id, participants, writes_by_shard, votes, failures, outer
+            )
+
+        for shard_id in participants:
+            prepared = self._submit(
+                shard_id, "txn_prepare",
+                args=(txn_id, writes_by_shard.get(shard_id, {}),
+                      expects_by_shard.get(shard_id, {})),
+            )
+            prepared.add_done_callback(
+                lambda done, shard_id=shard_id: on_prepared(shard_id, done)
+            )
+        return outer
+
+    def _decide_phase(
+        self,
+        txn_id: str,
+        participants: Tuple[ShardId, ...],
+        writes_by_shard: Dict[ShardId, Dict[str, Optional[str]]],
+        votes: Dict[ShardId, Response],
+        failures: Dict[ShardId, BaseException],
+        outer: "Future[TxnResult]",
+    ) -> None:
+        """Resolve the votes into a verdict and fan the decide out.
+
+        A separate method so the chaos suite can crash the coordinator at
+        the worst moment: between the last vote and the decides (patch this
+        to do nothing — presumed abort), or between the durable decision
+        and the decides (patch to stop after the log write — recovery must
+        finish the commit).
+        """
+        granted = not failures and all(
+            vote.kind is ResponseKind.FOUND for vote in votes.values()
+        )
+        verdict = "commit" if granted else "abort"
+        if granted and self._txn_log is not None:
+            with self._lock:
+                # The decision record is the commit point: once this is on
+                # disk, a crashed coordinator's restart finishes the commit;
+                # before it, every intent resolves to presumed abort.
+                self._txn_log[txn_id] = "commit"
+        decided: Dict[ShardId, "Future[ChoreographyResult]"] = {}
+        try:
+            for shard_id in participants:
+                decided[shard_id] = self._submit(
+                    shard_id, "txn_decide",
+                    args=(txn_id, verdict, writes_by_shard.get(shard_id, {})),
+                )
+        except BaseException as exc:  # noqa: BLE001 - cluster closed mid-txn
+            outer.set_exception(exc)
+            return
+        remaining = [len(decided)]
+        errors: List[BaseException] = []
+        ack_lock = threading.Lock()
+
+        def on_decided(done: "Future[ChoreographyResult]") -> None:
+            with ack_lock:
+                try:
+                    done.result()
+                except BaseException as exc:  # noqa: BLE001 - tallied below
+                    errors.append(exc)
+                remaining[0] -= 1
+                if remaining[0]:
+                    return
+            if verdict == "commit":
+                if errors:
+                    # The commit is durably decided, but a participant never
+                    # acknowledged it (even after the failover replays) —
+                    # surface the failure; recovery will finish the commit.
+                    outer.set_exception(errors[0])
+                else:
+                    outer.set_result(TxnResult(txn_id, participants))
+                return
+            # Abort: the decide fan-out is best-effort cleanup (a shard that
+            # refused parked nothing; a dead one expires or recovers its
+            # intent), so the refusal itself is the answer.
+            conflicts = sorted({
+                key
+                for vote in votes.values()
+                if vote.kind is ResponseKind.NOT_FOUND and vote.value
+                for key in vote.value.split(",")
+            })
+            if failures:
+                shard_id, cause = next(iter(failures.items()))
+                error: TxnAborted = TxnAborted(
+                    txn_id, f"prepare failed at {shard_id}: {cause}"
+                )
+                error.__cause__ = cause
+            else:
+                error = TxnConflict(txn_id, conflicts)
+            outer.set_exception(error)
+
+        for future in decided.values():
+            future.add_done_callback(on_decided)
+
+    def in_doubt(self) -> Dict[ShardId, Dict[str, Dict[str, Any]]]:
+        """Every prepared-but-undecided transaction, per shard.
+
+        A control-plane snapshot of the replicas' intent tables (the
+        primary's facet speaks for the shard): ``{shard_id: {txn_id:
+        {"writes": ..., "tick": ...}}}``, empty mappings omitted.  Chaos
+        tests assert this drains to nothing — no dangling intents — after
+        crashes and recoveries.
+        """
+        with self._lock:
+            report: Dict[ShardId, Dict[str, Dict[str, Any]]] = {}
+            for shard_id, session in self._sessions.items():
+                table = txns_of(session.state.facet_for(session.primary))
+                if table:
+                    report[shard_id] = {
+                        txn_id: dict(entry) for txn_id, entry in table.items()
+                    }
+            return report
+
+    def recover_in_doubt(self) -> Dict[str, str]:
+        """Resolve every in-doubt transaction from the durable decision record.
+
+        The coordinator side of 2PC crash recovery, run automatically when a
+        durable cluster opens: every intent still parked on a shard (its
+        participant prepared, then the world went down before the decide
+        landed) is decided now — *commit* when the coordinator's decision
+        log recorded one, *presumed abort* otherwise — through the ordinary
+        decide choreography, so the resolution replicates and WAL-logs like
+        any live decide.
+
+        Returns:
+            ``{txn_id: verdict}`` for every transaction resolved.
+        """
+        pending: List[Tuple[ShardId, str, Dict[str, Optional[str]]]] = []
+        with self._lock:
+            committed = dict(self._txn_log) if self._txn_log is not None else {}
+            for shard_id, session in self._sessions.items():
+                seen: Dict[str, Dict[str, Optional[str]]] = {}
+                for replica in session.servers:
+                    for txn_id, entry in txns_of(
+                        session.state.facet_for(replica)
+                    ).items():
+                        seen.setdefault(txn_id, dict(entry["writes"]))
+                for txn_id, writes in seen.items():
+                    pending.append((shard_id, txn_id, writes))
+        verdicts: Dict[str, str] = {}
+        waits = []
+        for shard_id, txn_id, writes in pending:
+            verdict = "commit" if committed.get(txn_id) == "commit" else "abort"
+            verdicts[txn_id] = verdict
+            waits.append(self._submit(
+                shard_id, "txn_decide", args=(txn_id, verdict, writes)
+            ))
+        for future in waits:
+            future.result()
+        return verdicts
 
     def submit_scan(self, prefix: str = "") -> Dict[ShardId, "Future[ChoreographyResult]"]:
         """Enqueue a prefix scan on *every* shard.
@@ -1326,9 +1736,12 @@ class ClusterEngine:
                 return
             self._closed = True
             sessions = list(self._sessions.values())
+            txn_log = self._txn_log
         for session in sessions:
             session.engine.close()
             session.close_storage()
+        if txn_log is not None:
+            txn_log.close()
 
     def __enter__(self) -> "ClusterEngine":
         return self

@@ -19,12 +19,19 @@ the front:
   client the tests and ``benchmarks/bench_gateway.py`` drive load through,
   with opt-in ``retries=`` backoff on retryable error frames.
 
+Cross-shard transactions ride the same wire: ``MULTI (PUT k v | DEL k)+
+EXEC`` arrives as one frame, maps onto one
+:meth:`~repro.cluster.ClusterEngine.submit_txn` two-phase commit, and
+answers either the transaction id or a retryable ``ABORTED`` error frame
+(nothing was applied; resubmitting is safe).
+
 See ``docs/gateway.md`` for the wire grammar, the error-code table, and a
 saturation walkthrough.
 """
 
 from .client import GatewayClient, GatewayError
 from .protocol import (
+    ERR_ABORTED,
     ERR_BADREQUEST,
     ERR_BUSY,
     ERR_DRAINING,
@@ -59,6 +66,7 @@ from .server import GatewayServer
 from .settings import GatewaySettings
 
 __all__ = [
+    "ERR_ABORTED",
     "ERR_BADREQUEST",
     "ERR_BUSY",
     "ERR_DRAINING",

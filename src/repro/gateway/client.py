@@ -206,6 +206,38 @@ class GatewayClient:
             raise ProtocolError(f"unexpected BATCH reply: {reply!r}")
         return [self._bulk(item) for item in reply.items]
 
+    def txn(self, requests: Sequence[Request]) -> str:
+        """Commit a write-only set atomically across shards; return its txn id.
+
+        Encodes ``requests`` as one ``MULTI (PUT k v | DEL k)+ EXEC`` frame;
+        the gateway maps it onto a cross-shard two-phase commit.  Either
+        every write applies or the server answers a retryable ``ABORTED``
+        error frame and nothing was applied — in which case :meth:`call`'s
+        ``retries=`` backoff (if enabled) resubmits the whole write set as a
+        fresh transaction, which is safe precisely because an abort leaves
+        no state behind.
+
+        Raises:
+            GatewayError: With ``code == "ABORTED"`` when the transaction
+                lost a conflict (or a participant failed) on the final
+                attempt.
+            ValueError: On a read request — ``MULTI`` is write-only.
+        """
+        args: List[str] = ["MULTI"]
+        for request in requests:
+            if request.kind is RequestKind.PUT:
+                args.extend(("PUT", request.key, request.value or ""))
+            elif request.kind is RequestKind.DELETE:
+                args.extend(("DEL", request.key))
+            else:
+                raise ValueError(f"cannot send {request.kind!r} through MULTI")
+        args.append("EXEC")
+        reply = self.call(*args)
+        txn_id = self._bulk(reply)
+        if txn_id is None:
+            raise ProtocolError(f"unexpected MULTI reply: {reply!r}")
+        return txn_id
+
     def health(self) -> Dict[str, Any]:
         """The gateway's per-shard health snapshot, decoded from JSON."""
         return self._json(self.call("HEALTH"))

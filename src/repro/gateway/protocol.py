@@ -57,7 +57,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.errors import ChoreographyRuntimeError, ChoreoTimeout
-from ..cluster.engine import ClusterClosed, ClusterRebalancing
+from ..cluster.engine import ClusterClosed, ClusterRebalancing, TxnAborted, TxnConflict
 from ..faults import CrashFault
 from ..protocols.kvs import Request, Response, ResponseKind, StaleEpoch
 
@@ -81,11 +81,23 @@ ERR_UNAVAILABLE = "UNAVAILABLE"  #: the cluster is closed
 ERR_REBALANCING = "REBALANCING"  #: control-plane op owns the cluster; retry
 ERR_FAILOVER = "FAILOVER"  #: a replica crashed / epoch moved; the shard is failing over
 ERR_FAILED = "FAILED"  #: the shard choreography failed (replica loss, no successor)
+ERR_ABORTED = "ABORTED"  #: a MULTI..EXEC transaction aborted; nothing was applied
 ERR_INTERNAL = "INTERNAL"  #: unexpected gateway-side exception
 
-#: Codes for which resending the same command later can succeed.
+#: Codes for which resending the same command later can succeed.  ``ABORTED``
+#: is retryable in the 2PC sense: the transaction applied *nothing*, so
+#: re-submitting the same write set as a fresh transaction is always safe
+#: (though a client holding ``expects``-style guards should re-read first).
 RETRYABLE_CODES = frozenset(
-    {ERR_BUSY, ERR_MAXCONN, ERR_DRAINING, ERR_TIMEOUT, ERR_REBALANCING, ERR_FAILOVER}
+    {
+        ERR_BUSY,
+        ERR_MAXCONN,
+        ERR_DRAINING,
+        ERR_TIMEOUT,
+        ERR_REBALANCING,
+        ERR_FAILOVER,
+        ERR_ABORTED,
+    }
 )
 
 
@@ -122,7 +134,7 @@ class CommandError(ProtocolError):
 # ------------------------------------------------------------------ commands --
 
 #: Verbs that touch the data plane and are subject to admission control.
-DATA_VERBS = frozenset({"GET", "PUT", "DEL", "BATCH", "SCAN"})
+DATA_VERBS = frozenset({"GET", "PUT", "DEL", "BATCH", "SCAN", "MULTI"})
 #: Control-plane verbs, always admitted (health checks must work under load).
 CONTROL_VERBS = frozenset({"PING", "HEALTH", "STATS"})
 ALL_VERBS = DATA_VERBS | CONTROL_VERBS
@@ -178,6 +190,53 @@ class Command:
             raise CommandError("BATCH needs at least one sub-command")
         return requests
 
+    def txn_requests(self) -> List[Request]:
+        """The write set encoded in a ``MULTI .. EXEC`` command.
+
+        The grammar is the write-only subset of ``BATCH``, closed by a
+        literal ``EXEC``::
+
+            MULTI (PUT key value | DEL key)+ EXEC
+
+        The whole command arrives as one frame (there is no open
+        transaction state on the connection); the gateway maps it onto one
+        cross-shard two-phase commit
+        (:meth:`~repro.cluster.ClusterEngine.submit_txn`) — every write
+        applies atomically, or the client gets a retryable ``ABORTED``
+        error frame and nothing was applied.
+
+        Raises:
+            CommandError: Not a MULTI, a read sub-command, a missing
+                ``EXEC`` terminator, or a malformed tail.
+        """
+        if self.verb != "MULTI":
+            raise CommandError(f"not a MULTI command: {self.verb}")
+        args = list(self.args)
+        if not args or args[-1].upper() != "EXEC":
+            raise CommandError("MULTI must end with EXEC")
+        body = args[:-1]
+        requests: List[Request] = []
+        index = 0
+        while index < len(body):
+            sub = body[index].upper()
+            if sub == "PUT":
+                if index + 2 >= len(body):
+                    raise CommandError("MULTI PUT needs a key and a value")
+                requests.append(Request.put(body[index + 1], body[index + 2]))
+                index += 3
+            elif sub == "DEL":
+                if index + 1 >= len(body):
+                    raise CommandError("MULTI DEL needs a key")
+                requests.append(Request.delete(body[index + 1]))
+                index += 2
+            elif sub in ("GET", "SCAN"):
+                raise CommandError(f"MULTI is write-only; {sub} is not allowed")
+            else:
+                raise CommandError(f"unknown MULTI sub-command: {body[index]!r}")
+        if not requests:
+            raise CommandError("MULTI needs at least one write before EXEC")
+        return requests
+
 
 #: verb -> (min_args, max_args); None = unbounded.
 _ARITY: Dict[str, Tuple[int, Optional[int]]] = {
@@ -187,6 +246,7 @@ _ARITY: Dict[str, Tuple[int, Optional[int]]] = {
     "DEL": (1, 1),
     "SCAN": (0, 1),
     "BATCH": (2, None),
+    "MULTI": (3, None),
     "HEALTH": (0, 0),
     "STATS": (0, 0),
 }
@@ -214,6 +274,8 @@ def command_from_args(args: Sequence[str]) -> Command:
     command = Command(verb, rest)
     if verb == "BATCH":
         command.batch_requests()  # validate the tail now, not at execution
+    elif verb == "MULTI":
+        command.txn_requests()
     return command
 
 
@@ -293,9 +355,19 @@ def reply_for_exception(exc: BaseException) -> ErrorReply:
       is promoting a new head; resending after backoff lands on it)
     * any other :class:`ChoreographyRuntimeError` → ``FAILED`` with the
       blamed ``location`` and original error type
+    * :class:`~repro.cluster.TxnConflict` / :class:`~repro.cluster.TxnAborted`
+      → retryable ``ABORTED`` with the transaction id (and the conflicting
+      ``keys``, for a conflict) in the detail; nothing was applied, so a
+      fresh attempt is safe
     * :class:`CommandError` → its own code (``BADREQUEST`` by default)
     * anything else → ``INTERNAL``
     """
+    if isinstance(exc, TxnConflict):
+        return error_reply(
+            ERR_ABORTED, str(exc), txn_id=exc.txn_id, keys=list(exc.keys)
+        )
+    if isinstance(exc, TxnAborted):
+        return error_reply(ERR_ABORTED, str(exc), txn_id=exc.txn_id)
     if isinstance(exc, ClusterClosed):
         return error_reply(ERR_UNAVAILABLE, str(exc))
     if isinstance(exc, ClusterRebalancing):

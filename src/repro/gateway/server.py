@@ -405,6 +405,17 @@ class GatewayServer:
                 )
 
             return batch_reply
+        if command.verb == "MULTI":
+            # One cross-shard 2PC; the Future raises TxnConflict/TxnAborted
+            # on abort, which reply_for_exception maps to a retryable
+            # ABORTED frame (the writer thread wraps the thunk).
+            txn_future = client.cluster.submit_txn(command.txn_requests())
+
+            def txn_reply() -> Reply:
+                result = txn_future.result()
+                return BulkReply(result.txn_id)
+
+            return txn_reply
         if command.verb == "SCAN":
             prefix = command.args[0] if command.args else ""
             shard_futures = client.cluster.submit_scan(prefix)

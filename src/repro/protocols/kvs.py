@@ -32,6 +32,17 @@ Two further census-polymorphic choreographies serve the sharded cluster layer
   :func:`resynch` read-repair when the replicas disagree;
 * :func:`kvs_scan` — a prefix scan answered by the primary alone (no
   branching on replicated data, hence no conclave and no KoC traffic);
+* :func:`kvs_txn_prepare` / :func:`kvs_txn_decide` — the participant half
+  of cross-shard two-phase commit.  Prepare parks the transaction's write
+  set as a per-key **intent** on every replica (conflict detection and
+  optional expected-value guards decide the vote; no item is touched);
+  decide commits the parked writes atomically or rolls the intent back.
+  Both are WAL-logged on durable replicas, so a crashed participant
+  recovers its prepared state, and the decide record carries the writes
+  itself so a full-transfer rejoiner that missed the prepare still lands
+  the commit.  The coordinator role lives in the cluster layer
+  (``ClusterEngine.submit_txn``), which drives one prepare and one decide
+  per participating shard;
 * :func:`kvs_ping` — a two-message liveness probe; a silent replica surfaces
   as a typed receive timeout, the raw signal behind the cluster's failure
   detector and its backup-demotion failover path;
@@ -61,7 +72,7 @@ from ..core.errors import ChoreographyError
 from ..core.located import Faceted, Located
 from ..core.locations import Census, Location, LocationsLike, as_census
 from ..core.ops import ChoreoOp
-from ..storage import apply_catchup, delta_since, high_water_of
+from ..storage import TXN_INTENT_TTL, apply_catchup, delta_since, high_water_of, txns_of
 from . import crypto
 
 
@@ -269,6 +280,93 @@ def scan_state(state: State, prefix: str = "") -> List[Tuple[str, str]]:
 def hash_state(state: State) -> int:
     """A deterministic digest of a replica's contents, used to detect divergence."""
     return hash(tuple(sorted(state.items())))
+
+
+# -- two-phase commit: per-replica state transitions ----------------------------------
+#
+# A transaction's *write set* is ``{key: value}`` with ``None`` meaning
+# delete.  Prepare/decide below are pure functions of (store contents,
+# intent table, arguments), so every replica of a shard — holding identical
+# stores by the ack-before-apply invariant — computes the same vote
+# independently; divergence (a rejoiner with a truncated intent table, an
+# expired intent) can only turn a grant into a refusal, never two replicas
+# into different commits, because commits are coordinator-decided and the
+# decide record carries its writes.
+
+Writes = Dict[str, Optional[str]]
+
+
+def txn_conflicts(
+    state: State, txn_id: str, writes: Writes, expects: Optional[Writes]
+) -> List[str]:
+    """The keys blocking ``txn_id``'s prepare at this replica, sorted.
+
+    A key blocks when another *live* prepared transaction holds a write
+    intent on it (write-write conflict), or when an ``expects`` guard —
+    the optimistic-concurrency check of a read-modify-write transaction —
+    no longer matches the committed value (``None`` expects the key to be
+    unbound).  Intents older than :data:`~repro.storage.TXN_INTENT_TTL`
+    prepare attempts are presumed aborted and do not block; the same
+    horizon drops them from the table when this attempt is logged.
+    """
+    table = txns_of(state)
+    horizon = getattr(state, "txn_tick", 0) + 1 - TXN_INTENT_TTL
+    blocked = set()
+    for other_id, entry in table.items():
+        if other_id == txn_id or entry["tick"] <= horizon:
+            continue
+        blocked.update(key for key in writes if key in entry["writes"])
+    for key, expected in (expects or {}).items():
+        if state.get(key) != expected:
+            blocked.add(key)
+    return sorted(blocked)
+
+
+def txn_prepare_state(
+    state: State, txn_id: str, writes: Writes, expects: Optional[Writes]
+) -> List[str]:
+    """Phase one at one replica: vote, and park the intent when granted.
+
+    Returns the blocking keys — empty means the vote is *yes* and the write
+    set is parked as this replica's intent for ``txn_id``.  Re-preparing an
+    already-parked transaction (a replayed submit after failover) is
+    idempotent: still granted, nothing re-logged.  Both outcomes otherwise
+    log a prepare record (grants park the intent, refusals just advance the
+    intent clock), WAL-first on durable replicas.
+    """
+    if str(txn_id) in txns_of(state):
+        return []
+    blocked = txn_conflicts(state, txn_id, writes, expects)
+    log = getattr(state, "log_txn_prepare", None)
+    if log is not None:
+        log(txn_id, writes, granted=not blocked)
+    return blocked
+
+
+def txn_decide_state(
+    state: State, txn_id: str, verdict: str, writes: Writes
+) -> Response:
+    """Phase two at one replica: commit the parked writes, or roll back.
+
+    Commit applies ``writes`` atomically through the store's decide record
+    (one WAL record for the whole set on durable replicas) and answers
+    ``found(txn_id)``; abort drops the intent and answers ``not_found``.
+    Idempotent both ways: values are absolute, and deciding an unknown
+    transaction is harmless — a commit still lands its (self-carried)
+    writes, an abort is a no-op.
+    """
+    log = getattr(state, "log_txn_decide", None)
+    if log is not None:
+        log(txn_id, verdict, writes)
+    elif verdict == "commit":
+        for key, value in dict(writes or {}).items():
+            if value is None:
+                state.pop(key, None)
+            else:
+                state[key] = value
+    if verdict == "commit":
+        return Response.found(txn_id)
+    return Response.not_found()
 
 
 def make_replica_states(op: ChoreoOp, servers: LocationsLike) -> Faceted[State]:
@@ -674,6 +772,175 @@ def kvs_serve_batch(
                 else:
                     responses.append(Response.stopped())
             return responses
+
+        return sub.locally(server, finish)
+
+    response_at_server = op.conclave_to(cluster, [server], handle)
+    return op.comm(server, client, response_at_server)
+
+
+def kvs_txn_prepare(
+    op: ChoreoOp,
+    client: Location,
+    server: Location,
+    backups: LocationsLike,
+    state_refs: Faceted[State],
+    payload: Located[Tuple[str, Writes, Writes]],
+    *,
+    epoch: Optional[int] = None,
+    fence: Optional[ShardEpoch] = None,
+) -> Located[Response]:
+    """Phase one of cross-shard two-phase commit, at one participant shard.
+
+    The coordinator's payload — ``(txn_id, writes, expects)`` — travels
+    client → server; inside the replica conclave the server re-uses the
+    multiply-located payload for Knowledge of Choice, every backup votes
+    with :func:`txn_prepare_state` (conflict detection against its intent
+    table plus the ``expects`` guards) and parks the intent when granting,
+    the votes are gathered at the server, and the server votes *last* —
+    the same ack-before-apply discipline as a replicated Put, so a granted
+    response implies every surviving replica holds the intent.  The shard's
+    vote is the conjunction: any blocked key anywhere refuses the prepare.
+
+    No item is touched in either case.  A refusal parks nothing (the
+    coordinator will abort), and a granted intent blocks later conflicting
+    prepares until the decide — or until
+    :data:`~repro.storage.TXN_INTENT_TTL` later prepare attempts expire it
+    as presumed-aborted (the participant-side escape hatch for a
+    coordinator that died between the two phases).
+
+    Args:
+        op: The operator record; census must contain client, server, backups.
+        client: The coordinator's location.
+        server: The primary replica, which answers with the shard's vote.
+        backups: Zero or more backup replicas (empty degrades gracefully to
+            the unreplicated server).
+        state_refs: The replicas' stores (one facet per replica).
+        payload: ``(txn_id, writes, expects)`` located at the client:
+            the write set (``key -> value``, ``None`` deletes) and the
+            expected-value guards (``key -> committed value``, ``None``
+            expects unbound).
+        epoch: The shard epoch this binding was created under (cluster use).
+        fence: The shard's live :class:`ShardEpoch` cell (see
+            :func:`kvs_with_backups`).
+
+    Returns:
+        ``Response.found(txn_id)`` when every replica granted, or a
+        ``not_found`` response whose ``value`` lists the blocking keys
+        (comma-separated), located at the client.
+    """
+    backup_census = as_census(backups)
+    op.census.require_member(client)
+    op.census.require_member(server)
+    op.census.require_subset(backup_census)
+    _require_epoch(epoch, fence)
+    cluster = as_census([server]).union(backup_census)
+
+    payload_at_server = op.comm(client, server, payload)
+
+    def handle(sub: ChoreoOp) -> Located[Response]:
+        txn_id, writes, expects = sub.broadcast(server, payload_at_server)
+
+        def vote(un) -> Response:
+            blocked = txn_prepare_state(un(state_refs), txn_id, writes, expects)
+            if blocked:
+                return Response(ResponseKind.NOT_FOUND, ",".join(blocked))
+            return Response.found(txn_id)
+
+        if len(backup_census) == 0:
+            return sub.locally(server, vote)
+        outcomes = sub.parallel(
+            backup_census,
+            lambda _backup, un: txn_prepare_state(
+                un(state_refs), txn_id, writes, expects
+            ),
+        )
+        gathered = sub.gather(backup_census, [server], outcomes)
+
+        def finish(un) -> Response:
+            blocked = set()
+            for _backup, backup_blocked in un(gathered):
+                blocked.update(backup_blocked)
+            blocked.update(
+                txn_prepare_state(un(state_refs), txn_id, writes, expects)
+            )
+            if blocked:
+                return Response(ResponseKind.NOT_FOUND, ",".join(sorted(blocked)))
+            return Response.found(txn_id)
+
+        return sub.locally(server, finish)
+
+    response_at_server = op.conclave_to(cluster, [server], handle)
+    return op.comm(server, client, response_at_server)
+
+
+def kvs_txn_decide(
+    op: ChoreoOp,
+    client: Location,
+    server: Location,
+    backups: LocationsLike,
+    state_refs: Faceted[State],
+    payload: Located[Tuple[str, str, Writes]],
+    *,
+    epoch: Optional[int] = None,
+    fence: Optional[ShardEpoch] = None,
+) -> Located[Response]:
+    """Phase two of cross-shard two-phase commit, at one participant shard.
+
+    The coordinator's verdict — ``(txn_id, verdict, writes)`` with verdict
+    ``"commit"`` or ``"abort"`` — travels client → server and is broadcast
+    to the replica conclave; every backup applies it with
+    :func:`txn_decide_state` (commit lands the write set atomically as one
+    WAL record, abort drops the intent) and acknowledges, and the server
+    applies it last — ack-before-apply again, so an acknowledged commit is
+    on every surviving replica.  The payload carries the writes explicitly,
+    so a replica whose intent is missing (a full-transfer rejoiner, an
+    expired intent) still lands the commit; aborting an unknown transaction
+    is a no-op.  Idempotent end to end, which is what makes the cluster
+    layer's replay-after-failover safe here.
+
+    Args:
+        op: The operator record; census must contain client, server, backups.
+        client: The coordinator's location.
+        server: The primary replica, which acknowledges the decide.
+        backups: Zero or more backup replicas (empty degrades gracefully).
+        state_refs: The replicas' stores (one facet per replica).
+        payload: ``(txn_id, verdict, writes)`` located at the client.
+        epoch: The shard epoch this binding was created under (cluster use).
+        fence: The shard's live :class:`ShardEpoch` cell (see
+            :func:`kvs_with_backups`).
+
+    Returns:
+        ``Response.found(txn_id)`` for a commit, ``not_found`` for an
+        abort, located at the client.
+    """
+    backup_census = as_census(backups)
+    op.census.require_member(client)
+    op.census.require_member(server)
+    op.census.require_subset(backup_census)
+    _require_epoch(epoch, fence)
+    cluster = as_census([server]).union(backup_census)
+
+    payload_at_server = op.comm(client, server, payload)
+
+    def handle(sub: ChoreoOp) -> Located[Response]:
+        txn_id, verdict, writes = sub.broadcast(server, payload_at_server)
+        if len(backup_census) == 0:
+            return sub.locally(
+                server,
+                lambda un: txn_decide_state(un(state_refs), txn_id, verdict, writes),
+            )
+        outcomes = sub.parallel(
+            backup_census,
+            lambda _backup, un: txn_decide_state(
+                un(state_refs), txn_id, verdict, writes
+            ),
+        )
+        gathered = sub.gather(backup_census, [server], outcomes)
+
+        def finish(un) -> Response:
+            un(gathered)  # every backup applied the verdict first
+            return txn_decide_state(un(state_refs), txn_id, verdict, writes)
 
         return sub.locally(server, finish)
 

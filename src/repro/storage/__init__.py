@@ -18,16 +18,24 @@ The catch-up bridge (:func:`high_water_of`, :func:`delta_since`,
 :func:`apply_catchup`) is what the ``kvs_catchup`` choreography calls on
 both sides of a replica re-join; it degrades to full transfers for
 ephemeral (plain-dict) stores so re-join works with durability off, too.
+
+Two-phase commit rides on the same machinery: ``txn_prepare`` /
+``txn_decide`` WAL records park and resolve per-transaction write intents
+(:attr:`DurableState.txns`), and :class:`EphemeralState` gives non-durable
+replicas the same intent table minus the disk.
 """
 
 from .durable import (
+    TXN_INTENT_TTL,
     Durability,
     DurableState,
+    EphemeralState,
     apply_catchup,
     apply_op,
     delta_since,
     high_water_of,
     promotion_of,
+    txns_of,
 )
 from .snapshot import SnapshotStore
 from .wal import FSYNC_POLICIES, WalCorruption, WalRecord, WriteAheadLog
@@ -35,8 +43,10 @@ from .wal import FSYNC_POLICIES, WalCorruption, WalRecord, WriteAheadLog
 __all__ = [
     "Durability",
     "DurableState",
+    "EphemeralState",
     "FSYNC_POLICIES",
     "SnapshotStore",
+    "TXN_INTENT_TTL",
     "WalCorruption",
     "WalRecord",
     "WriteAheadLog",
@@ -45,4 +55,5 @@ __all__ = [
     "delta_since",
     "high_water_of",
     "promotion_of",
+    "txns_of",
 ]

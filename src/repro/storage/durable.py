@@ -26,6 +26,16 @@ The module-level helpers (:func:`high_water_of`, :func:`delta_since`,
 :func:`apply_catchup`) are the bridge the ``kvs_catchup`` choreography uses:
 they degrade gracefully to plain dicts (no durability → no delta, full
 transfer) so the same choreography serves durable and ephemeral clusters.
+
+Two-phase commit (``kvs_txn_prepare`` / ``kvs_txn_decide``) adds two more
+WAL record kinds.  A *prepare* parks a transaction's write set as an
+**intent** in the store's in-doubt table without touching the items; a
+*decide* resolves it — commit applies the writes atomically (one record,
+however many keys), abort just drops the intent.  Both are replayed on
+restart, so a crashed participant recovers its prepared-but-undecided
+transactions and the cluster layer can resolve them against the
+coordinator's durable decision record.  :class:`EphemeralState` gives
+non-durable clusters the same intent table minus the disk.
 """
 
 from __future__ import annotations
@@ -39,6 +49,13 @@ from .wal import FSYNC_POLICIES, WalRecord, WriteAheadLog
 
 #: The WAL file's name inside a replica's storage directory.
 WAL_FILENAME = "wal.bin"
+
+#: A prepared-transaction intent is presumed aborted — its coordinator died
+#: before deciding — once this many *later* prepare attempts have touched the
+#: store.  The clock is the count of prepare records (grants and refusals
+#: both log one), so expiry is a pure function of the WAL stream and replays
+#: identically on every replica and across restarts.
+TXN_INTENT_TTL = 16
 
 
 @dataclass(frozen=True)
@@ -105,6 +122,16 @@ class DurableState(dict):
         snap_seq, contents, meta = self.snapshots.load_with_meta()
         self.shard_epoch = int(meta.get("epoch", 0))
         self.promoted_head: Optional[str] = meta.get("head")
+        #: In-doubt transactions: ``txn_id -> {"writes": {key: value-or-None},
+        #: "tick": int}`` — prepared but not yet decided.  Carried through
+        #: snapshots (like the epoch) and rebuilt by WAL replay, so a crashed
+        #: participant reopens with its prepared state intact.
+        self.txns: Dict[str, Dict[str, Any]] = {
+            txn_id: {"writes": dict(entry["writes"]), "tick": int(entry["tick"])}
+            for txn_id, entry in meta.get("txns", {}).items()
+        }
+        #: The intent clock: how many prepare attempts this store has seen.
+        self.txn_tick = int(meta.get("txn_tick", 0))
         dict.update(self, contents)
         self.wal = WriteAheadLog(
             os.path.join(self.directory, WAL_FILENAME), fsync=fsync
@@ -142,6 +169,34 @@ class DurableState(dict):
             if int(op[1]) > self.shard_epoch:
                 self.shard_epoch = int(op[1])
                 self.promoted_head = op[2]
+        elif kind == "txn_prepare":
+            # ("txn_prepare", txn_id, writes, granted): two-phase commit,
+            # phase one.  Every attempt — granted or refused — advances the
+            # intent clock, and intents older than TXN_INTENT_TTL later
+            # attempts are presumed aborted and dropped; a granted attempt
+            # then parks its write set as this store's intent.  No item is
+            # touched until the decide.
+            self.txn_tick += 1
+            horizon = self.txn_tick - TXN_INTENT_TTL
+            for stale in [t for t, e in self.txns.items() if e["tick"] <= horizon]:
+                del self.txns[stale]
+            if op[3]:
+                self.txns[op[1]] = {"writes": dict(op[2]), "tick": self.txn_tick}
+        elif kind == "txn_decide":
+            # ("txn_decide", txn_id, verdict, writes): phase two.  Commit
+            # applies the write set atomically — one record, however many
+            # keys — and the record carries the writes itself, so a replica
+            # that never saw the prepare (a full-transfer rejoiner, an
+            # already-expired intent) still lands the commit.  Abort just
+            # drops the intent.
+            entry = self.txns.pop(op[1], None)
+            if op[2] == "commit":
+                writes = dict(op[3]) or dict((entry or {}).get("writes", {}))
+                for key, value in writes.items():
+                    if value is None:
+                        dict.pop(self, key, None)
+                    else:
+                        dict.__setitem__(self, key, value)
         else:
             raise ValueError(f"unknown WAL op kind {kind!r}")
 
@@ -152,9 +207,18 @@ class DurableState(dict):
 
     def _meta(self) -> Dict[str, Any]:
         """The non-item metadata a snapshot must carry to survive WAL resets."""
+        meta: Dict[str, Any] = {}
         if self.shard_epoch:
-            return {"epoch": self.shard_epoch, "head": self.promoted_head}
-        return {}
+            meta["epoch"] = self.shard_epoch
+            meta["head"] = self.promoted_head
+        if self.txn_tick:
+            meta["txn_tick"] = self.txn_tick
+        if self.txns:
+            meta["txns"] = {
+                txn_id: {"writes": dict(entry["writes"]), "tick": entry["tick"]}
+                for txn_id, entry in self.txns.items()
+            }
+        return meta
 
     # ------------------------------------------------------------------ mutators --
 
@@ -271,6 +335,48 @@ class DurableState(dict):
         self._apply_raw(op)
         self._maybe_snapshot()
 
+    def log_txn_prepare(
+        self,
+        txn_id: str,
+        writes: Dict[str, Optional[str]],
+        *,
+        granted: bool = True,
+    ) -> None:
+        """Durably record one two-phase-commit prepare attempt.
+
+        A granted prepare parks ``writes`` (``key -> value``, ``None`` for a
+        delete) as this store's intent for ``txn_id``; later conflicting
+        prepares vote no until the decide arrives.  A refusal
+        (``granted=False``) parks nothing but still logs the attempt, so the
+        intent clock — and with it the presumed-abort expiry of abandoned
+        intents — replays identically from the WAL.
+        """
+        op = ("txn_prepare", str(txn_id), dict(writes), bool(granted))
+        self._log(op)
+        self._apply_raw(op)
+        self._maybe_snapshot()
+
+    def log_txn_decide(
+        self,
+        txn_id: str,
+        verdict: str,
+        writes: Optional[Dict[str, Optional[str]]] = None,
+    ) -> None:
+        """Durably resolve a prepared transaction: ``"commit"`` or ``"abort"``.
+
+        Commit applies the write set atomically (the whole set rides in one
+        WAL record) and is idempotent — values are absolute, so a replayed
+        decide re-applies to the same result.  The record carries ``writes``
+        explicitly so a replica whose intent is missing (full-transfer
+        rejoin, expired intent) still lands the commit.  Abort drops the
+        intent; deciding an unknown transaction is a no-op beyond the
+        record.
+        """
+        op = ("txn_decide", str(txn_id), str(verdict), dict(writes or {}))
+        self._log(op)
+        self._apply_raw(op)
+        self._maybe_snapshot()
+
     def install(self, contents: Dict[str, str], seq: int) -> None:
         """Replace the whole store (full catch-up transfer) at ``seq``.
 
@@ -301,7 +407,69 @@ class DurableState(dict):
         )
 
 
+class EphemeralState(dict):
+    """An in-memory replica store with the transaction surface of durable ones.
+
+    Non-durable clusters still need two-phase commit: an in-doubt intent
+    table, the intent clock, and the prepare/decide transitions — everything
+    :class:`DurableState` does minus the WAL.  The cluster opens one of
+    these per ephemeral replica so the KVS transaction choreographies run
+    unchanged against both store kinds; a plain ``dict`` (no ``txns``
+    attribute) degrades to conflict-blind prepares and is only suitable for
+    the non-transactional choreographies.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        #: In-doubt transactions, same shape as :attr:`DurableState.txns`.
+        self.txns: Dict[str, Dict[str, Any]] = {}
+        #: The intent clock (prepare attempts seen).
+        self.txn_tick = 0
+
+    def log_txn_prepare(
+        self,
+        txn_id: str,
+        writes: Dict[str, Optional[str]],
+        *,
+        granted: bool = True,
+    ) -> None:
+        """Record one prepare attempt (see :meth:`DurableState.log_txn_prepare`)."""
+        self.txn_tick += 1
+        horizon = self.txn_tick - TXN_INTENT_TTL
+        for stale in [t for t, e in self.txns.items() if e["tick"] <= horizon]:
+            del self.txns[stale]
+        if granted:
+            self.txns[str(txn_id)] = {"writes": dict(writes), "tick": self.txn_tick}
+
+    def log_txn_decide(
+        self,
+        txn_id: str,
+        verdict: str,
+        writes: Optional[Dict[str, Optional[str]]] = None,
+    ) -> None:
+        """Resolve a prepared transaction (see :meth:`DurableState.log_txn_decide`)."""
+        entry = self.txns.pop(str(txn_id), None)
+        if verdict == "commit":
+            pending = dict(writes or {}) or dict((entry or {}).get("writes", {}))
+            for key, value in pending.items():
+                if value is None:
+                    self.pop(key, None)
+                else:
+                    self[key] = value
+
+
 # ---------------------------------------------------------------- catch-up bridge --
+
+
+def txns_of(state: Dict[str, str]) -> Dict[str, Dict[str, Any]]:
+    """A store's in-doubt transaction table (an empty view for plain dicts).
+
+    The table maps ``txn_id`` to ``{"writes": {key: value-or-None},
+    "tick": int}``.  Both :class:`DurableState` and :class:`EphemeralState`
+    expose one; a plain ``dict`` has none, so callers see no intents and a
+    prepare against it cannot detect conflicts.
+    """
+    return getattr(state, "txns", {})
 
 
 def high_water_of(state: Dict[str, str]) -> int:
@@ -350,6 +518,22 @@ def apply_op(store: Dict[str, str], op: Tuple[Any, ...]) -> None:
         # nothing durable to stamp, so a promote record in a replayed delta
         # is inert here (DurableState handles it in _apply_raw).
         pass
+    elif kind == "txn_prepare":
+        log = getattr(store, "log_txn_prepare", None)
+        if log is not None:
+            log(op[1], op[2], granted=op[3])
+    elif kind == "txn_decide":
+        log = getattr(store, "log_txn_decide", None)
+        if log is not None:
+            log(op[1], op[2], op[3])
+        elif op[2] == "commit":
+            # A plain dict tracks no intents; the decide record is
+            # self-contained, so the committed writes still land.
+            for key, value in dict(op[3]).items():
+                if value is None:
+                    store.pop(key, None)
+                else:
+                    store[key] = value
     else:
         raise ValueError(f"unknown catch-up op kind {kind!r}")
 

@@ -27,9 +27,11 @@ import time
 
 import pytest
 
-from repro import ClusterClient, ClusterEngine, FaultPlan
+from repro import ClusterClient, ClusterEngine, FaultPlan, TxnConflict
 from repro.cluster.engine import ClusterEngine as _EngineClass
+from repro.core.errors import ChoreographyRuntimeError
 from repro.gateway import (
+    ERR_ABORTED,
     ERR_BADREQUEST,
     ERR_BUSY,
     ERR_DRAINING,
@@ -45,7 +47,7 @@ from repro.gateway import (
     GatewayServer,
     GatewaySettings,
 )
-from repro.protocols.kvs import Request
+from repro.protocols.kvs import Request, StaleEpoch
 from tests.test_cluster_failover import BACKEND, CHAOS_SEEDS, TIMEOUT
 
 #: Socket timeout for test clients: generous enough for CI, small enough
@@ -114,6 +116,74 @@ class TestGatewayDataPlane:
         replies = client.drain(count)
         previous = [r.value for r in replies if isinstance(r, BulkReply)]
         assert previous == [None] + [f"v{i}" for i in range(count - 1)]
+
+
+class TestGatewayTxn:
+    """``MULTI (PUT k v | DEL k)+ EXEC`` mapped onto cross-shard 2PC."""
+
+    def test_multi_exec_commits_atomically_across_shards(self, stack):
+        _server, client = stack
+        txn_id = client.txn([Request.put("alice", "50"), Request.put("bob", "150")])
+        assert txn_id.startswith("txn-")
+        assert client.get("alice") == "50"
+        assert client.get("bob") == "150"
+        second = client.txn([Request.delete("alice"), Request.put("bob", "200")])
+        assert second != txn_id
+        assert client.get("alice") is None
+        assert client.get("bob") == "200"
+
+    def test_multi_grammar_is_validated_up_front(self, stack):
+        _server, client = stack
+        for bad in (
+            ["MULTI", "PUT", "k", "v"],  # missing EXEC
+            ["MULTI", "GET", "k", "EXEC"],  # reads are not allowed
+            ["MULTI", "EXEC"],  # empty write set
+            ["MULTI", "PUT", "k", "EXEC"],  # PUT missing its value
+        ):
+            with pytest.raises(GatewayError) as excinfo:
+                client.call(*bad)
+            assert excinfo.value.code == ERR_BADREQUEST
+            assert not excinfo.value.retryable
+        assert client.ping() == "PONG"  # connection survived them all
+
+    def test_conflict_surfaces_as_a_retryable_aborted_frame(self, stack):
+        server, client = stack
+        cluster = server.client.cluster
+        # Park an intent on the contended key by stalling one decide phase.
+        real_decide = cluster._decide_phase
+        cluster._decide_phase = lambda *args: None
+        cluster.submit_txn([Request.put("hot", "1")], txn_id="parked")
+        deadline = time.monotonic() + CLIENT_TIMEOUT
+        while cluster.pending and time.monotonic() < deadline:
+            time.sleep(0.01)
+        cluster._decide_phase = real_decide
+        with pytest.raises(GatewayError) as excinfo:
+            client.txn([Request.put("hot", "2"), Request.put("cold", "3")])
+        assert excinfo.value.code == ERR_ABORTED
+        assert excinfo.value.retryable  # nothing applied; a fresh try is safe
+        assert excinfo.value.detail["keys"] == ["hot"]
+        assert excinfo.value.detail["txn_id"]
+        assert client.get("cold") is None  # the other shard rolled back too
+
+    def test_client_retries_ride_out_a_transient_abort(self, stack):
+        server, _client = stack
+        cluster = server.client.cluster
+        real = cluster.submit_txn
+        calls = [0]
+
+        def contended_once(requests, **kwargs):
+            calls[0] += 1
+            if calls[0] == 1:
+                raise TxnConflict("txn-lost", ["hot"])
+            return real(requests, **kwargs)
+
+        cluster.submit_txn = contended_once
+        host, port = server.address
+        with GatewayClient(host, port, timeout=CLIENT_TIMEOUT, retries=2) as client:
+            txn_id = client.txn([Request.put("hot", "9")])
+            assert calls[0] == 2  # first attempt ABORTED, resend committed
+            assert txn_id.startswith("txn-")
+            assert client.get("hot") == "9"
 
 
 class TestGatewayControlPlane:
@@ -419,6 +489,64 @@ class TestGatewayChaos:
                     assert client.get("k3") == "v11"
                     health = client.health()["shard0"]
                     assert health["replicas"]["shard0.r1"] == "down"
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_pipelined_sends_across_a_failover_all_get_replies(self, seed):
+        # The raw pipelined path (send()/drain()) bypasses the client's
+        # retry loop, so every slot the reader admitted must produce a
+        # frame even while the shard behind the gateway is failing over —
+        # and every in-flight slot must be released after its reply is on
+        # the socket (the drain/accounting invariant), never leaked.
+        plan = FaultPlan(seed=seed).crash("shard0.r0", after_ops=6)
+        with ClusterEngine(
+            shards=1, replication=2, backend=BACKEND, timeout=TIMEOUT, faults=plan
+        ) as cluster:
+            kvs = ClusterClient(cluster)
+            with GatewayServer(kvs) as server:
+                host, port = server.address
+                with GatewayClient(host, port, timeout=CLIENT_TIMEOUT) as client:
+                    count = 24
+                    for index in range(count):
+                        client.send("PUT", f"k{index % 4}", f"v{index}")
+                    replies = client.drain(count)
+                    assert len(replies) == count  # one frame per send, in order
+                    for reply in replies:
+                        if isinstance(reply, ErrorReply):
+                            assert reply.code in self.ACCEPTABLE, reply
+                        else:
+                            assert isinstance(reply, BulkReply)
+                    assert cluster.promotions  # the head fell mid-pipeline
+                    # Every slot was released after its sendall: no leaks.
+                    deadline = time.monotonic() + CLIENT_TIMEOUT
+                    while server.metrics()["inflight"] and time.monotonic() < deadline:
+                        time.sleep(0.01)
+                    assert server.metrics()["inflight"] == 0
+                    # The connection serves on against the promoted head.
+                    assert client.put("after", "failover") is None
+                    assert client.get("after") == "failover"
+
+    def test_call_retry_rides_out_a_failover_frame(self, stack):
+        # Deterministic pin of the FAILOVER retry path: the first attempt
+        # surfaces a stale-epoch-rooted failure (the promotion window), the
+        # client sees the retryable FAILOVER frame and resends, and the
+        # resend lands on the current binding.
+        server, _client = stack
+        cluster = server.client.cluster
+        real = cluster.submit_put
+        calls = [0]
+
+        def fenced_once(key, value):
+            calls[0] += 1
+            if calls[0] == 1:
+                raise ChoreographyRuntimeError("shard0.r0", StaleEpoch(0, 1))
+            return real(key, value)
+
+        cluster.submit_put = fenced_once
+        host, port = server.address
+        with GatewayClient(host, port, timeout=CLIENT_TIMEOUT, retries=2) as client:
+            assert client.put("fenced", "ok") is None
+            assert calls[0] == 2  # FAILOVER frame, then the resend landed
+            assert client.get("fenced") == "ok"
 
     def test_cluster_closed_surfaces_as_unavailable(self):
         kvs = ClusterClient(shards=1, replication=2, backend=BACKEND)
