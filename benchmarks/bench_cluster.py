@@ -384,3 +384,56 @@ def test_cluster_transfer_two_phase_commit(report_table):
     # bounded and must stay in that envelope rather than degenerating into
     # per-replica chatter.
     assert per_txn <= 8 * (2 + 2 * (REPLICATION - 1)), per_txn
+
+
+def _socket_cluster_run(backend: str, requests: Sequence[Request]):
+    """YCSB-B group commit on a socket backend; returns (ops/sec, threads)."""
+    import threading
+
+    with ClusterEngine(4, replication=REPLICATION, backend=backend) as cluster:
+        _load_phase(cluster)
+        started = time.perf_counter()
+        futures = []
+        for start in range(0, len(requests), BATCH_WINDOW):
+            futures.extend(cluster.submit_batch(requests[start:start + BATCH_WINDOW]))
+        for future in futures:
+            future.result()
+        throughput = len(requests) / (time.perf_counter() - started)
+        live_threads = threading.active_count()
+    return throughput, live_threads
+
+
+def test_cluster_on_asyncio_sockets_co_hosts_cheaply(report_table):
+    """Shard engines over real sockets: the asyncio backend collapses each
+    shard's accept/reader threads into one shared loop per shard transport,
+    so co-hosting many socket-backed replica groups stays cheap — the
+    cluster-shaped face of the ``bench_asyncio_backend.py`` density story."""
+    requests = YCSBWorkload(read_fraction=0.95, seed=19).requests(
+        smoke_scale(600, 60)
+    )
+    tcp_rate, tcp_threads = _socket_cluster_run("tcp", requests)
+    asyncio_rate, asyncio_threads = _socket_cluster_run("asyncio", requests)
+    report.record("cluster/ycsb_b_sockets/tcp", "group_commit", tcp_rate, "ops/sec")
+    report.record("cluster/ycsb_b_sockets/tcp", "live_threads", tcp_threads, "threads")
+    report.record(
+        "cluster/ycsb_b_sockets/asyncio", "group_commit", asyncio_rate, "ops/sec"
+    )
+    report.record(
+        "cluster/ycsb_b_sockets/asyncio", "live_threads", asyncio_threads, "threads"
+    )
+    report_table(
+        f"Cluster — YCSB B on socket backends (4 shards, {len(requests)} ops)",
+        ["backend", "ops/sec", "live threads"],
+        [
+            ["tcp (threaded)", f"{tcp_rate:,.0f}", str(tcp_threads)],
+            ["asyncio (event loop)", f"{asyncio_rate:,.0f}", str(asyncio_threads)],
+        ],
+    )
+    assert asyncio_threads < tcp_threads, (
+        f"asyncio cluster should hold fewer threads ({asyncio_threads} vs "
+        f"{tcp_threads})"
+    )
+    assert asyncio_rate > tcp_rate * 0.4, (
+        f"asyncio cluster throughput collapsed: {asyncio_rate:.0f} vs "
+        f"{tcp_rate:.0f} ops/sec"
+    )

@@ -127,3 +127,19 @@ def test_engine_throughput_local(benchmark, report_table):
         warm_engine_runs_per_sec, args=("local",), kwargs={"runs": 8},
         rounds=3, iterations=1,
     )
+
+
+def test_engine_throughput_asyncio(benchmark, report_table):
+    """The event-loop backend through the same three shapes.  Its win is
+    session density (see ``bench_asyncio_backend.py``), so as with ``local``
+    the assertion here is only a bitrot floor on the warm path."""
+    measure("asyncio", runs=4, trials=1)
+    cold, warm, piped = measure("asyncio")
+    _report(report_table, "asyncio", cold, warm, piped)
+    assert warm > cold, (
+        f"warm asyncio engine slower than per-call setup ({warm:.0f} vs {cold:.0f})"
+    )
+    benchmark.pedantic(
+        warm_engine_runs_per_sec, args=("asyncio",), kwargs={"runs": 8},
+        rounds=3, iterations=1,
+    )

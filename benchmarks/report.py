@@ -1,4 +1,4 @@
-"""Machine-readable benchmark results: ``BENCH_PR9.json``.
+"""Machine-readable benchmark results: ``BENCH_PR10.json``.
 
 Benchmark numbers used to live only in prose (docs/performance.md tables and
 terminal output), which makes the perf trajectory across PRs impossible to
@@ -25,7 +25,7 @@ import subprocess
 import time
 from typing import Any, Dict, List, Optional
 
-DEFAULT_PATH = "BENCH_PR9.json"
+DEFAULT_PATH = "BENCH_PR10.json"
 
 #: Collected records for the current process, in call order.
 RESULTS: List[Dict[str, Any]] = []

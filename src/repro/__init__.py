@@ -108,6 +108,7 @@ from .gateway import GatewayClient, GatewayError, GatewayServer, GatewaySettings
 from .protocols.kvs import ShardEpoch, StaleEpoch
 from .storage import Durability, DurableState, SnapshotStore, WriteAheadLog
 from .runtime import (
+    AsyncioTCPTransport,
     CentralBackend,
     CentralOp,
     ChannelStats,
@@ -116,16 +117,24 @@ from .runtime import (
     LocalTransport,
     SimulatedNetworkTransport,
     TCPTransport,
+    TransportBackend,
+    WireCodec,
     backend_names,
+    impl,
+    implementations,
+    implements,
     register_backend,
+    register_impl,
+    resolve_impl,
     run_centralized,
     run_choreography,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ABSENT",
+    "AsyncioTCPTransport",
     "Census",
     "CensusError",
     "CentralBackend",
@@ -168,16 +177,23 @@ __all__ = [
     "SnapshotStore",
     "StaleEpoch",
     "TCPTransport",
+    "TransportBackend",
     "TransportError",
     "TxnAborted",
     "TxnConflict",
     "TxnResult",
+    "WireCodec",
     "WriteAheadLog",
     "as_census",
     "backend_names",
     "choreography",
+    "impl",
+    "implementations",
+    "implements",
     "project",
     "register_backend",
+    "register_impl",
+    "resolve_impl",
     "rejoin_backup",
     "run_centralized",
     "run_choreography",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import typing
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
@@ -123,21 +124,36 @@ class GatewaySettings:
         """
         if env is None:
             env = os.environ
+        # ``dataclasses.fields(cls)[i].type`` is a *string* under
+        # ``from __future__ import annotations``; resolve the actual types
+        # once instead of string-matching annotation spellings (which silently
+        # passed raw strings through for anything but the exact spellings
+        # ``"int"``/``"float"``).
+        try:
+            hints = typing.get_type_hints(cls)
+        except Exception as exc:
+            raise ValueError(
+                f"could not resolve {cls.__name__} field annotations: {exc}"
+            ) from exc
+        parsers = {str: str, int: int, float: float}
         values: dict = {}
         for f in dataclasses.fields(cls):
+            hint = hints[f.name]
+            parse = parsers.get(hint)
+            if parse is None:
+                raise ValueError(
+                    f"field {f.name!r} has unsupported annotation {hint!r} for "
+                    "from_env; supported types are str, int, and float"
+                )
             raw = env.get(ENV_PREFIX + f.name.upper())
             if raw is None:
                 continue
             try:
-                if f.type in ("int", int):
-                    values[f.name] = int(raw)
-                elif f.type in ("float", float):
-                    values[f.name] = float(raw)
-                else:
-                    values[f.name] = raw
+                values[f.name] = parse(raw)
             except ValueError:
                 raise ValueError(
-                    f"{ENV_PREFIX}{f.name.upper()}={raw!r} is not a valid {f.type}"
+                    f"{ENV_PREFIX}{f.name.upper()}={raw!r} is not a valid "
+                    f"{hint.__name__}"
                 ) from None
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(overrides) - known

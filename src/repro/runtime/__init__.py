@@ -1,10 +1,26 @@
 """Execution substrates: persistent engine sessions, transports, the one-shot
 runner, and the centralized reference semantics."""
 
+from .asyncio_tcp import AsyncioTCPTransport
 from .central import CentralBackend, CentralOp, localize_return, run_centralized
-from .engine import ChoreoEngine, ChoreographyResult
+from .engine import CLOSE_DEADLINE_CAP, ChoreoEngine, ChoreographyResult
 from .local import LocalTransport
-from .registry import backend_names, create_backend, register_backend, unregister_backend
+from .registry import (
+    FaultPlanSource,
+    TransportBackend,
+    WireCodec,
+    backend_names,
+    create_backend,
+    impl,
+    impl_protocols,
+    implementations,
+    implements,
+    register_backend,
+    register_impl,
+    resolve_impl,
+    unregister_backend,
+    unregister_impl,
+)
 from .runner import TRANSPORT_FACTORIES, run_choreography
 from .simulated import SimulatedNetworkTransport
 from .stats import ChannelStats
@@ -12,25 +28,37 @@ from .tcp import TCPTransport
 from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint, deserialize, serialize
 
 __all__ = [
+    "AsyncioTCPTransport",
+    "CLOSE_DEADLINE_CAP",
     "CentralBackend",
     "CentralOp",
     "ChannelStats",
     "ChoreoEngine",
     "ChoreographyResult",
     "DEFAULT_TIMEOUT",
+    "FaultPlanSource",
     "LocalTransport",
     "SimulatedNetworkTransport",
     "TCPTransport",
     "TRANSPORT_FACTORIES",
     "Transport",
+    "TransportBackend",
     "TransportEndpoint",
+    "WireCodec",
     "backend_names",
     "create_backend",
     "deserialize",
+    "impl",
+    "impl_protocols",
+    "implementations",
+    "implements",
     "localize_return",
     "register_backend",
+    "register_impl",
+    "resolve_impl",
     "run_centralized",
     "run_choreography",
     "serialize",
     "unregister_backend",
+    "unregister_impl",
 ]

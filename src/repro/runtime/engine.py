@@ -30,6 +30,7 @@ compatibility wrapper over a throwaway engine.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
@@ -51,6 +52,19 @@ from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint
 #: The "no value" marker used internally by :class:`ChoreographyResult` so a
 #: legitimate ``None`` return is distinguishable from an absent placeholder.
 _NO_VALUE = object()
+
+#: Hard ceiling (seconds, added to one ``2 * timeout`` grace) on how long
+#: :meth:`ChoreoEngine.close` waits for workers beyond the per-instance
+#: timeout.  The backlog-scaled deadline exists so a *healthy* queue of
+#: submitted instances can drain, but scaling alone is unbounded: a census
+#: wedged on a dead peer with thousands of pipelined submissions queued
+#: behind it would make ``close()`` wait ``timeout * 2 * (backlog + 1)``
+#: seconds — hours — for workers that will never finish.  Daemon workers are
+#: abandoned (and logged) at the cap instead; they cannot outlive the
+#: process.
+CLOSE_DEADLINE_CAP = 60.0
+
+logger = logging.getLogger("repro.runtime.engine")
 
 
 @dataclass
@@ -559,10 +573,23 @@ class ChoreoEngine:
         # One wall-clock deadline shared by every join (a hung census must
         # not compound the timeout once per worker), scaled by the backlog so
         # a healthy queue of submitted instances gets to finish before the
-        # transport goes away.
-        deadline = time.monotonic() + self.timeout * 2 * (backlog + 1)
+        # transport goes away — but capped: a wedged census with thousands of
+        # pipelined submissions queued behind it must not make close() wait
+        # timeout-per-instance for workers that will never drain.
+        grace = min(
+            self.timeout * 2 * (backlog + 1),
+            self.timeout * 2 + CLOSE_DEADLINE_CAP,
+        )
+        deadline = time.monotonic() + grace
         for worker in self._workers:
             worker.join(timeout=max(0.0, deadline - time.monotonic()))
+        abandoned = [worker.name for worker in self._workers if worker.is_alive()]
+        if abandoned:
+            logger.warning(
+                "close() abandoned %d still-running worker(s) after %.1fs "
+                "(backlog was %d): %s; daemon threads will not outlive the process",
+                len(abandoned), grace, backlog, ", ".join(abandoned),
+            )
         if self._owns_backend and self._transport is not None:
             self._transport.close()
         if self._transport is not None and getattr(self._transport, "_engine_lease", None) is self:

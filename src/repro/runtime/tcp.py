@@ -17,7 +17,9 @@ serialized exactly once per send (shared across all receivers of a
 ``send_many``), the instance tag rides in the frame header like the sender
 does, and the byte count recorded in
 :class:`~repro.runtime.stats.ChannelStats` is the exact payload byte count on
-the wire.
+the wire.  The format lives in :mod:`repro.runtime.framing`, shared with the
+asyncio backend (:mod:`repro.runtime.asyncio_tcp`), so the two socket
+backends interoperate byte for byte on the same wire.
 
 Both directions of the hot path are *coalesced* so that syscall count, not
 byte count, stops being the bottleneck for small-message storms:
@@ -44,26 +46,14 @@ distributed-deadlock against a peer's un-flushed buffer.
 
 from __future__ import annotations
 
-import queue
 import socket
-import struct
 import threading
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, List
 
-from ..core.errors import ChoreoTimeout, TransportError
+from ..core.errors import TransportError
 from ..core.locations import Location, LocationsLike
-from . import wire
-from .transport import (
-    DEFAULT_TIMEOUT,
-    CoalescingEndpoint,
-    Transport,
-    TransportEndpoint,
-    deserialize,
-    serialize,
-)
-
-_LENGTH = struct.Struct("!I")
-_SENDER_LENGTH = struct.Struct("!H")
+from .framing import FrameCorruption, FramedCoalescingEndpoint, FrameParser
+from .transport import DEFAULT_TIMEOUT, Transport, TransportEndpoint
 
 #: Bytes asked of the kernel per reader-loop ``recv``.
 _READ_CHUNK = 64 * 1024
@@ -83,23 +73,13 @@ def _send_buffers(sock: socket.socket, buffers: List[bytes]) -> None:
             sock.sendall(b"".join(batch)[sent:])
 
 
-class _TCPEndpoint(CoalescingEndpoint):
+class _TCPEndpoint(FramedCoalescingEndpoint):
     """One location's listening socket plus outgoing connections."""
 
     def __init__(self, location: Location, transport: "TCPTransport", timeout: float):
-        super().__init__(location, transport.stats, timeout)
-        self._transport = transport
-        # Inbox items are ``(instance, payload bytes)`` pairs.
-        self._inboxes: Dict[Location, "queue.SimpleQueue[tuple]"] = {
-            peer: queue.SimpleQueue() for peer in transport.census if peer != location
-        }
-        self._sender_tag = wire.encode(location)
-        # The ``[u16 sender-length][sender]`` frame prefix never changes for
-        # this endpoint; precompute it instead of rebuilding it per send.
-        self._sender_prefix = _SENDER_LENGTH.pack(len(self._sender_tag)) + self._sender_tag
-        # Memo of the last ``prefix + uvarint(instance)`` tail: within one
-        # engine instance every send shares it.
-        self._header_tail: Tuple[int, bytes] = (0, self._sender_prefix + b"\x00")
+        # The framed base supplies the per-peer inboxes, the frame-header
+        # builder, and the serialize-once send paths (repro.runtime.framing).
+        super().__init__(location, transport, timeout)
         # The coalescing base class supplies the write buffers; ``_out_lock``
         # (also from the base) additionally guards this socket cache — but
         # never connection setup: a slow connect must not serialize sends.
@@ -132,16 +112,15 @@ class _TCPEndpoint(CoalescingEndpoint):
     def _reader_loop(self, conn: socket.socket) -> None:
         """Buffered frame reader: one ``recv`` yields every frame it contains.
 
-        Pulls up to :data:`_READ_CHUNK` bytes per syscall and parses all
-        complete frames in the accumulated buffer via ``memoryview`` slicing
-        (each payload is copied out of the reused buffer exactly once, as it
-        enters its inbox).  A trailing partial frame stays buffered for the
-        next chunk.
+        Pulls up to :data:`_READ_CHUNK` bytes per syscall and hands them to
+        the shared incremental :class:`~repro.runtime.framing.FrameParser`
+        (memoryview slicing, one ``bytes`` copy per payload, a trailing
+        partial frame buffered for the next chunk).  A stream that stops
+        parsing — a runaway varint, an undecodable sender — poisons every
+        inbox with the typed :class:`FrameCorruption` and drops the
+        connection, so blocked receivers fail loudly rather than timing out.
         """
-        buffer = bytearray()
-        # Frames on one connection come from one peer endpoint; cache the
-        # decode of its wire-encoded location.
-        sender_cache: Dict[bytes, Location] = {}
+        parser = FrameParser()
         with conn:
             while not self._closed.is_set():
                 try:
@@ -150,34 +129,15 @@ class _TCPEndpoint(CoalescingEndpoint):
                     return
                 if not chunk:
                     return
-                buffer += chunk
-                pos = 0
-                size = len(buffer)
-                view = memoryview(buffer)
                 try:
-                    while size - pos >= _LENGTH.size:
-                        (length,) = _LENGTH.unpack_from(buffer, pos)
-                        frame_start = pos + _LENGTH.size
-                        frame_end = frame_start + length
-                        if size < frame_end:
-                            break
-                        (sender_length,) = _SENDER_LENGTH.unpack_from(buffer, frame_start)
-                        sender_start = frame_start + _SENDER_LENGTH.size
-                        sender_end = sender_start + sender_length
-                        sender_raw = bytes(view[sender_start:sender_end])
-                        sender = sender_cache.get(sender_raw)
-                        if sender is None:
-                            sender = wire.decode(sender_raw)
-                            sender_cache[sender_raw] = sender
-                        instance, body_start = wire.read_uvarint(buffer, sender_end)
-                        inbox = self._inboxes.get(sender)
-                        if inbox is not None:
-                            inbox.put((instance, bytes(view[body_start:frame_end])))
-                        pos = frame_end
-                finally:
-                    view.release()
-                if pos:
-                    del buffer[:pos]
+                    frames = parser.feed(chunk)
+                except FrameCorruption as exc:
+                    self._poison_inboxes(exc)
+                    return
+                for sender, instance, payload in frames:
+                    inbox = self._inboxes.get(sender)
+                    if inbox is not None:
+                        inbox.put((instance, payload))
 
     # -- outgoing ------------------------------------------------------------------
 
@@ -206,16 +166,6 @@ class _TCPEndpoint(CoalescingEndpoint):
             self._out_sockets[receiver] = sock
         return sock
 
-    def _frame_header(self, payload_length: int, instance: int) -> bytes:
-        """The ``[length][sender-length][sender][instance]`` prefix for a payload."""
-        memo_instance, tail = self._header_tail
-        if instance != memo_instance:
-            varint = bytearray()
-            wire.write_uvarint(varint, instance)
-            tail = self._sender_prefix + bytes(varint)
-            self._header_tail = (instance, tail)
-        return _LENGTH.pack(len(tail) + payload_length) + tail
-
     def _deliver(self, receiver: Location, batch: List[bytes]) -> None:
         """A drained batch goes out as writev calls: many frames, few syscalls."""
         try:
@@ -224,56 +174,6 @@ class _TCPEndpoint(CoalescingEndpoint):
             raise TransportError(
                 f"{self.location!r} failed to send to {receiver!r}: {exc}"
             ) from exc
-
-    def _send_serialized(self, receiver: Location, data: bytes, instance: int = 0) -> None:
-        if receiver not in self._transport.census:
-            raise TransportError(f"unknown receiver {receiver!r}")
-        self._record(receiver, len(data))
-        header = self._frame_header(len(data), instance)
-        self._enqueue(receiver, (header, data), len(header) + len(data))
-
-    def send(self, receiver: Location, payload: Any) -> None:
-        self._send_serialized(receiver, serialize(payload))
-
-    def send_scoped(self, receiver: Location, instance: int, payload: Any) -> None:
-        self._send_serialized(receiver, serialize(payload), instance)
-
-    def send_many(self, receivers: Iterable[Location], payload: Any) -> None:
-        self.send_many_scoped(receivers, 0, payload)
-
-    def send_many_scoped(
-        self, receivers: Iterable[Location], instance: int, payload: Any
-    ) -> None:
-        targets = list(receivers)
-        for receiver in targets:  # all-or-nothing: validate before the first frame
-            if receiver not in self._transport.census:
-                raise TransportError(f"unknown receiver {receiver!r}")
-        data = serialize(payload)  # one serialization shared by all receivers
-        header = self._frame_header(len(data), instance)  # ...and one header
-        self._record_broadcast(targets, len(data))
-        nbytes = len(header) + len(data)
-        for receiver in targets:
-            self._enqueue(receiver, (header, data), nbytes)
-
-    def _recv_serialized(self, sender: Location) -> "tuple[int, bytes]":
-        if sender not in self._inboxes:
-            raise TransportError(f"unknown sender {sender!r}")
-        # Flush-before-block: our own deferred sends must be in flight before
-        # we wait on a peer, or two coalescing endpoints could starve each
-        # other with full buffers and empty inboxes.
-        self.flush()
-        try:
-            return self._inboxes[sender].get(timeout=self._timeout)
-        except queue.Empty:
-            raise ChoreoTimeout(self.location, sender, self._timeout) from None
-
-    def recv(self, sender: Location) -> Any:
-        _instance, data = self._recv_serialized(sender)
-        return deserialize(data)
-
-    def recv_scoped(self, sender: Location) -> "tuple[int, Any]":
-        instance, data = self._recv_serialized(sender)
-        return instance, deserialize(data)
 
     def close(self) -> None:
         self._closed.set()

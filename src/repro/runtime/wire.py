@@ -80,6 +80,14 @@ def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
         if not byte & 0x80:
             return result, pos
         shift += 7
+        if shift > 63:
+            # No legitimate value needs more than ten varint bytes: lengths,
+            # counts, and instance ids all fit 64 bits.  Without this bound a
+            # corrupt (or adversarial) run of 0x80 continuation bytes decodes
+            # into an arbitrarily large integer that downstream framing would
+            # use as a length prefix — a giant allocation or a misframe
+            # instead of a typed error.
+            raise ValueError("varint overflow (more than 64 bits)")
 
 
 def write_uvarint(out: bytearray, value: int) -> None:

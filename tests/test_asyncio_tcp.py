@@ -1,0 +1,276 @@
+"""The asyncio-native TCP backend: mechanics, wire interop, corruption, bounds.
+
+Four promises are pinned down here:
+
+1. **Mechanics** — the event-loop backend honours the same endpoint contract
+   as every other transport (FIFO per sender, demultiplexing, typed
+   timeouts) while multiplexing *all* sockets onto one daemon loop thread.
+2. **Wire interop** — the frame format is byte-identical to the threaded
+   TCP backend's (:mod:`repro.runtime.framing` is the single definition), so
+   a threaded endpoint can send straight into an asyncio endpoint's socket
+   and vice versa.
+3. **Loud corruption** — a byte stream that stops parsing (runaway varint,
+   undecodable sender) surfaces as the typed
+   :class:`~repro.runtime.framing.FrameCorruption` at blocked receivers on
+   both backends, promptly, instead of as an eventual timeout.
+4. **Bounded varints** — ``wire.read_uvarint`` refuses more than 64 bits
+   (the runaway-continuation-byte regression), and every consumer — wire
+   decode, socket framing, WAL replay — turns that into its existing typed
+   behaviour.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import ChoreoEngine
+from repro.core.errors import ChoreoTimeout, TransportError
+from repro.runtime import wire
+from repro.runtime.asyncio_tcp import AsyncioTCPTransport
+from repro.runtime.framing import (
+    LENGTH,
+    SENDER_LENGTH,
+    FrameCorruption,
+    FrameParser,
+    FrameWriter,
+)
+from repro.runtime.tcp import TCPTransport
+from repro.runtime.transport import serialize
+from repro.storage.wal import WriteAheadLog
+
+CENSUS = ["a", "b", "c"]
+
+
+class TestAsyncioMechanics:
+    def test_send_and_receive_over_loopback(self):
+        with AsyncioTCPTransport(CENSUS, timeout=5.0) as transport:
+            for location in CENSUS:
+                transport.endpoint(location)
+            transport.endpoint("a").send("b", {"n": 1})
+            transport.endpoint("a").flush()
+            assert transport.endpoint("b").recv("a") == {"n": 1}
+
+    def test_fifo_per_sender(self):
+        with AsyncioTCPTransport(["a", "b"], timeout=5.0) as transport:
+            sender, receiver = transport.endpoint("a"), transport.endpoint("b")
+            for index in range(50):
+                sender.send("b", index)
+            sender.flush()
+            assert [receiver.recv("a") for _ in range(50)] == list(range(50))
+
+    def test_three_party_demultiplexing(self):
+        with AsyncioTCPTransport(CENSUS, timeout=5.0) as transport:
+            for location in CENSUS:
+                transport.endpoint(location)
+            transport.endpoint("a").send("c", "from-a")
+            transport.endpoint("a").flush()
+            transport.endpoint("b").send("c", "from-b")
+            transport.endpoint("b").flush()
+            c = transport.endpoint("c")
+            assert c.recv("b") == "from-b"  # out of arrival order: by sender
+            assert c.recv("a") == "from-a"
+
+    def test_timeout_is_typed(self):
+        with AsyncioTCPTransport(["a", "b"], timeout=0.2) as transport:
+            transport.endpoint("a")
+            with pytest.raises(ChoreoTimeout):
+                transport.endpoint("b").recv("a")
+
+    def test_unknown_peer_raises(self):
+        with AsyncioTCPTransport(["a", "b"], timeout=1.0) as transport:
+            endpoint = transport.endpoint("a")
+            with pytest.raises(TransportError, match="unknown receiver"):
+                endpoint.send("mallory", 1)
+            with pytest.raises(TransportError, match="unknown sender"):
+                endpoint.recv("mallory")
+
+    def test_one_loop_thread_no_reader_threads(self):
+        """The scaling claim in miniature: a full mesh of live connections
+        adds exactly one I/O thread — the loop — where the threaded backend
+        adds an accept thread per location plus a reader per connection."""
+        before = threading.active_count()
+        with AsyncioTCPTransport(CENSUS, timeout=5.0) as transport:
+            for location in CENSUS:
+                transport.endpoint(location)
+            for sender in CENSUS:  # light up every connection in the mesh
+                for receiver in CENSUS:
+                    if sender != receiver:
+                        transport.endpoint(sender).send(receiver, "hi")
+                transport.endpoint(sender).flush()
+            for receiver in CENSUS:
+                for sender in CENSUS:
+                    if sender != receiver:
+                        assert transport.endpoint(receiver).recv(sender) == "hi"
+            loop_threads = [
+                t for t in threading.enumerate() if t.name == "asyncio-tcp-loop"
+            ]
+            assert len(loop_threads) == 1
+            assert not [
+                t for t in threading.enumerate() if t.name.startswith("tcp-read-")
+            ]
+            assert threading.active_count() - before <= 1
+        deadline = time.monotonic() + 5.0
+        while loop_threads[0].is_alive() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not loop_threads[0].is_alive()  # close() tears the loop down
+
+    def test_close_is_idempotent_and_refuses_new_endpoints(self):
+        transport = AsyncioTCPTransport(["a", "b"], timeout=1.0)
+        transport.endpoint("a")
+        transport.close()
+        transport.close()
+        with pytest.raises(TransportError, match="closed"):
+            transport._make_endpoint("b")
+
+    def test_flush_at_instance_boundary_leaves_no_buffered_bytes(self):
+        """The engine's instance-boundary flush must reach the asyncio
+        endpoints too: after a run, no endpoint holds deferred frames."""
+
+        def one_way(op):
+            at_b = op.comm("a", "b", op.locally("a", lambda _un: "fire"))
+            return op.locally("b", lambda un: un(at_b))
+
+        with ChoreoEngine(["a", "b"], backend="asyncio", timeout=5.0) as engine:
+            result = engine.run(one_way)
+            assert result.value_at("b") == "fire"
+            for location in ["a", "b"]:
+                endpoint = engine._endpoints[location]
+                inner = getattr(endpoint, "inner", endpoint)
+                assert inner._out_buffers == {}
+
+
+class TestWireInterop:
+    """The two socket backends speak one wire format — prove it on one socket."""
+
+    def test_threaded_sender_into_asyncio_receiver(self):
+        with AsyncioTCPTransport(["a", "b"], timeout=5.0) as asy:
+            receiver = asy.endpoint("b")
+            threaded = TCPTransport(["a", "b"], timeout=5.0)
+            try:
+                sender = threaded.endpoint("a")
+                # Point the threaded endpoint's connection cache at the
+                # asyncio endpoint's listening socket: same wire, no shim.
+                sock = socket.create_connection(
+                    ("127.0.0.1", asy.port_of("b")), timeout=5.0
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                with threaded.endpoint("a")._out_lock:
+                    sender._out_sockets["b"] = sock
+                sender.send("b", {"x": [1, 2, 3]})
+                sender.flush()
+                assert receiver.recv("a") == {"x": [1, 2, 3]}
+                sender.send_scoped("b", 7, "scoped-payload")
+                sender.flush()
+                assert receiver.recv_scoped("a") == (7, "scoped-payload")
+            finally:
+                threaded.close()
+
+    def test_asyncio_sender_into_threaded_receiver(self, monkeypatch):
+        threaded = TCPTransport(["a", "b"], timeout=5.0)
+        try:
+            receiver = threaded.endpoint("b")
+            with AsyncioTCPTransport(["a", "b"], timeout=5.0) as asy:
+                sender = asy.endpoint("a")
+                # Route the asyncio endpoint's connect at the *threaded*
+                # listener instead of its own census peer.
+                monkeypatch.setattr(asy, "port_of", lambda loc: threaded.port_of(loc))
+                sender.send("b", ("tuple", 42))
+                sender.flush()
+                assert receiver.recv("a") == ("tuple", 42)
+                sender.send_scoped("b", 9, b"bytes")
+                sender.flush()
+                assert receiver.recv_scoped("a") == (9, b"bytes")
+        finally:
+            threaded.close()
+
+    def test_frame_writer_output_parses_identically(self):
+        """A frame built by the shared writer round-trips through the shared
+        parser — the byte-level identity both backends inherit."""
+        writer = FrameWriter("a")
+        payload = serialize({"k": "v"})
+        frame = writer.header(len(payload), 3) + payload
+        parsed = FrameParser().feed(frame)
+        assert parsed == [("a", 3, payload)]
+
+
+def _runaway_frame(sender: str = "a") -> bytes:
+    """A structurally plausible frame whose instance varint never terminates:
+    ten-plus 0x80 continuation bytes, the exact shape the 64-bit bound turns
+    from a silent misdecode into a typed error."""
+    tag = wire.encode(sender)
+    body = SENDER_LENGTH.pack(len(tag)) + tag + b"\x80" * 12 + serialize("junk")
+    return LENGTH.pack(len(body)) + body
+
+
+class TestCorruptionSurfacing:
+    def test_frame_parser_raises_typed_corruption(self):
+        with pytest.raises(FrameCorruption, match="varint overflow"):
+            FrameParser().feed(_runaway_frame())
+
+    def test_undecodable_sender_is_typed_too(self):
+        body = SENDER_LENGTH.pack(4) + b"\xff\xff\xff\xff" + b"\x00" + serialize(1)
+        with pytest.raises(FrameCorruption):
+            FrameParser().feed(LENGTH.pack(len(body)) + body)
+
+    @pytest.mark.parametrize("transport_cls", [TCPTransport, AsyncioTCPTransport])
+    def test_runaway_varint_on_the_socket_fails_receivers_loudly(
+        self, transport_cls
+    ):
+        """Feed the raw corrupt bytes into a live listener: the blocked
+        receiver must raise the typed corruption well before its timeout,
+        on both socket backends."""
+        with transport_cls(["a", "b"], timeout=10.0) as transport:
+            receiver = transport.endpoint("b")
+            with socket.create_connection(
+                ("127.0.0.1", transport.port_of("b")), timeout=5.0
+            ) as sock:
+                sock.sendall(_runaway_frame())
+                started = time.monotonic()
+                with pytest.raises(FrameCorruption, match="varint overflow"):
+                    receiver.recv("a")
+                assert time.monotonic() - started < 5.0  # poisoned, not timed out
+
+
+class TestVarintBounds:
+    """The ``_read_uvarint`` 64-bit bound and its consumers."""
+
+    def test_read_uvarint_refuses_more_than_64_bits(self):
+        with pytest.raises(ValueError, match="varint overflow"):
+            wire.read_uvarint(b"\x80" * 10 + b"\x01", 0)
+
+    def test_max_legitimate_value_still_roundtrips(self):
+        out = bytearray()
+        wire.write_uvarint(out, 2**64 - 1)
+        assert wire.read_uvarint(bytes(out), 0) == (2**64 - 1, len(out))
+
+    def test_truncated_varint_is_still_truncated_not_overflow(self):
+        with pytest.raises(ValueError, match="truncated varint"):
+            wire.read_uvarint(b"\x80\x80", 0)
+
+    def test_wire_decode_surfaces_overflow_as_value_error(self):
+        with pytest.raises(ValueError, match="varint overflow"):
+            wire.decode(b"i" + b"\x80" * 10 + b"\x01")
+        with pytest.raises(ValueError, match="varint overflow"):
+            wire.decode(b"s" + b"\x80" * 10 + b"\x01")
+
+    def test_wal_replay_treats_runaway_tail_as_torn(self, tmp_path):
+        """A runaway length varint at the WAL tail is what a crash mid-append
+        can leave: replay must truncate it like any torn tail — keeping every
+        intact record — not decode a bogus giant length or crash."""
+        path = tmp_path / "wal.bin"
+        with WriteAheadLog(path) as log:
+            log.append(("put", "a", "1"))
+            log.append(("put", "b", "2"))
+        with open(path, "ab") as handle:
+            handle.write(b"\x80" * 12)  # runaway continuation bytes
+        reopened = WriteAheadLog(path)
+        assert list(reopened.records()) == [
+            (1, ("put", "a", "1")),
+            (2, ("put", "b", "2")),
+        ]
+        assert reopened.append(("put", "c", "3")) == 3  # tail repaired on disk
+        reopened.close()

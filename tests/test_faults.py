@@ -307,6 +307,46 @@ class TestFaultsThroughTheEngine:
             assert result.value_at("a") == {"b": True, "c": True}
             assert engine.transport.faults is not None
 
+    def test_asyncio_backend_accepts_the_same_plan(self):
+        """The event-loop backend takes the identical FaultPlan; its injected
+        delays ride ``loop.call_later`` timers instead of ``time.sleep``."""
+        plan = (
+            FaultPlan(seed=11)
+            .delay(jitter=0.002, rate=0.4)
+            .flaky_connect("a", "b", failures=1, max_retries=2)
+        )
+        with ChoreoEngine(
+            ["a", "b", "c"], backend="asyncio", faults=plan, timeout=5.0
+        ) as engine:
+            result = engine.run(fan_round, args=(6,))
+            assert result.value_at("a") == {"b": True, "c": True}
+            assert engine.transport.faults is not None
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_asyncio_chaos_sweep_is_deterministic(self, seed):
+        """The seed sweep extends to the asyncio backend: per-channel fault
+        decisions are pure functions of (seed, channel, index), so two runs
+        under the same seed inject the same canonical schedule and the
+        choreography's results survive the chaos."""
+
+        def once():
+            plan = (
+                FaultPlan(seed=seed)
+                .delay(jitter=0.005, rate=0.5)
+                .reorder(rate=0.3, span=3)
+            )
+            result, session, stats = run_fan_round(
+                plan, count=5, backend="asyncio"
+            )
+            assert result.value_at("a") == {"b": True, "c": True}
+            return session.schedule(), stats
+
+        first_schedule, first_stats = once()
+        second_schedule, second_stats = once()
+        assert first_schedule == second_schedule
+        assert len(first_schedule) > 0
+        assert first_stats == second_stats
+
     def test_crash_fails_loudly_with_crash_root_cause(self):
         plan = FaultPlan(seed=1).crash("b", after_ops=1)
         with ChoreoEngine(["a", "b"], backend="simulated", faults=plan, timeout=0.3) as engine:

@@ -21,7 +21,7 @@ from repro.runtime.tcp import TCPTransport
 
 CENSUS = ["alice", "bob", "carol"]
 
-ALL_BACKENDS = ["local", "tcp", "simulated", "central"]
+ALL_BACKENDS = ["local", "tcp", "asyncio", "simulated", "central"]
 
 
 def ping_pong(op, payload):
@@ -110,7 +110,7 @@ class TestEngineReuse:
         assert first.instance == 0 and second.instance == 1
         assert engine.stats.snapshot() == {channel: 2 for channel in per_run}
 
-    @pytest.mark.parametrize("backend", ["local", "tcp"])
+    @pytest.mark.parametrize("backend", ["local", "tcp", "asyncio"])
     def test_engine_runs_keep_byte_accounting_exact(self, backend):
         """Instance scoping must not inflate recorded payload bytes: engine
         runs agree with the centralized cost model byte-for-byte."""
@@ -151,7 +151,7 @@ def staggered(op, payload, delay):
 
 
 class TestPipelinedSubmissions:
-    @pytest.mark.parametrize("backend", ["local", "tcp"])
+    @pytest.mark.parametrize("backend", ["local", "tcp", "asyncio"])
     def test_concurrent_submits_do_not_interleave(self, backend):
         with ChoreoEngine(CENSUS, backend=backend, timeout=10.0) as engine:
             futures = [
@@ -194,7 +194,8 @@ class TestPipelinedSubmissions:
 class TestStashPurging:
     """A long-lived session must not accumulate stash entries (memory leak)."""
 
-    def test_racing_failure_leaves_no_stash_entries(self):
+    @pytest.mark.parametrize("backend", ["local", "asyncio"])
+    def test_racing_failure_leaves_no_stash_entries(self, backend):
         """a fails instance 0 before sending, so b stashes instance-1 traffic
         while still blocked in instance 0; after both instances resolve, every
         worker stash must be empty again.
@@ -215,7 +216,7 @@ class TestStashPurging:
             at_b = op.comm("a", "b", value)
             return op.locally("b", lambda un: un(at_b))
 
-        with ChoreoEngine(["a", "b"], backend="local", timeout=1.0) as engine:
+        with ChoreoEngine(["a", "b"], backend=backend, timeout=1.0) as engine:
             bad = engine.submit(flaky, args=(True,))
             good = engine.submit(flaky, args=(False,))
             with pytest.raises(ChoreographyRuntimeError) as err:
@@ -331,7 +332,9 @@ class TestCentralBackend:
 
 class TestBackendRegistry:
     def test_builtin_backends_registered(self):
-        assert {"local", "tcp", "simulated", "central"} <= set(backend_names())
+        assert {"local", "tcp", "asyncio", "simulated", "central"} <= set(
+            backend_names()
+        )
 
     def test_register_backend_is_pluggable(self):
         class TracingTransport(LocalTransport):
@@ -374,3 +377,133 @@ class TestBackendRegistry:
         backend = create_backend("central", CENSUS)
         assert isinstance(backend, CentralBackend)
         backend.close()
+
+
+class TestTypedRegistry:
+    """The Protocol-keyed injection layer under the string-name shim."""
+
+    def test_impl_decorator_registers_and_resolves(self):
+        from repro.runtime.registry import (
+            TransportBackend,
+            impl,
+            impl_protocols,
+            implementations,
+            implements,
+            resolve_impl,
+            unregister_impl,
+        )
+
+        @impl(TransportBackend, name="typed-local")
+        class TypedLocal(LocalTransport):
+            pass
+
+        try:
+            assert resolve_impl(TransportBackend, "typed-local") is TypedLocal
+            assert implementations(TransportBackend)["typed-local"] is TypedLocal
+            assert implements(TypedLocal, TransportBackend)
+            assert TransportBackend in impl_protocols(TypedLocal)
+            # the string shim and the engine see the typed registration
+            assert "typed-local" in backend_names()
+            with ChoreoEngine(CENSUS, backend="typed-local") as engine:
+                assert isinstance(engine.transport, TypedLocal)
+                assert engine.run(ping_pong, args=("x",)).returns["bob"] == "x!"
+        finally:
+            unregister_impl(TransportBackend, "typed-local")
+        assert "typed-local" not in backend_names()
+
+    def test_unknown_impl_name_lists_the_protocols_table(self):
+        from repro.runtime.registry import TransportBackend, resolve_impl
+
+        with pytest.raises(ValueError, match="unknown TransportBackend"):
+            resolve_impl(TransportBackend, "carrier-pigeon")
+
+    def test_duplicate_impl_name_needs_replace(self):
+        from repro.runtime.registry import TransportBackend, register_impl, unregister_impl
+
+        register_impl(TransportBackend, LocalTransport, name="dupe-impl")
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_impl(TransportBackend, TCPTransport, name="dupe-impl")
+            register_impl(TransportBackend, TCPTransport, name="dupe-impl", replace=True)
+        finally:
+            unregister_impl(TransportBackend, "dupe-impl")
+
+    def test_wire_codec_and_fault_sources_are_discoverable(self):
+        from repro.faults import FaultPlan
+        from repro.runtime.registry import (
+            FaultPlanSource,
+            WireCodec,
+            implementations,
+            implements,
+            resolve_impl,
+        )
+
+        codec = resolve_impl(WireCodec, "compact")
+        assert codec.decode(codec.encode((1, "x"))) == (1, "x")
+        assert isinstance(codec, WireCodec)  # runtime_checkable structural check
+        assert implements(FaultPlan, FaultPlanSource)
+        assert "seeded" in implementations(FaultPlanSource)
+
+    def test_backends_mapping_is_a_live_view_of_the_typed_table(self):
+        from repro.runtime.registry import BACKENDS, TransportBackend, implements
+
+        class Pigeon(LocalTransport):
+            pass
+
+        BACKENDS["pigeon-test"] = Pigeon
+        try:
+            assert "pigeon-test" in backend_names()
+            assert BACKENDS["pigeon-test"] is Pigeon
+            assert implements(Pigeon, TransportBackend)
+            assert len(BACKENDS) == len(backend_names())
+            assert set(BACKENDS) == set(backend_names())
+        finally:
+            del BACKENDS["pigeon-test"]
+        assert "pigeon-test" not in backend_names()
+
+
+class TestCloseDeadlineCap:
+    """Regression: close() used to wait timeout * 2 * (backlog + 1) — with a
+    wedged census and a deep pipelined backlog that is effectively forever."""
+
+    def test_close_is_bounded_with_hung_census_and_deep_backlog(
+        self, monkeypatch, caplog
+    ):
+        from repro.runtime import engine as engine_module
+
+        monkeypatch.setattr(engine_module, "CLOSE_DEADLINE_CAP", 1.0)
+        hang = threading.Event()
+
+        def wedge(op):
+            return op.locally("a", lambda _un: hang.wait())
+
+        engine = ChoreoEngine(["a", "b"], backend="local", timeout=0.5)
+        try:
+            for _ in range(1000):
+                engine.submit(wedge)
+            start = time.monotonic()
+            with caplog.at_level("WARNING", logger="repro.runtime.engine"):
+                engine.close()
+            elapsed = time.monotonic() - start
+            # Uncapped, the deadline would be 0.5 * 2 * 1001 ≈ 1001 s; the
+            # cap brings it to 0.5 * 2 + 1.0 = 2 s.  Generous headroom for
+            # slow CI, but orders of magnitude under the uncapped wait.
+            assert elapsed < 20.0
+            assert any(
+                "abandoned" in record.getMessage() for record in caplog.records
+            ), caplog.records
+        finally:
+            hang.set()  # let the abandoned daemon worker drain
+
+    def test_healthy_backlog_still_drains_fully(self, monkeypatch):
+        """The cap must not cut off a *healthy* queue: everything already
+        submitted still completes before the transport goes away."""
+        from repro.runtime import engine as engine_module
+
+        monkeypatch.setattr(engine_module, "CLOSE_DEADLINE_CAP", 30.0)
+        engine = ChoreoEngine(CENSUS, backend="local", timeout=5.0)
+        futures = [engine.submit(ping_pong, args=(f"m{i}",)) for i in range(32)]
+        engine.close()
+        assert [f.result(timeout=1.0).returns["alice"] for f in futures] == [
+            f"m{i}!" for i in range(32)
+        ]

@@ -249,7 +249,7 @@ class TestBackendEquivalence:
         reference = run_choreography(
             storm, CENSUS, args=(payload,), transport="simulated", timeout=10.0
         )
-        for backend in ["local", "tcp", "central"]:
+        for backend in ["local", "tcp", "asyncio", "central"]:
             observed = run_choreography(
                 storm, CENSUS, args=(payload,), transport=backend, timeout=10.0
             )
@@ -278,11 +278,11 @@ class TestBackendEquivalence:
                 location_args={p: (inputs[p],) for p in parties},
                 transport=backend, timeout=15.0,
             )
-            for backend in ["simulated", "tcp", "local"]
+            for backend in ["simulated", "tcp", "asyncio", "local"]
         }
         reference = runs["simulated"]
         assert set(reference.returns.values()) == {True}
-        for backend in ["tcp", "local"]:
+        for backend in ["tcp", "asyncio", "local"]:
             observed = runs[backend]
             assert set(observed.returns.values()) == {True}
             assert observed.stats.snapshot() == reference.stats.snapshot(), backend
