@@ -6,7 +6,7 @@ Two questions, because the backends make opposite trades:
    over a full-mesh gather.  The asyncio backend pays one extra hop per send
    (worker thread → event loop → socket, where the threaded backend writes
    from the worker directly), so the target is parity-ish, not a win:
-   sequential warm throughput lands around 0.85× threaded on this workload.
+   sequential warm throughput lands around 0.7–0.85× threaded on this workload.
 2. **Session density.**  What each *warm session* costs in threads — the
    resource that caps how many concurrent choreography sessions (shard
    replicas, gateway engines) one process can keep open at fixed memory,
